@@ -1,0 +1,111 @@
+"""Shared fixtures for the figure-regeneration benchmark suite.
+
+The expensive part — simulating the full (benchmark x selector) grid —
+runs once per session in the ``grid`` fixture; every figure bench then
+computes its table from the shared grid, records it for the terminal
+summary, and times only its own computation.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — workload scale for the main grid (default 1.0).
+* ``REPRO_BENCH_SEED``  — execution seed (default 1).
+
+Every recorded table is also written to ``benchmarks/results/<id>.txt``
+so the regenerated figures survive the terminal scroll.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments.render import figure_to_text, grid_banner
+from repro.experiments.runner import run_grid
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_RECORDED: list = []
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+def bench_workers() -> int:
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
+@pytest.fixture(scope="session")
+def grid():
+    """The full-suite grid at the paper's thresholds."""
+    return run_grid(scale=bench_scale(), seed=bench_seed(),
+                    workers=bench_workers())
+
+
+@pytest.fixture(scope="session")
+def ablation_scale():
+    """Reduced scale for benches that must simulate extra grids."""
+    return min(bench_scale(), 0.3)
+
+
+@pytest.fixture(scope="session")
+def ablation_config_grid(ablation_scale):
+    """Factory: run a plain NET/LEI(+combined) grid under a custom config."""
+    cache = {}
+
+    def run(config: SystemConfig, selectors=("net", "lei", "combined-net",
+                                              "combined-lei")):
+        key = (config, tuple(selectors))
+        if key not in cache:
+            cache[key] = run_grid(
+                scale=ablation_scale, seed=bench_seed(),
+                config=config, selectors=selectors,
+            )
+        return cache[key]
+
+    return run
+
+
+@pytest.fixture
+def record_figure():
+    """Record a rendered table for the end-of-run summary and on disk."""
+
+    def record(figure) -> str:
+        text = figure_to_text(figure)
+        _RECORDED.append((figure.figure_id, text))
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{figure.figure_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return text
+
+    return record
+
+
+@pytest.fixture
+def record_text():
+    """Record a free-form text block (for ablation benches)."""
+
+    def record(name: str, text: str) -> None:
+        _RECORDED.append((name, text))
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RECORDED:
+        return
+    terminalreporter.section("reproduced paper figures")
+    terminalreporter.write_line(grid_banner(bench_scale(), bench_seed()))
+    terminalreporter.write_line("")
+    for _, text in _RECORDED:
+        terminalreporter.write_line(text)
+        terminalreporter.write_line("")

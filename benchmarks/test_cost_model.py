@@ -1,0 +1,80 @@
+"""Cost-model experiment: cover sets predict estimated performance.
+
+Bala et al. found "the 90% cover sets were a perfect predictor of
+performance"; the paper leans on that to argue LEI and combination
+will be faster in practice.  With an explicit cost model we can close
+the loop: price every run and check the predicted speedups line up with
+the cover sets — and that the selector ordering survives a sweep of the
+model's prices.
+"""
+
+from statistics import fmean
+
+from repro.metrics import CostModel, estimated_speedup, estimated_time
+from repro.config import SystemConfig
+from repro.system.simulator import simulate
+from repro.workloads import benchmark_names, build_benchmark
+
+SELECTORS = ("net", "lei", "combined-net", "combined-lei")
+
+
+def run_suite(scale, seed=1):
+    """Simulate the whole grid once; price it later, as often as needed."""
+    results = {s: [] for s in SELECTORS}
+    for bench in benchmark_names():
+        program = build_benchmark(bench, scale=scale)
+        for selector in SELECTORS:
+            results[selector].append(
+                simulate(program, selector, SystemConfig(), seed=seed)
+            )
+    return results
+
+
+def price(results, model=None):
+    model = model if model is not None else CostModel()
+    return {
+        selector: fmean(estimated_speedup(r, model) for r in runs)
+        for selector, runs in results.items()
+    }
+
+
+def test_estimated_speedups(ablation_scale, benchmark, record_text):
+    means = price(benchmark.pedantic(
+        run_suite, args=(ablation_scale,), rounds=1, iterations=1
+    ))
+    lines = ["Cost model: mean estimated speedup over pure interpretation"]
+    for selector, speedup in means.items():
+        lines.append(f"  {selector:14s} {speedup:6.2f}x")
+    lines.append("Paper's argument chain: smaller cover set -> better "
+                 "locality -> better performance; combined LEI should lead.")
+    record_text("cost-model-speedups", "\n".join(lines))
+
+    # All four configurations must beat interpretation by a lot.
+    assert all(speedup > 3.0 for speedup in means.values())
+    # The paper's quality ordering must be reflected in time.
+    assert means["lei"] > means["net"]
+    assert means["combined-lei"] > means["net"]
+    assert means["combined-lei"] >= means["lei"] * 0.97
+
+
+def test_ordering_insensitive_to_prices(ablation_scale, benchmark, record_text):
+    """Sweep transition/switch prices 4x in both directions: the LEI>NET
+    ordering is a property of the runs, not of the price tags."""
+    sweeps = {
+        "cheap": CostModel(region_transition=2.5, cache_switch=12.5),
+        "default": CostModel(),
+        "dear": CostModel(region_transition=40.0, cache_switch=200.0),
+    }
+    runs = benchmark.pedantic(
+        run_suite, args=(ablation_scale,), rounds=1, iterations=1
+    )
+    results = {name: price(runs, model) for name, model in sweeps.items()}
+    lines = ["Cost-model sensitivity: mean speedup under 3 price sets"]
+    for name, means in results.items():
+        cells = "  ".join(f"{s}={means[s]:.2f}x" for s in SELECTORS)
+        lines.append(f"  {name:8s} {cells}")
+    record_text("cost-model-sensitivity", "\n".join(lines))
+
+    for name, means in results.items():
+        assert means["lei"] > means["net"], name
+        assert means["combined-lei"] > means["net"], name

@@ -1,0 +1,85 @@
+"""Design-choice ablations called out in DESIGN.md section 6.
+
+Two rules whose removal the paper reasons about in prose become
+measurable switches here:
+
+* NET's interprocedural-forward-path rule (stop at backward calls and
+  returns): relaxing it lets some traces span interprocedural cycles
+  but "enables NET to limit code expansion" is exactly what breaks —
+  expansion rises on the call-heavy benchmarks.
+* LEI's follows-exit start rule ("grow from an existing trace"):
+  removing it strands exit-chained hot code in the interpreter.
+"""
+
+from statistics import fmean
+
+from repro.config import SystemConfig
+from repro.system.simulator import simulate
+from repro.workloads import benchmark_names, build_benchmark
+
+CALL_HEAVY = ("eon", "gap", "vortex", "mcf")
+
+
+def run_net_rule_ablation(scale, seed=1):
+    rows = {}
+    for bench in CALL_HEAVY:
+        program = build_benchmark(bench, scale=scale)
+        strict = simulate(program, "net", SystemConfig(), seed=seed)
+        relaxed = simulate(
+            program, "net",
+            SystemConfig(net_stop_at_backward_calls=False), seed=seed,
+        )
+        rows[bench] = (strict, relaxed)
+    return rows
+
+
+def test_net_backward_call_rule(ablation_scale, benchmark, record_text):
+    rows = benchmark.pedantic(
+        run_net_rule_ablation, args=(ablation_scale,), rounds=1, iterations=1
+    )
+    lines = ["Ablation: NET without the backward-call/return stop rule"]
+    lines.append(f"{'bench':8s} {'expansion':>18s} {'spanned regions':>16s}")
+    for bench, (strict, relaxed) in rows.items():
+        strict_spans = sum(1 for r in strict.regions if r.spans_cycle)
+        relaxed_spans = sum(1 for r in relaxed.regions if r.spans_cycle)
+        lines.append(f"{bench:8s} {strict.code_expansion:8d} ->{relaxed.code_expansion:7d} "
+                     f"{strict_spans:7d} ->{relaxed_spans:6d}")
+    lines.append("Paper (2.2): the rule limits code expansion at the cost "
+                 "of never spanning an interprocedural cycle.")
+    record_text("ablation-net-backward-calls", "\n".join(lines))
+
+    total_strict = sum(s.code_expansion for s, _ in rows.values())
+    total_relaxed = sum(r.code_expansion for _, r in rows.values())
+    assert total_relaxed >= total_strict
+
+
+def run_lei_rule_ablation(scale, seed=1):
+    hits = {"full": [], "restricted": []}
+    for bench in benchmark_names():
+        program = build_benchmark(bench, scale=scale)
+        hits["full"].append(
+            simulate(program, "lei", SystemConfig(), seed=seed).hit_rate
+        )
+        hits["restricted"].append(
+            simulate(program, "lei",
+                     SystemConfig(lei_allow_exit_cycles=False),
+                     seed=seed).hit_rate
+        )
+    return hits
+
+
+def test_lei_follows_exit_rule(ablation_scale, benchmark, record_text):
+    hits = benchmark.pedantic(
+        run_lei_rule_ablation, args=(ablation_scale,), rounds=1, iterations=1
+    )
+    full = fmean(hits["full"])
+    restricted = fmean(hits["restricted"])
+    record_text(
+        "ablation-lei-exit-rule",
+        "Ablation: LEI without the follows-exit start condition\n"
+        f"  mean hit rate: with rule {100 * full:.2f}%, "
+        f"without {100 * restricted:.2f}%\n"
+        "Without it, code reachable only through region exits can never "
+        "start a trace and stays interpreted.",
+    )
+    assert restricted < full

@@ -1,0 +1,23 @@
+"""Figure 7: improvement of LEI over NET in selecting cycle-spanning traces."""
+
+from statistics import fmean
+
+from repro.experiments.figures import compute_figure
+
+
+def test_fig07_cycle_ratios(grid, benchmark, record_figure):
+    figure = compute_figure("fig07", grid)
+    record_figure(figure)
+
+    spanned = figure.column("delta_spanned_pp")
+    executed = figure.column("delta_executed_pp")
+    # Paper: LEI spans more cycles overall (~+5pp) and executed cycles
+    # rise with it.
+    assert fmean(spanned) > 2.0
+    assert fmean(executed) > 2.0
+    # The two metrics are "highly correlated": same sign for most
+    # benchmarks.
+    agreeing = sum(1 for s, e in zip(spanned, executed) if s * e >= 0)
+    assert agreeing >= len(spanned) - 2
+
+    benchmark(compute_figure, "fig07", grid)

@@ -1,0 +1,21 @@
+"""Figure 8: LEI code expansion and region transitions relative to NET."""
+
+from statistics import fmean
+
+from repro.experiments.figures import compute_figure
+
+
+def test_fig08_expansion_and_transitions(grid, benchmark, record_figure):
+    figure = compute_figure("fig08", grid)
+    record_figure(figure)
+
+    expansion = [v for v in figure.column("code_expansion_ratio") if v is not None]
+    transitions = [v for v in figure.column("region_transition_ratio") if v is not None]
+    # Paper: mean expansion 0.92 (LEI copies less code), mean
+    # transitions 0.80 (LEI has better locality).
+    assert fmean(expansion) < 1.0
+    assert fmean(transitions) < 0.95
+    # LEI cannot be catastrophically worse anywhere.
+    assert max(expansion) < 1.5
+
+    benchmark(compute_figure, "fig08", grid)

@@ -1,0 +1,25 @@
+"""Figure 9: minimum traces needed to cover 90% of executed instructions."""
+
+from statistics import fmean
+
+from repro.experiments.figures import compute_figure
+
+
+def test_fig09_cover_sets(grid, benchmark, record_figure):
+    figure = compute_figure("fig09", grid)
+    record_figure(figure)
+
+    rows = [
+        (net, lei)
+        for net, lei in zip(figure.column("net"), figure.column("lei"))
+        if net is not None and lei is not None
+    ]
+    assert len(rows) >= 10, "cover sets should be defined for almost all benchmarks"
+    # Paper: LEI requires a significantly smaller set in all cases
+    # (18% average reduction).
+    assert all(lei <= net for net, lei in rows)
+    net_mean = fmean(net for net, _ in rows)
+    lei_mean = fmean(lei for _, lei in rows)
+    assert lei_mean < net_mean * 0.95
+
+    benchmark(compute_figure, "fig09", grid)

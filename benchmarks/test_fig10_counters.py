@@ -1,0 +1,18 @@
+"""Figure 10: peak profiling counters required by LEI relative to NET."""
+
+from statistics import fmean
+
+from repro.experiments.figures import compute_figure
+
+
+def test_fig10_counter_memory(grid, benchmark, record_figure):
+    figure = compute_figure("fig10", grid)
+    record_figure(figure)
+
+    ratios = [v for v in figure.column("lei_over_net") if v is not None]
+    # Paper: LEI needs only about two-thirds of NET's counter memory.
+    assert fmean(ratios) < 0.85
+    # And never dramatically more anywhere.
+    assert max(ratios) <= 1.35
+
+    benchmark(compute_figure, "fig10", grid)

@@ -1,0 +1,32 @@
+"""Figure 12: proportion of traces that are exit-dominated."""
+
+from statistics import fmean
+
+from repro.experiments.figures import compute_figure
+
+
+def test_fig12_exit_dominated_traces(grid, benchmark, record_figure):
+    figure = compute_figure("fig12", grid)
+    record_figure(figure)
+
+    net = figure.column("net_pct")
+    lei = figure.column("lei_pct")
+    # Paper: a high percentage of traces are exit-dominated (15% NET,
+    # 22% LEI), and "in almost all cases, LEI produces more".
+    assert fmean(net) > 10.0
+    assert fmean(lei) >= fmean(net) * 0.9
+
+    benchmark(compute_figure, "fig12", grid)
+
+
+def test_fig12_eon_is_the_fanout_outlier(grid, benchmark):
+    """Paper: eon stands out because a few traces (shared ggPoint3
+    constructors) each exit-dominate a large number of other traces."""
+    figure = benchmark(compute_figure, "fig12", grid)
+    fanouts = {
+        name: values[figure.columns.index("net_max_dominator_fanout")]
+        for name, values in figure.rows
+    }
+    eon = fanouts.pop("eon")
+    assert eon >= max(fanouts.values())
+    assert eon >= 2 * fmean(fanouts.values())

@@ -1,0 +1,35 @@
+"""Figure 17: reduction in 90% cover set size under trace combination."""
+
+from statistics import fmean
+
+from repro.experiments.figures import compute_figure
+
+
+def _paired(figure, plain, combined):
+    return [
+        (p, c)
+        for p, c in zip(figure.column(plain), figure.column(combined))
+        if p is not None and c is not None
+    ]
+
+
+def test_fig17_combined_cover_sets(grid, benchmark, record_figure):
+    figure = compute_figure("fig17", grid)
+    record_figure(figure)
+
+    net_pairs = _paired(figure, "net", "combined_net")
+    lei_pairs = _paired(figure, "lei", "combined_lei")
+    assert len(net_pairs) >= 10 and len(lei_pairs) >= 10
+
+    # Paper: consistent reduction (mean 15% for NET, 28% for LEI), with
+    # at most a trivial increase in one case.
+    net_reduction = 1 - fmean(c for _, c in net_pairs) / fmean(p for p, _ in net_pairs)
+    lei_reduction = 1 - fmean(c for _, c in lei_pairs) / fmean(p for p, _ in lei_pairs)
+    assert net_reduction > 0.05
+    assert lei_reduction > 0.10
+    # Combination benefits LEI more than NET.
+    assert lei_reduction > net_reduction
+    increases = sum(1 for p, c in net_pairs + lei_pairs if c > p)
+    assert increases <= 2
+
+    benchmark(compute_figure, "fig17", grid)

@@ -1,0 +1,21 @@
+"""Figure 19: effect of trace combination on exit stubs."""
+
+from statistics import fmean
+
+from repro.experiments.figures import compute_figure
+
+
+def test_fig19_exit_stubs(grid, benchmark, record_figure):
+    figure = compute_figure("fig19", grid)
+    record_figure(figure)
+
+    cn_ratio = [v for v in figure.column("cn_over_net") if v is not None]
+    cl_ratio = [v for v in figure.column("cl_over_lei") if v is not None]
+    # Paper: 18% fewer stubs for NET and 26% fewer for LEI; stubs are a
+    # large cache cost (footnote 3: often over a third of cached
+    # instructions), so this is a first-order saving.
+    assert fmean(cn_ratio) < 0.9
+    assert fmean(cl_ratio) < 0.9
+    assert max(cn_ratio + cl_ratio) < 1.1
+
+    benchmark(compute_figure, "fig19", grid)

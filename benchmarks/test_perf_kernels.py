@@ -1,0 +1,73 @@
+"""Throughput microbenchmarks for the hot kernels of the framework.
+
+These time the pieces a user pays for when scaling the simulation up:
+the execution engine, the full system simulator under each selector,
+the Figure 14 compact encode/decode, and the Figure 15 marking pass.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.execution.engine import ExecutionEngine
+from repro.selection.compact import CompactTrace
+from repro.selection.marking import mark_rejoining_paths
+from repro.selection.region_cfg import build_observed_cfg
+from repro.system.simulator import Simulator
+from repro.workloads import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def small_program():
+    return build_benchmark("mcf", scale=0.05)
+
+
+def test_engine_throughput(benchmark, small_program):
+    def run():
+        engine = ExecutionEngine(small_program, seed=1)
+        return sum(1 for _ in engine.run())
+
+    steps = benchmark(run)
+    assert steps > 10_000
+
+
+@pytest.mark.parametrize("selector", ["net", "lei", "combined-net", "combined-lei"])
+def test_simulator_throughput(benchmark, small_program, selector):
+    def run():
+        simulator = Simulator(small_program, selector, SystemConfig())
+        return simulator.run(ExecutionEngine(small_program, seed=1).run())
+
+    result = benchmark(run)
+    assert result.total_instructions_executed > 0
+
+
+def test_compact_trace_round_trip(benchmark, small_program):
+    # A realistic trace: the first 24 blocks the program actually
+    # executes (an executed path is contiguous by construction).
+    from itertools import islice
+
+    path = [
+        step.block
+        for step in islice(ExecutionEngine(small_program, seed=1).run(), 24)
+    ]
+
+    def round_trip():
+        compact = CompactTrace.encode(path)
+        return compact.decode(small_program)
+
+    decoded = benchmark(round_trip)
+    assert decoded == path
+
+
+def test_mark_rejoining_paths_speed(benchmark, small_program):
+    # Build an observed CFG resembling a profiling window's output.
+    paths = []
+    for start in range(10):
+        path = [small_program.entry]
+        while len(path) < 20 + start and path[-1].fallthrough is not None:
+            path.append(path[-1].fallthrough)
+        paths.append(path)
+    cfg = build_observed_cfg(small_program.entry, paths)
+    marked = {small_program.entry, paths[0][-1]}
+
+    result = benchmark(mark_rejoining_paths, cfg, marked)
+    assert small_program.entry in result.marked

@@ -1,0 +1,86 @@
+"""repro — reproduction of *Improving Region Selection in Dynamic
+Optimization Systems* (Hiniker, Hazelwood & Smith, MICRO 2005).
+
+The library re-creates the paper's whole experimental stack:
+
+* synthetic programs (:mod:`repro.program`, :mod:`repro.behavior`) with
+  an execution engine standing in for Pin (:mod:`repro.execution`,
+  :mod:`repro.tracing`),
+* a simulated Dynamo-style dynamic optimization system
+  (:mod:`repro.system`, :mod:`repro.cache`),
+* the three region-selection algorithms — NET, LEI, and trace
+  combination (:mod:`repro.selection`),
+* the paper's metrics (:mod:`repro.metrics`), the twelve synthetic
+  SPECint2000 stand-ins (:mod:`repro.workloads`), and the per-figure
+  experiment harness (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import simulate
+    from repro.workloads import build_benchmark
+
+    program = build_benchmark("gzip")
+    for selector in ("net", "lei", "combined-net", "combined-lei"):
+        result = simulate(program, selector)
+        print(selector, result.hit_rate, result.region_count)
+"""
+
+from repro.behavior import (
+    Bernoulli,
+    LoopTrip,
+    MarkovBiased,
+    Periodic,
+    PhaseShift,
+    SplitMix64,
+    TableIndirect,
+)
+from repro.cache import CFGRegion, CodeCache, Region, TraceRegion
+from repro.execution import ExecutionEngine, Step
+from repro.program import Program, ProgramBuilder
+from repro.selection import (
+    CombinedLEISelector,
+    CombinedNETSelector,
+    LEISelector,
+    NETSelector,
+    RegionSelector,
+    make_selector,
+)
+from repro.system import RunResult, Simulator, SystemConfig, simulate
+from repro.tracing import collect_trace, replay_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # behaviour
+    "SplitMix64",
+    "Bernoulli",
+    "LoopTrip",
+    "Periodic",
+    "PhaseShift",
+    "MarkovBiased",
+    "TableIndirect",
+    # program & execution
+    "Program",
+    "ProgramBuilder",
+    "ExecutionEngine",
+    "Step",
+    "collect_trace",
+    "replay_trace",
+    # cache & selection
+    "CodeCache",
+    "Region",
+    "TraceRegion",
+    "CFGRegion",
+    "RegionSelector",
+    "NETSelector",
+    "LEISelector",
+    "CombinedNETSelector",
+    "CombinedLEISelector",
+    "make_selector",
+    # system
+    "SystemConfig",
+    "Simulator",
+    "RunResult",
+    "simulate",
+]

@@ -1,0 +1,93 @@
+"""Side-by-side comparison of two runs.
+
+Generalizes the paper's "X relative to Y" presentation: given any two
+:class:`~repro.system.results.RunResult` objects over the same program,
+produce the ratio of every headline metric, plus the block-level
+overlap of what the two selectors cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.errors import ConfigError
+from repro.metrics.summary import safe_ratio
+from repro.system.results import RunResult
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """Metric ratios of a subject run relative to a baseline run."""
+
+    program: str
+    subject: str
+    baseline: str
+    #: metric name -> subject/baseline ratio (None when undefined).
+    ratios: Dict[str, Optional[float]]
+    #: Original-program blocks cached by both selectors.
+    shared_blocks: int
+    #: Blocks only the subject cached.
+    subject_only_blocks: int
+    #: Blocks only the baseline cached.
+    baseline_only_blocks: int
+
+    def ratio(self, metric: str) -> Optional[float]:
+        try:
+            return self.ratios[metric]
+        except KeyError:
+            raise ConfigError(
+                f"unknown metric {metric!r}; known: {sorted(self.ratios)}"
+            ) from None
+
+    def summary_lines(self) -> list:
+        lines = [f"{self.subject} relative to {self.baseline} on {self.program}:"]
+        for metric, value in sorted(self.ratios.items()):
+            text = "-" if value is None else f"{value:.3f}"
+            lines.append(f"  {metric:24s} {text}")
+        lines.append(
+            f"  cached blocks: {self.shared_blocks} shared, "
+            f"{self.subject_only_blocks} subject-only, "
+            f"{self.baseline_only_blocks} baseline-only"
+        )
+        return lines
+
+
+def _cached_blocks(result: RunResult) -> Set:
+    blocks = set()
+    for region in result.regions:
+        blocks |= region.block_set
+    return blocks
+
+
+def compare_runs(subject: RunResult, baseline: RunResult) -> RunComparison:
+    """Compare two runs of the *same program* (different selectors)."""
+    if subject.program_name != baseline.program_name:
+        raise ConfigError(
+            f"cannot compare runs of different programs: "
+            f"{subject.program_name!r} vs {baseline.program_name!r}"
+        )
+    ratios: Dict[str, Optional[float]] = {
+        "hit_rate": safe_ratio(subject.hit_rate, baseline.hit_rate),
+        "code_expansion": safe_ratio(subject.code_expansion, baseline.code_expansion),
+        "exit_stubs": safe_ratio(subject.exit_stubs, baseline.exit_stubs),
+        "region_transitions": safe_ratio(
+            subject.region_transitions, baseline.region_transitions
+        ),
+        "region_count": safe_ratio(subject.region_count, baseline.region_count),
+        "cache_size": safe_ratio(
+            subject.cache_size_estimate, baseline.cache_size_estimate
+        ),
+        "peak_counters": safe_ratio(subject.peak_counters, baseline.peak_counters),
+    }
+    subject_blocks = _cached_blocks(subject)
+    baseline_blocks = _cached_blocks(baseline)
+    return RunComparison(
+        program=subject.program_name,
+        subject=subject.selector_name,
+        baseline=baseline.selector_name,
+        ratios=ratios,
+        shared_blocks=len(subject_blocks & baseline_blocks),
+        subject_only_blocks=len(subject_blocks - baseline_blocks),
+        baseline_only_blocks=len(baseline_blocks - subject_blocks),
+    )

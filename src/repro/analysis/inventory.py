@@ -1,0 +1,63 @@
+"""Human-readable region inventories and cache summaries."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.system.results import RunResult
+
+
+def region_inventory(result: RunResult, limit: int = 0) -> str:
+    """A text table of every selected region, hottest first.
+
+    ``limit`` truncates to the N hottest regions (0 = all).
+    """
+    regions = sorted(
+        result.regions, key=lambda r: r.executed_instructions, reverse=True
+    )
+    if limit:
+        regions = regions[:limit]
+    lines: List[str] = [
+        f"{result.program_name}/{result.selector_name}: "
+        f"{result.region_count} regions "
+        f"({result.stats.cache_instructions} instructions from cache)"
+    ]
+    lines.append(
+        f"{'order':>5s} {'entry':30s} {'kind':6s} {'blk':>4s} {'insts':>6s} "
+        f"{'stubs':>5s} {'executed':>10s} {'cycles':>8s} flags"
+    )
+    for region in regions:
+        flags = []
+        if region.spans_cycle:
+            flags.append("cycle")
+        if region.selected_at_step is not None:
+            flags.append(f"@{region.selected_at_step}")
+        lines.append(
+            f"{region.selection_order if region.selection_order is not None else -1:5d} "
+            f"{region.entry.full_label:30s} {region.kind:6s} "
+            f"{len(region.block_list):4d} {region.instruction_count:6d} "
+            f"{region.exit_stub_count:5d} {region.executed_instructions:10d} "
+            f"{region.cycle_backs:8d} {','.join(flags)}"
+        )
+    return "\n".join(lines)
+
+
+def cache_summary(result: RunResult) -> str:
+    """One-paragraph cache summary for a run."""
+    cache = result.cache
+    parts = [
+        f"{result.program_name}/{result.selector_name}:",
+        f"{cache.region_count} regions selected",
+        f"({cache.resident_count} resident,",
+        f"{cache.resident_bytes} B resident of "
+        f"{result.cache_size_estimate} B total estimate),",
+        f"{result.code_expansion} instructions expanded,",
+        f"{result.exit_stubs} exit stubs,",
+        f"hit rate {100 * result.hit_rate:.2f}%.",
+    ]
+    if cache.evictions:
+        parts.append(
+            f"Bounded: {cache.evictions} evictions, {cache.flushes} flushes, "
+            f"{cache.regenerations} regenerated regions."
+        )
+    return " ".join(parts)

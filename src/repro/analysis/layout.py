@@ -1,0 +1,78 @@
+"""Code-cache layout maps.
+
+Shows where each region landed in the cache's byte layout — the spatial
+story behind the locality metrics: separated related regions sit far
+apart (possibly on different pages), which is exactly what Section 2.2
+means by "inserted far from the original trace, potentially on a
+separate virtual memory page".
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cache.region import Region
+from repro.system.results import RunResult
+
+#: Conventional 4 KiB virtual memory pages.
+PAGE_BYTES = 4096
+
+
+def layout_map(result: RunResult) -> str:
+    """Text map of the cache layout, in address order."""
+    regions = sorted(
+        result.regions,
+        key=lambda r: r.cache_address if r.cache_address is not None else -1,
+    )
+    lines: List[str] = [
+        f"code cache layout: {result.program_name}/{result.selector_name} "
+        f"({len(regions)} regions, {result.cache.resident_bytes} resident bytes)"
+    ]
+    lines.append(f"{'address':>10s} {'bytes':>6s} {'page':>5s} "
+                 f"{'entry':30s} {'executed':>10s}")
+    for region in regions:
+        address = region.cache_address
+        if address is None:
+            continue
+        size = result.cache.region_bytes(region)
+        lines.append(
+            f"{address:10d} {size:6d} {address // PAGE_BYTES:5d} "
+            f"{region.entry.full_label:30s} {region.executed_instructions:10d}"
+        )
+    return "\n".join(lines)
+
+
+def transition_distances(result: RunResult) -> List[Tuple[Region, Region, int]]:
+    """Static byte distance between every linked region pair.
+
+    A pair is linked when one region has a direct exit targeting the
+    other's entry (the jumps region transitions travel).  Returns
+    (source, destination, |address delta|) triples.
+    """
+    from repro.metrics.linking import _direct_exit_targets
+
+    by_entry = {region.entry: region for region in result.regions}
+    pairs: List[Tuple[Region, Region, int]] = []
+    for region in result.regions:
+        if region.cache_address is None:
+            continue
+        for target in _direct_exit_targets(region):
+            other = by_entry.get(target)
+            if other is None or other is region or other.cache_address is None:
+                continue
+            pairs.append(
+                (region, other, abs(other.cache_address - region.cache_address))
+            )
+    return pairs
+
+
+def page_crossing_fraction(result: RunResult, page_bytes: int = PAGE_BYTES) -> float:
+    """Fraction of linked region pairs living on different pages."""
+    pairs = transition_distances(result)
+    if not pairs:
+        return 0.0
+    crossings = sum(
+        1 for src, dst, _ in pairs
+        if src.cache_address // page_bytes != dst.cache_address // page_bytes
+    )
+    return crossings / len(pairs)

@@ -1,0 +1,117 @@
+"""JSON-friendly serialization of metric reports and figure tables.
+
+External tooling (dashboards, regression trackers) consumes experiment
+output as JSON; these helpers keep the format explicit and round-trip
+tested rather than leaking dataclass internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, fields
+from typing import Any, Dict
+
+from repro.errors import ConfigError
+from repro.experiments.figures import FigureResult
+from repro.metrics.summary import MetricReport
+
+#: Format marker so consumers can detect incompatible producers.
+SCHEMA_VERSION = 1
+
+
+def report_to_dict(report: MetricReport) -> Dict[str, Any]:
+    """Serialize a metric report to plain JSON-compatible types."""
+    data = asdict(report)
+    data["schema_version"] = SCHEMA_VERSION
+    return data
+
+
+def report_from_dict(data: Dict[str, Any]) -> MetricReport:
+    """Rebuild a metric report; rejects unknown schema versions."""
+    payload = dict(data)
+    version = payload.pop("schema_version", None)
+    if version != SCHEMA_VERSION:
+        raise ConfigError(
+            f"unsupported metric-report schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    expected = {f.name for f in fields(MetricReport)}
+    unknown = set(payload) - expected
+    if unknown:
+        raise ConfigError(f"unknown metric-report fields: {sorted(unknown)}")
+    missing = expected - set(payload)
+    if missing:
+        raise ConfigError(f"missing metric-report fields: {sorted(missing)}")
+    return MetricReport(**payload)
+
+
+def grid_to_dict(grid) -> Dict[str, Any]:
+    """Serialize a whole experiment grid (all cells + parameters)."""
+    from dataclasses import asdict as config_asdict
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "scale": grid.scale,
+        "seed": grid.seed,
+        "config": config_asdict(grid.config),
+        "cells": [
+            {
+                "benchmark": bench,
+                "selector": selector,
+                "report": report_to_dict(report),
+            }
+            for (bench, selector), report in grid.reports.items()
+        ],
+    }
+
+
+def grid_from_dict(data: Dict[str, Any]):
+    """Rebuild an experiment grid saved with :func:`grid_to_dict`."""
+    from repro.config import SystemConfig
+    from repro.experiments.runner import ExperimentGrid
+
+    if data.get("schema_version") != SCHEMA_VERSION:
+        raise ConfigError(
+            f"unsupported grid schema version {data.get('schema_version')!r}"
+        )
+    grid = ExperimentGrid(
+        scale=data["scale"],
+        seed=data["seed"],
+        config=SystemConfig(**data["config"]),
+    )
+    for cell in data["cells"]:
+        grid.reports[(cell["benchmark"], cell["selector"])] = report_from_dict(
+            cell["report"]
+        )
+    return grid
+
+
+def save_grid(grid, path) -> None:
+    """Write a grid to a JSON file (figures can be recomputed from it)."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(grid_to_dict(grid), fh)
+
+
+def load_grid(path):
+    """Load a grid saved with :func:`save_grid`."""
+    import json
+
+    with open(path, "r", encoding="utf-8") as fh:
+        return grid_from_dict(json.load(fh))
+
+
+def figure_to_dict(figure: FigureResult) -> Dict[str, Any]:
+    """Serialize a figure table (rows plus the computed means)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "columns": list(figure.columns),
+        "rows": [
+            {"benchmark": name, "values": list(values)}
+            for name, values in figure.rows
+        ],
+        "means": list(figure.means),
+        "paper_note": figure.paper_note,
+    }

@@ -1,0 +1,111 @@
+"""Timeline analysis: warm-up curves and windowed rates.
+
+The paper reports end-of-run aggregates; these helpers expose the
+*transient* story the simulator's samples record: how long each
+selector interprets before going hot, and how phase changes
+(Section 4.3.1's caveat about observed traces representing only the
+current phase) show up as dips in the windowed hit rate.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.system.results import TimelineSample
+
+
+class WindowRate(NamedTuple):
+    """Per-window rates derived from two consecutive timeline samples."""
+
+    start_step: int
+    end_step: int
+    hit_rate: float
+    instructions: int
+    regions_selected: int
+    region_transitions: int
+
+
+def window_rates(samples: Sequence[TimelineSample]) -> List[WindowRate]:
+    """Turn cumulative samples into per-window rates.
+
+    Windows with no executed instructions are skipped (they cannot
+    define a hit rate).
+    """
+    rates: List[WindowRate] = []
+    for previous, current in zip(samples, samples[1:]):
+        cache_delta = current.cache_instructions - previous.cache_instructions
+        total_delta = current.total_instructions - previous.total_instructions
+        if total_delta <= 0:
+            continue
+        rates.append(WindowRate(
+            start_step=previous.step,
+            end_step=current.step,
+            hit_rate=cache_delta / total_delta,
+            instructions=total_delta,
+            regions_selected=current.regions_selected - previous.regions_selected,
+            region_transitions=(current.region_transitions
+                                - previous.region_transitions),
+        ))
+    return rates
+
+
+def warmup_step(
+    samples: Sequence[TimelineSample], threshold: float = 0.9
+) -> Optional[int]:
+    """Earliest sampled step after which execution is hot in aggregate.
+
+    Returns the start step of the earliest window from which the
+    *remainder of the run*, taken together, meets the ``threshold`` hit
+    rate — or ``None`` when even the full run's tail never does.
+    Aggregating the suffix (instead of demanding every later window be
+    hot) keeps a tiny cold tail — the few interpreted instructions
+    around program exit — from erasing an otherwise-warm run.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ConfigError(f"threshold must be in (0, 1], got {threshold}")
+    rates = window_rates(samples)
+    if not rates:
+        return None
+    # Walk suffixes from the earliest candidate forward.
+    suffix_cache = 0
+    suffix_total = 0
+    suffix_stats = []
+    for rate in reversed(rates):
+        cache_delta = round(rate.hit_rate * rate.instructions)
+        suffix_cache += cache_delta
+        suffix_total += rate.instructions
+        suffix_stats.append(suffix_cache / suffix_total)
+    suffix_stats.reverse()
+    for rate, suffix_rate in zip(rates, suffix_stats):
+        if suffix_rate >= threshold:
+            return rate.start_step
+    return None
+
+
+def first_hot_window(
+    samples: Sequence[TimelineSample], threshold: float = 0.95
+) -> Optional[int]:
+    """End step of the first single window meeting ``threshold``.
+
+    A finer-grained warm-up probe than :func:`warmup_step`: on a long
+    run the suffix aggregate is dominated by the hot steady state, so
+    this looks at individual windows instead.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ConfigError(f"threshold must be in (0, 1], got {threshold}")
+    for rate in window_rates(samples):
+        if rate.hit_rate >= threshold:
+            return rate.end_step
+    return None
+
+
+def coldest_window(samples: Sequence[TimelineSample]) -> Optional[WindowRate]:
+    """The window with the lowest hit rate (phase-change detector).
+
+    Ignores the first window, which is always cold (pure warm-up).
+    """
+    rates = window_rates(samples)[1:]
+    if not rates:
+        return None
+    return min(rates, key=lambda rate: rate.hit_rate)

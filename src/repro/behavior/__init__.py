@@ -1,0 +1,42 @@
+"""Dynamic branch behaviour: deterministic RNG and branch decision models.
+
+A synthetic program's static CFG says *where* control can go; the models
+in this package say where it *does* go on each execution.  All
+randomness flows through :class:`~repro.behavior.rng.SplitMix64`, so a
+(program, seed) pair always produces the identical event stream — the
+property the whole experiment harness relies on.
+"""
+
+from repro.behavior.rng import SplitMix64
+from repro.behavior.models import (
+    AlwaysTaken,
+    Bernoulli,
+    BranchModel,
+    DecisionContext,
+    IndirectModel,
+    LoopTrip,
+    MarkovBiased,
+    NeverTaken,
+    Periodic,
+    PhaseIndirect,
+    PhaseShift,
+    RoundRobinIndirect,
+    TableIndirect,
+)
+
+__all__ = [
+    "SplitMix64",
+    "BranchModel",
+    "IndirectModel",
+    "DecisionContext",
+    "AlwaysTaken",
+    "NeverTaken",
+    "Bernoulli",
+    "LoopTrip",
+    "Periodic",
+    "PhaseShift",
+    "MarkovBiased",
+    "TableIndirect",
+    "RoundRobinIndirect",
+    "PhaseIndirect",
+]

@@ -1,0 +1,332 @@
+"""Branch decision models.
+
+A :class:`BranchModel` decides, on each dynamic execution of a
+conditional branch, whether the branch is taken.  An
+:class:`IndirectModel` picks which of an indirect branch's possible
+targets is taken.  Models are *stateless objects*: any per-branch-site
+dynamic state (loop trip counters, Markov last-outcome, round-robin
+cursors) lives in the mutable ``site_state`` dict owned by the
+execution engine, so one model instance can safely be shared between
+many branch sites and many programs.
+
+The models provided cover the control-flow behaviours the paper's
+evaluation depends on:
+
+* biased and unbiased conditionals (:class:`Bernoulli`) — Section 2.2's
+  "unbiased branches" shortcoming,
+* loop trip counts (:class:`LoopTrip`) — loops and nested loops,
+* program phases (:class:`PhaseShift`, :class:`PhaseIndirect`) — the
+  Section 4.3.1 observation that programs execute different paths in
+  different phases [Sherwood et al.],
+* correlated branches (:class:`MarkovBiased`) and fixed patterns
+  (:class:`Periodic`) for richer synthetic workloads,
+* indirect dispatch tables (:class:`TableIndirect`,
+  :class:`RoundRobinIndirect`) for switches and virtual calls.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.behavior.rng import SplitMix64
+from repro.errors import ProgramStructureError
+
+
+@dataclass
+class DecisionContext:
+    """Everything a model may consult when making a decision.
+
+    Attributes
+    ----------
+    rng:
+        The engine's deterministic generator.
+    site_state:
+        Mutable per-branch-site scratch dict.  A model must namespace its
+        keys only if it expects to share a site with another model (they
+        never do in practice; each site has exactly one model).
+    step:
+        Global count of blocks executed so far; drives phase models.
+    """
+
+    rng: SplitMix64
+    site_state: Dict[str, object]
+    step: int = 0
+
+
+class BranchModel(abc.ABC):
+    """Decides taken/not-taken for a conditional branch site."""
+
+    @abc.abstractmethod
+    def next_taken(self, ctx: DecisionContext) -> bool:
+        """Return True when the branch is taken on this execution."""
+
+
+class IndirectModel(abc.ABC):
+    """Chooses a target index for an indirect branch site."""
+
+    @abc.abstractmethod
+    def next_target_index(self, ctx: DecisionContext, target_count: int) -> int:
+        """Return the index of the chosen target in [0, target_count)."""
+
+
+class AlwaysTaken(BranchModel):
+    """The branch is taken on every execution."""
+
+    def next_taken(self, ctx: DecisionContext) -> bool:
+        return True
+
+
+class NeverTaken(BranchModel):
+    """The branch falls through on every execution."""
+
+    def next_taken(self, ctx: DecisionContext) -> bool:
+        return False
+
+
+class Bernoulli(BranchModel):
+    """Independent coin flip with fixed taken-probability.
+
+    ``Bernoulli(0.5)`` is the paper's *unbiased branch*;
+    ``Bernoulli(0.9)`` the Figure 4 biased branch.
+    """
+
+    __slots__ = ("probability",)
+
+    def __init__(self, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ProgramStructureError(
+                f"branch probability must be in [0, 1], got {probability}"
+            )
+        self.probability = probability
+
+    def next_taken(self, ctx: DecisionContext) -> bool:
+        return ctx.rng.random() < self.probability
+
+    def __repr__(self) -> str:
+        return f"Bernoulli({self.probability})"
+
+
+class LoopTrip(BranchModel):
+    """A loop back-edge that is taken ``trips - 1`` times per activation.
+
+    Attach to the conditional terminating a loop body with the *taken*
+    target at the loop head: each activation of the loop then iterates
+    ``trips`` times and exits once.  ``jitter`` draws the per-activation
+    trip count uniformly from ``[trips - jitter, trips + jitter]``,
+    keeping workloads from being perfectly periodic.
+    """
+
+    __slots__ = ("trips", "jitter")
+
+    def __init__(self, trips: int, jitter: int = 0) -> None:
+        if trips < 1:
+            raise ProgramStructureError(f"trip count must be >= 1, got {trips}")
+        if jitter < 0 or jitter >= trips:
+            raise ProgramStructureError(
+                f"jitter must be in [0, trips), got {jitter} for trips={trips}"
+            )
+        self.trips = trips
+        self.jitter = jitter
+
+    def _activation_trips(self, ctx: DecisionContext) -> int:
+        if self.jitter == 0:
+            return self.trips
+        return ctx.rng.randint(self.trips - self.jitter, self.trips + self.jitter)
+
+    def next_taken(self, ctx: DecisionContext) -> bool:
+        state = ctx.site_state
+        remaining = state.get("loop_remaining")
+        if remaining is None:
+            remaining = self._activation_trips(ctx)
+        remaining -= 1
+        if remaining <= 0:
+            state["loop_remaining"] = None
+            return False
+        state["loop_remaining"] = remaining
+        return True
+
+    def __repr__(self) -> str:
+        return f"LoopTrip({self.trips}, jitter={self.jitter})"
+
+
+class Periodic(BranchModel):
+    """Repeats a fixed taken/not-taken pattern forever.
+
+    ``Periodic([True, True, False])`` is taken twice then not taken,
+    cycling.  Useful for exactly reproducing the paper's worked examples
+    (Figures 2–4) in tests.
+    """
+
+    __slots__ = ("pattern",)
+
+    def __init__(self, pattern: Sequence[bool]) -> None:
+        if not pattern:
+            raise ProgramStructureError("Periodic pattern must be non-empty")
+        self.pattern = tuple(bool(x) for x in pattern)
+
+    def next_taken(self, ctx: DecisionContext) -> bool:
+        cursor = ctx.site_state.get("periodic_cursor", 0)
+        ctx.site_state["periodic_cursor"] = (cursor + 1) % len(self.pattern)
+        return self.pattern[cursor]
+
+    def __repr__(self) -> str:
+        return f"Periodic({list(self.pattern)!r})"
+
+
+class PhaseShift(BranchModel):
+    """Taken-probability that changes with program phase.
+
+    ``phases`` is a sequence of ``(duration_steps, probability)`` pairs
+    interpreted against the global step counter; after the last phase
+    the schedule cycles.  Models Sherwood-style phase behaviour, which
+    Section 4.3.1 identifies as a limit on trace combination (observed
+    traces from one phase may not represent the next).
+    """
+
+    __slots__ = ("phases", "_cycle")
+
+    def __init__(self, phases: Sequence[Tuple[int, float]]) -> None:
+        if not phases:
+            raise ProgramStructureError("PhaseShift needs at least one phase")
+        for duration, probability in phases:
+            if duration <= 0:
+                raise ProgramStructureError(
+                    f"phase duration must be positive, got {duration}"
+                )
+            if not 0.0 <= probability <= 1.0:
+                raise ProgramStructureError(
+                    f"phase probability must be in [0, 1], got {probability}"
+                )
+        self.phases = tuple((int(d), float(p)) for d, p in phases)
+        self._cycle = sum(d for d, _ in self.phases)
+
+    def probability_at(self, step: int) -> float:
+        """Return the taken-probability in effect at a global step."""
+        offset = step % self._cycle
+        for duration, probability in self.phases:
+            if offset < duration:
+                return probability
+            offset -= duration
+        return self.phases[-1][1]
+
+    def next_taken(self, ctx: DecisionContext) -> bool:
+        return ctx.rng.random() < self.probability_at(ctx.step)
+
+    def __repr__(self) -> str:
+        return f"PhaseShift({list(self.phases)!r})"
+
+
+class MarkovBiased(BranchModel):
+    """Two-state Markov branch: outcomes are correlated run-to-run.
+
+    ``stay_taken`` is the probability of repeating a taken outcome;
+    ``stay_not_taken`` of repeating a not-taken outcome.  High values
+    produce bursty behaviour (long runs down one path then the other),
+    which stresses the trace-combination profiling window.
+    """
+
+    __slots__ = ("stay_taken", "stay_not_taken", "initial_taken")
+
+    def __init__(
+        self,
+        stay_taken: float,
+        stay_not_taken: float,
+        initial_taken: bool = True,
+    ) -> None:
+        for name, value in (("stay_taken", stay_taken), ("stay_not_taken", stay_not_taken)):
+            if not 0.0 <= value <= 1.0:
+                raise ProgramStructureError(f"{name} must be in [0, 1], got {value}")
+        self.stay_taken = stay_taken
+        self.stay_not_taken = stay_not_taken
+        self.initial_taken = initial_taken
+
+    def next_taken(self, ctx: DecisionContext) -> bool:
+        last = ctx.site_state.get("markov_last")
+        if last is None:
+            taken = self.initial_taken
+        elif last:
+            taken = ctx.rng.random() < self.stay_taken
+        else:
+            taken = not (ctx.rng.random() < self.stay_not_taken)
+        ctx.site_state["markov_last"] = taken
+        return taken
+
+    def __repr__(self) -> str:
+        return f"MarkovBiased({self.stay_taken}, {self.stay_not_taken})"
+
+
+class TableIndirect(IndirectModel):
+    """Indirect branch with a fixed target-probability table."""
+
+    __slots__ = ("weights", "_cumulative")
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        if not weights:
+            raise ProgramStructureError("TableIndirect needs at least one weight")
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ProgramStructureError(f"weights must be non-negative and sum > 0: {weights}")
+        self.weights = tuple(float(w) for w in weights)
+        running = 0.0
+        cumulative = []
+        for weight in self.weights:
+            running += weight
+            cumulative.append(running)
+        self._cumulative = tuple(cumulative)
+
+    def next_target_index(self, ctx: DecisionContext, target_count: int) -> int:
+        if target_count != len(self.weights):
+            raise ProgramStructureError(
+                f"indirect site has {target_count} targets but model has "
+                f"{len(self.weights)} weights"
+            )
+        return ctx.rng.weighted_index(self._cumulative)
+
+    def __repr__(self) -> str:
+        return f"TableIndirect({list(self.weights)!r})"
+
+
+class RoundRobinIndirect(IndirectModel):
+    """Indirect branch that cycles through its targets in order.
+
+    Deterministic; handy for tests and for dispatch loops whose target
+    sequence is structured rather than random.
+    """
+
+    def next_target_index(self, ctx: DecisionContext, target_count: int) -> int:
+        cursor = ctx.site_state.get("rr_cursor", 0)
+        ctx.site_state["rr_cursor"] = (cursor + 1) % target_count
+        return cursor
+
+
+class PhaseIndirect(IndirectModel):
+    """Indirect branch whose target table changes with program phase.
+
+    ``phases`` is a sequence of ``(duration_steps, weights)`` pairs,
+    cycling like :class:`PhaseShift`.  Models interpreters/VMs whose
+    opcode mix shifts between program phases.
+    """
+
+    __slots__ = ("phases", "_cycle")
+
+    def __init__(self, phases: Sequence[Tuple[int, Sequence[float]]]) -> None:
+        if not phases:
+            raise ProgramStructureError("PhaseIndirect needs at least one phase")
+        built = []
+        for duration, weights in phases:
+            if duration <= 0:
+                raise ProgramStructureError(
+                    f"phase duration must be positive, got {duration}"
+                )
+            built.append((int(duration), TableIndirect(weights)))
+        self.phases = tuple(built)
+        self._cycle = sum(d for d, _ in self.phases)
+
+    def next_target_index(self, ctx: DecisionContext, target_count: int) -> int:
+        offset = ctx.step % self._cycle
+        for duration, table in self.phases:
+            if offset < duration:
+                return table.next_target_index(ctx, target_count)
+            offset -= duration
+        return self.phases[-1][1].next_target_index(ctx, target_count)

@@ -1,0 +1,74 @@
+"""SplitMix64: a tiny, fast, deterministic pseudo-random generator.
+
+The standard-library ``random.Random`` would work, but SplitMix64 is
+self-contained, trivially reproducible across Python versions (its
+output is specified exactly by the algorithm, not by CPython
+internals), and cheap enough for the execution engine's inner loop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_MASK64 = (1 << 64) - 1
+#: 2**-64, used to map a 64-bit integer onto [0, 1).
+_INV_2_64 = 1.0 / (1 << 64)
+
+
+class SplitMix64:
+    """Deterministic 64-bit PRNG (Steele, Lea & Flood's SplitMix64).
+
+    >>> rng = SplitMix64(42)
+    >>> 0.0 <= rng.random() < 1.0
+    True
+    >>> SplitMix64(42).next_u64() == SplitMix64(42).next_u64()
+    True
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit unsigned integer."""
+        self._state = (self._state + 0x9E3779B97F4A7C15) & _MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    def random(self) -> float:
+        """Return a float uniformly distributed in [0, 1)."""
+        return self.next_u64() * _INV_2_64
+
+    def randint(self, low: int, high: int) -> int:
+        """Return an integer uniformly distributed in [low, high]."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        return low + self.next_u64() % span
+
+    def bernoulli(self, probability: float) -> bool:
+        """Return True with the given probability."""
+        return self.random() < probability
+
+    def weighted_index(self, cumulative_weights: Sequence[float]) -> int:
+        """Pick an index according to a precomputed cumulative weight table.
+
+        ``cumulative_weights`` must be non-decreasing and end with the
+        total weight.  Used by indirect-branch models, which precompute
+        the table once at model construction.
+        """
+        total = cumulative_weights[-1]
+        point = self.random() * total
+        # Linear scan: indirect branches have a handful of targets, so a
+        # bisect would cost more than it saves.
+        for index, bound in enumerate(cumulative_weights):
+            if point < bound:
+                return index
+        return len(cumulative_weights) - 1
+
+    def fork(self) -> "SplitMix64":
+        """Derive an independent generator (for sub-streams)."""
+        return SplitMix64(self.next_u64())

@@ -1,0 +1,200 @@
+"""The code cache: region storage, entry lookup, insertion order.
+
+Two variants:
+
+* :class:`CodeCache` — unbounded, per Section 2.3: the paper
+  deliberately factors cache management out of the region-selection
+  study.
+* :class:`BoundedCodeCache` — the extension the paper motivates
+  ("our region-selection algorithms should help improve the
+  performance of dynamic optimization systems with bounded code
+  caches, because our algorithms reduce code duplication and produce
+  fewer cached regions"): a byte-capacity cache with either Dynamo's
+  preemptive *flush* policy or *FIFO* eviction, tracking evictions and
+  regenerated regions.
+
+Regions are addressed by their entry block — regions are single-entry,
+so "is this branch target cached?" is exactly "does a *resident*
+region's entry sit at this address?".  The ``regions`` list records
+every region ever selected (eviction does not erase the optimizer work
+already spent), which is what the code-expansion and cover-set metrics
+are defined over.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.cache.region import Region
+from repro.cache.sizing import STUB_BYTES
+from repro.errors import CacheError
+from repro.program.cfg import BasicBlock
+
+
+class CodeCache:
+    """Unbounded cache of selected regions, addressable by entry block."""
+
+    def __init__(self) -> None:
+        #: Every region ever selected, in selection order.
+        self.regions: List[Region] = []
+        self._by_entry: Dict[BasicBlock, Region] = {}
+        self._next_order = 0
+        #: Simulation clock (step index), advanced by the simulator so
+        #: insertions can be timestamped for timeline analysis.
+        self.now = 0
+        #: Next free byte in the cache's layout; regions are allocated
+        #: contiguously in selection order (fragmentation from eviction
+        #: is not modelled — evicted space is simply not reused).
+        self._alloc_cursor = 0
+        # Management statistics (always zero for the unbounded cache).
+        self.evictions = 0
+        self.flushes = 0
+        self.regenerations = 0
+
+    def lookup(self, block: Optional[BasicBlock]) -> Optional[Region]:
+        """Return the *resident* region whose entry is ``block``, if any.
+
+        This is the HASH-LOOKUP(code cache, tgt) of Figures 5 and 13;
+        it is on the hot path for every taken branch and every region
+        exit.
+        """
+        if block is None:
+            return None
+        return self._by_entry.get(block)
+
+    def contains_entry(self, block: BasicBlock) -> bool:
+        return block in self._by_entry
+
+    def insert(self, region: Region) -> Region:
+        """Install a region; its entry must not be resident already."""
+        existing = self._by_entry.get(region.entry)
+        if existing is not None:
+            raise CacheError(
+                f"entry {region.entry.full_label} already owned by region "
+                f"#{existing.selection_order}"
+            )
+        self._make_room(region)
+        region.selection_order = self._next_order
+        region.selected_at_step = self.now
+        region.cache_address = self._alloc_cursor
+        self._alloc_cursor += self.region_bytes(region)
+        self._next_order += 1
+        self.regions.append(region)
+        self._by_entry[region.entry] = region
+        return region
+
+    def _make_room(self, region: Region) -> None:
+        """Hook for bounded caches; the unbounded cache never evicts."""
+
+    # -- residency -------------------------------------------------------
+    @property
+    def resident_regions(self) -> List[Region]:
+        """Regions currently addressable, in selection order."""
+        return sorted(
+            self._by_entry.values(),
+            key=lambda r: r.selection_order if r.selection_order is not None else -1,
+        )
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._by_entry)
+
+    def region_bytes(self, region: Region) -> int:
+        """Cache footprint of one region (instruction bytes + stubs)."""
+        return region.instruction_bytes + STUB_BYTES * region.exit_stub_count
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(self.region_bytes(r) for r in self._by_entry.values())
+
+    # -- aggregate static properties (over everything ever selected) ----
+    @property
+    def region_count(self) -> int:
+        return len(self.regions)
+
+    @property
+    def total_instructions(self) -> int:
+        """Total instructions copied into the cache (code expansion).
+
+        Counts every selection, including regenerated regions: it
+        measures optimizer work done, per Section 2.3.
+        """
+        return sum(region.instruction_count for region in self.regions)
+
+    @property
+    def total_exit_stubs(self) -> int:
+        return sum(region.exit_stub_count for region in self.regions)
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self.regions)
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<{type(self).__name__} selected={len(self.regions)} "
+            f"resident={self.resident_count} insts={self.total_instructions}>"
+        )
+
+
+class BoundedCodeCache(CodeCache):
+    """A byte-capacity code cache with flush or FIFO eviction.
+
+    ``policy="flush"`` models Dynamo's preemptive flush: when a new
+    region does not fit, the entire cache is emptied (cheap, exploits
+    phase changes).  ``policy="fifo"`` evicts the oldest resident
+    regions until the new one fits (Hazelwood [14] studies richer
+    policies; FIFO is the classic baseline).
+    """
+
+    def __init__(self, capacity_bytes: int, policy: str = "flush") -> None:
+        super().__init__()
+        if capacity_bytes < 1:
+            raise CacheError(f"capacity must be positive, got {capacity_bytes}")
+        if policy not in ("flush", "fifo"):
+            raise CacheError(f"unknown eviction policy {policy!r}")
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self._ever_evicted: Set[BasicBlock] = set()
+
+    def insert(self, region: Region) -> Region:
+        installed = super().insert(region)
+        if region.entry in self._ever_evicted:
+            # The selector re-selected a region it had already formed
+            # once: pure management overhead the paper's algorithms
+            # reduce by caching less.
+            self.regenerations += 1
+        return installed
+
+    def _make_room(self, region: Region) -> None:
+        needed = self.region_bytes(region)
+        if self.resident_bytes + needed <= self.capacity_bytes:
+            return
+        if self.policy == "flush":
+            self._flush()
+        else:
+            self._evict_fifo(needed)
+
+    def _flush(self) -> None:
+        self.flushes += 1
+        self.evictions += len(self._by_entry)
+        self._ever_evicted.update(self._by_entry)
+        self._by_entry.clear()
+
+    def _evict_fifo(self, needed: int) -> None:
+        for victim in self.resident_regions:
+            if self.resident_bytes + needed <= self.capacity_bytes:
+                return
+            del self._by_entry[victim.entry]
+            self._ever_evicted.add(victim.entry)
+            self.evictions += 1
+
+
+def make_cache(
+    capacity_bytes: Optional[int] = None, policy: str = "flush"
+) -> CodeCache:
+    """Build the cache a config asks for (unbounded when no capacity)."""
+    if capacity_bytes is None:
+        return CodeCache()
+    return BoundedCodeCache(capacity_bytes, policy)

@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — available benchmarks and selectors;
+* ``run`` — simulate one (benchmark, selector) pair and print metrics;
+* ``regions`` — dump the selected-region inventory of a run;
+* ``dot`` — export a benchmark's CFG as Graphviz DOT;
+* ``collect`` — record a benchmark's execution to a binary trace file;
+* ``replay`` — run a selector over a previously collected trace.
+
+The figure-regeneration harness lives one level down:
+``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.execution.engine import ExecutionEngine
+from repro.metrics.summary import MetricReport
+from repro.program.dot import program_to_dot
+from repro.selection.registry import SELECTOR_FACTORIES
+from repro.system.simulator import Simulator, simulate
+from repro.tracing.collector import collect_trace, replay_trace, trace_header
+from repro.workloads import benchmark_names, build_benchmark
+
+
+def _add_common(parser: argparse.ArgumentParser, selector: bool = True) -> None:
+    parser.add_argument("benchmark", choices=benchmark_names(),
+                        help="synthetic SPECint2000 stand-in")
+    if selector:
+        parser.add_argument("selector", choices=sorted(SELECTOR_FACTORIES),
+                            help="region-selection algorithm")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="execution seed (default 1)")
+    parser.add_argument("--cache-capacity", type=int, default=None,
+                        metavar="BYTES",
+                        help="bound the code cache (default unbounded)")
+    parser.add_argument("--eviction", choices=("flush", "fifo"),
+                        default="flush", help="bounded-cache policy")
+
+
+def _config_from(args: argparse.Namespace) -> SystemConfig:
+    return SystemConfig(
+        cache_capacity_bytes=getattr(args, "cache_capacity", None),
+        cache_eviction_policy=getattr(args, "eviction", "flush"),
+    )
+
+
+def _print_report(report: MetricReport) -> None:
+    rows = [
+        ("hit rate", f"{100 * report.hit_rate:.2f}%"),
+        ("regions selected", report.region_count),
+        ("code expansion (insts)", report.code_expansion),
+        ("exit stubs", report.exit_stubs),
+        ("region transitions", report.region_transitions),
+        ("90% cover set", report.cover_set_90),
+        ("spanned cycle ratio", f"{report.spanned_cycle_ratio:.3f}"),
+        ("executed cycle ratio", f"{report.executed_cycle_ratio:.3f}"),
+        ("peak counters", report.peak_counters),
+        ("exit-dominated regions", report.exit_dominated_regions),
+        ("cache size estimate (B)", report.cache_size_estimate),
+        ("instructions executed", report.total_instructions),
+    ]
+    width = max(len(name) for name, _ in rows)
+    for name, value in rows:
+        print(f"{name.ljust(width)}  {value}")
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("benchmarks:", " ".join(benchmark_names()))
+    print("selectors: ", " ".join(sorted(SELECTOR_FACTORIES)))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = build_benchmark(args.benchmark, scale=args.scale)
+    result = simulate(program, args.selector, _config_from(args), seed=args.seed)
+    print(f"{args.benchmark} / {args.selector} (scale {args.scale}, "
+          f"seed {args.seed})")
+    _print_report(MetricReport.from_result(result))
+    if result.cache_evictions:
+        print(f"{'cache evictions'.ljust(23)}  {result.cache_evictions}")
+        print(f"{'regenerated regions'.ljust(23)}  {result.regenerated_regions}")
+    return 0
+
+
+def cmd_regions(args: argparse.Namespace) -> int:
+    program = build_benchmark(args.benchmark, scale=args.scale)
+    result = simulate(program, args.selector, _config_from(args), seed=args.seed)
+    print(f"{result.region_count} regions selected "
+          f"({args.benchmark} / {args.selector}):")
+    for region in result.regions:
+        labels = " ".join(block.label for block in region.block_list)
+        flags = []
+        if region.spans_cycle:
+            flags.append("cycle")
+        if region.kind == "cfg":
+            flags.append("multipath")
+        flag_text = f" [{','.join(flags)}]" if flags else ""
+        print(f"  #{region.selection_order:<4d} {region.entry.full_label:30s} "
+              f"insts={region.instruction_count:<4d} "
+              f"stubs={region.exit_stub_count:<3d} "
+              f"executed={region.executed_instructions:<9d}{flag_text}")
+        print(f"        {labels}")
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    program = build_benchmark(args.benchmark, scale=args.scale)
+    print(program_to_dot(program, title=args.benchmark))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import compare_runs
+
+    program = build_benchmark(args.benchmark, scale=args.scale)
+    config = _config_from(args)
+    subject = simulate(program, args.selector, config, seed=args.seed)
+    baseline = simulate(program, args.baseline, config, seed=args.seed)
+    for line in compare_runs(subject, baseline).summary_lines():
+        print(line)
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.analysis.timeline import warmup_step, window_rates
+
+    program = build_benchmark(args.benchmark, scale=args.scale)
+    result = simulate(program, args.selector, _config_from(args),
+                      seed=args.seed, sample_every=args.window)
+    print(f"{args.benchmark} / {args.selector}: windowed hit rates "
+          f"(window = {args.window} steps)")
+    print(f"{'steps':>18s} {'hit%':>7s} {'insts':>9s} {'new regions':>12s} "
+          f"{'transitions':>12s}")
+    for rate in window_rates(result.samples):
+        print(f"{rate.start_step:8d}-{rate.end_step:<9d} "
+              f"{100 * rate.hit_rate:7.2f} {rate.instructions:9d} "
+              f"{rate.regions_selected:12d} {rate.region_transitions:12d}")
+    warm = warmup_step(result.samples)
+    print(f"warm (>=90% for the rest of the run) from step: "
+          f"{warm if warm is not None else 'never'}")
+    return 0
+
+
+def cmd_layout(args: argparse.Namespace) -> int:
+    from repro.analysis.layout import layout_map, page_crossing_fraction
+
+    program = build_benchmark(args.benchmark, scale=args.scale)
+    result = simulate(program, args.selector, _config_from(args), seed=args.seed)
+    print(layout_map(result))
+    print(f"linked pairs crossing a 4 KiB page: "
+          f"{100 * page_crossing_fraction(result):.1f}%")
+    return 0
+
+
+def cmd_collect(args: argparse.Namespace) -> int:
+    program = build_benchmark(args.benchmark, scale=args.scale)
+    engine = ExecutionEngine(program, seed=args.seed)
+    steps = collect_trace(engine, args.output)
+    print(f"collected {steps} steps of {args.benchmark!r} into {args.output}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    header = trace_header(args.trace)
+    program = build_benchmark(header.program_name, scale=args.scale)
+    simulator = Simulator(program, args.selector, _config_from(args))
+    result = simulator.run(replay_trace(args.trace, program))
+    print(f"replayed {header.program_name!r} through {args.selector}")
+    _print_report(MetricReport.from_result(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Region-selection reproduction toolkit (MICRO 2005).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and selectors").set_defaults(
+        func=cmd_list
+    )
+
+    run = sub.add_parser("run", help="simulate and print metrics")
+    _add_common(run)
+    run.set_defaults(func=cmd_run)
+
+    regions = sub.add_parser("regions", help="dump the selected regions")
+    _add_common(regions)
+    regions.set_defaults(func=cmd_regions)
+
+    dot = sub.add_parser("dot", help="export a benchmark CFG as DOT")
+    _add_common(dot, selector=False)
+    dot.set_defaults(func=cmd_dot)
+
+    layout = sub.add_parser("layout", help="code-cache layout map")
+    _add_common(layout)
+    layout.set_defaults(func=cmd_layout)
+
+    compare = sub.add_parser("compare", help="compare two selectors on a benchmark")
+    _add_common(compare)
+    compare.add_argument("baseline", choices=sorted(SELECTOR_FACTORIES),
+                         help="selector to divide by")
+    compare.set_defaults(func=cmd_compare)
+
+    timeline = sub.add_parser("timeline", help="windowed hit-rate timeline")
+    _add_common(timeline)
+    timeline.add_argument("--window", type=int, default=20_000,
+                          help="steps per timeline window (default 20000)")
+    timeline.set_defaults(func=cmd_timeline)
+
+    collect = sub.add_parser("collect", help="record a binary trace")
+    _add_common(collect, selector=False)
+    collect.add_argument("--output", "-o", required=True,
+                         help="trace file to write (.rtrc)")
+    collect.set_defaults(func=cmd_collect)
+
+    replay = sub.add_parser("replay", help="simulate over a recorded trace")
+    replay.add_argument("trace", help="trace file written by `repro collect`")
+    replay.add_argument("selector", choices=sorted(SELECTOR_FACTORIES))
+    replay.add_argument("--scale", type=float, default=1.0,
+                        help="scale used when the trace was collected")
+    replay.add_argument("--cache-capacity", type=int, default=None)
+    replay.add_argument("--eviction", choices=("flush", "fifo"), default="flush")
+    replay.set_defaults(func=cmd_replay)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""System configuration: every threshold and limit in one place.
+
+Defaults are the paper's published values:
+
+* NET execution threshold 50 (Section 2.1, "the published standard"),
+* LEI cycle threshold 35 and history buffer size 500 (Section 3.2),
+* trace combination ``T_prof = 15`` and ``T_min = 5`` with start
+  thresholds chosen so that "regions are selected after the same number
+  of interpreted executions": combined NET starts profiling at 35
+  (35 + 15 = 50) and combined LEI at 20 (20 + 15 = 35) — Section 4.3.
+
+The ablation benches construct non-default configs (for example the
+footnote-8 setting ``T_prof = 5, T_min = 2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """All tunables of the simulated dynamic optimization system."""
+
+    #: NET's execution-count threshold for starting a trace.
+    net_threshold: int = 50
+    #: LEI's cycle-completion threshold (T_cyc).
+    lei_threshold: int = 35
+    #: LEI's branch history buffer capacity (taken branches).
+    history_buffer_size: int = 500
+    #: Hard cap on blocks in one trace (the Section 2.1 size limit).
+    max_trace_blocks: int = 64
+    #: Hard cap on instructions in one trace.
+    max_trace_instructions: int = 512
+    #: Trace combination: observed traces per region (T_prof).
+    combine_t_prof: int = 15
+    #: Trace combination: traces a block must appear in to be marked (T_min).
+    combine_t_min: int = 5
+    #: Combined NET profiling start threshold (T_start for NET).
+    combined_net_t_start: int = 35
+    #: Combined LEI profiling start threshold (T_start for LEI).
+    combined_lei_t_start: int = 20
+    #: Bytes charged per exit stub in the cache size estimate.
+    stub_bytes: int = 10
+    # ---- design-choice ablations --------------------------------------
+    #: NET ends traces at ANY taken backward branch, including backward
+    #: calls and returns (the interprocedural-forward-path rule).
+    #: Setting this False lets NET extend through backward calls and
+    #: returns — Section 2.2's counterfactual: "stopping at a backward
+    #: function call or return enables NET to limit code expansion, but
+    #: it prevents any interprocedural cycle from being spanned".
+    net_stop_at_backward_calls: bool = True
+    #: LEI admits cycles that close after a code-cache exit ("grow from
+    #: an existing trace", Figure 5 line 9's second disjunct).  Setting
+    #: this False restricts LEI to backward-closed cycles only.
+    lei_allow_exit_cycles: bool = True
+    # ---- related-work selectors (Section 5) --------------------------
+    #: Mojo: lower execution threshold used for trace-exit targets
+    #: ("one threshold for backward-branch targets and a lower threshold
+    #: for trace exits").
+    mojo_exit_threshold: int = 30
+    #: BOA: executions of an entry point before a biased-direction trace
+    #: is grown ("after the entry point ... is emulated 15 times").
+    boa_threshold: int = 15
+    #: Wiggins/Redstone: interpreted steps between program-counter
+    #: samples.
+    sampling_period: int = 200
+    #: Wiggins/Redstone: interpreted steps of branch-direction
+    #: instrumentation after a sample before the trace is grown.
+    sampling_window: int = 400
+    # ---- bounded code cache (extension; unbounded when None) ---------
+    #: Code cache capacity in bytes; ``None`` reproduces the paper's
+    #: unbounded setting (Section 2.3).
+    cache_capacity_bytes: Optional[int] = None
+    #: Eviction policy for bounded caches: "flush" (Dynamo-style
+    #: preemptive flush of the whole cache) or "fifo" (evict oldest
+    #: resident regions until the new one fits).
+    cache_eviction_policy: str = "flush"
+
+    def __post_init__(self) -> None:
+        positive = [
+            ("net_threshold", self.net_threshold),
+            ("lei_threshold", self.lei_threshold),
+            ("history_buffer_size", self.history_buffer_size),
+            ("max_trace_blocks", self.max_trace_blocks),
+            ("max_trace_instructions", self.max_trace_instructions),
+            ("combine_t_prof", self.combine_t_prof),
+            ("combine_t_min", self.combine_t_min),
+            ("combined_net_t_start", self.combined_net_t_start),
+            ("combined_lei_t_start", self.combined_lei_t_start),
+            ("stub_bytes", self.stub_bytes),
+            ("mojo_exit_threshold", self.mojo_exit_threshold),
+            ("boa_threshold", self.boa_threshold),
+            ("sampling_period", self.sampling_period),
+            ("sampling_window", self.sampling_window),
+        ]
+        for name, value in positive:
+            if value < 1:
+                raise ConfigError(f"{name} must be >= 1, got {value}")
+        if self.cache_capacity_bytes is not None and self.cache_capacity_bytes < 1:
+            raise ConfigError(
+                f"cache_capacity_bytes must be >= 1 or None, got "
+                f"{self.cache_capacity_bytes}"
+            )
+        if self.cache_eviction_policy not in ("flush", "fifo"):
+            raise ConfigError(
+                "cache_eviction_policy must be 'flush' or 'fifo', got "
+                f"{self.cache_eviction_policy!r}"
+            )
+        if self.combine_t_min > self.combine_t_prof:
+            raise ConfigError(
+                f"combine_t_min ({self.combine_t_min}) cannot exceed "
+                f"combine_t_prof ({self.combine_t_prof}): the entrance block "
+                "appears in every observed trace and must stay marked"
+            )
+
+    def with_overrides(self, **kwargs) -> "SystemConfig":
+        """Return a copy with the given fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+
+#: The paper's published configuration.
+PAPER_CONFIG = SystemConfig()

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the region-selection reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ProgramStructureError(ReproError):
+    """A synthetic program is structurally invalid.
+
+    Raised by :mod:`repro.program.validate` and by the builder when a
+    program violates invariants such as a block having two terminators or
+    a branch targeting a block that does not exist.
+    """
+
+
+class LayoutError(ReproError):
+    """Address layout failed or was queried before being assigned."""
+
+
+class ExecutionError(ReproError):
+    """The execution engine encountered an impossible machine state.
+
+    Examples: returning with an empty call stack, or a branch model
+    producing a target that is not a successor of the current block.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A binary trace file or compact trace bitstring is malformed."""
+
+
+class CacheError(ReproError):
+    """The code cache was used inconsistently.
+
+    Examples: inserting two regions with the same entry address, or
+    executing a region from a non-entry block.
+    """
+
+
+class SelectionError(ReproError):
+    """A region-selection algorithm reached an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """A system configuration value is out of its legal range."""

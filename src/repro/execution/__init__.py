@@ -1,0 +1,18 @@
+"""Execution substrate: the "hardware plus Pin" of the reproduction.
+
+The paper's framework "relies on the Pin dynamic instrumentation system
+to report the sequence of basic blocks executed by a program"
+(Section 2.3).  Here that role is played by
+:class:`~repro.execution.engine.ExecutionEngine`, which interprets a
+finalized :class:`~repro.program.Program` and yields one
+:class:`~repro.execution.events.Step` per executed basic block.  The
+dynamic-optimization-system simulator consumes these steps; it never
+needs to know whether they came from a live engine or from a recorded
+trace file (:mod:`repro.tracing`).
+"""
+
+from repro.execution.events import Step
+from repro.execution.engine import ExecutionEngine
+from repro.execution.stack import CallStack
+
+__all__ = ["Step", "ExecutionEngine", "CallStack"]

@@ -1,0 +1,143 @@
+"""The execution engine: interprets a program into a stream of Steps.
+
+This is the performance-critical inner loop of the whole reproduction
+(every experiment pushes hundreds of thousands of steps through it), so
+it trades a little elegance for speed: branch kinds are compared by
+identity, per-site state dicts are created lazily, and a single
+:class:`~repro.behavior.models.DecisionContext` instance is reused.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.behavior.models import DecisionContext
+from repro.behavior.rng import SplitMix64
+from repro.errors import ExecutionError
+from repro.execution.events import Step
+from repro.execution.stack import CallStack
+from repro.isa.opcodes import BranchKind
+from repro.program.cfg import BasicBlock
+from repro.program.program import Program
+
+#: Default step budget.  Most workloads HALT well before this; the cap
+#: exists so a mis-modelled loop cannot hang an experiment run.
+DEFAULT_MAX_STEPS = 50_000_000
+
+
+class ExecutionEngine:
+    """Deterministically executes a finalized program.
+
+    Parameters
+    ----------
+    program:
+        A finalized :class:`~repro.program.Program`.
+    seed:
+        Seed for all branch decisions; ``(program, seed)`` fully
+        determines the emitted stream.
+    max_steps:
+        Hard cap on executed blocks.  Reaching the cap is not an error
+        (the stream just ends), mirroring how the paper truncates
+        nothing but we must bound synthetic programs.
+    max_call_depth:
+        Bound on the call stack, guarding against runaway recursion.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        seed: int = 0,
+        max_steps: Optional[int] = None,
+        max_call_depth: int = 4096,
+    ) -> None:
+        if not program.is_finalized:
+            raise ExecutionError(
+                f"program {program.name!r} must be finalized before execution"
+            )
+        self.program = program
+        self.seed = seed
+        self.max_steps = DEFAULT_MAX_STEPS if max_steps is None else max_steps
+        self.max_call_depth = max_call_depth
+        #: Number of steps emitted by the last (or current) run.
+        self.steps_executed = 0
+        #: Number of instructions covered by emitted steps.
+        self.instructions_executed = 0
+
+    def run(self) -> Iterator[Step]:
+        """Yield one :class:`Step` per executed basic block.
+
+        The generator ends when the program halts, returns from its
+        outermost frame, or exhausts ``max_steps``.
+        """
+        rng = SplitMix64(self.seed)
+        stack = CallStack(self.max_call_depth)
+        site_states: Dict[BasicBlock, dict] = {}
+        ctx = DecisionContext(rng=rng, site_state={}, step=0)
+
+        # Localize hot names (measurably faster in CPython's interpreter).
+        cond = BranchKind.COND
+        jump = BranchKind.JUMP
+        call = BranchKind.CALL
+        ret = BranchKind.RETURN
+        indirect = BranchKind.INDIRECT
+        fall = BranchKind.FALLTHROUGH
+
+        block: Optional[BasicBlock] = self.program.entry
+        steps = 0
+        instructions = 0
+        max_steps = self.max_steps
+
+        while block is not None and steps < max_steps:
+            steps += 1
+            instructions += block.bundle.count
+            term = block.terminator
+            kind = term.kind
+
+            if kind is cond:
+                state = site_states.get(block)
+                if state is None:
+                    state = site_states[block] = {}
+                ctx.site_state = state
+                ctx.step = steps
+                assert term.model is not None
+                taken = term.model.next_taken(ctx)
+                target = term.taken_target if taken else block.fallthrough
+            elif kind is jump:
+                taken = True
+                target = term.taken_target
+            elif kind is call:
+                taken = True
+                target = term.taken_target
+                assert block.fallthrough is not None
+                stack.push(block.fallthrough)
+            elif kind is ret:
+                taken = True
+                target = stack.pop()  # None ends the program.
+            elif kind is indirect:
+                state = site_states.get(block)
+                if state is None:
+                    state = site_states[block] = {}
+                ctx.site_state = state
+                ctx.step = steps
+                assert term.indirect_model is not None
+                index = term.indirect_model.next_target_index(
+                    ctx, len(term.indirect_targets)
+                )
+                taken = True
+                target = term.indirect_targets[index]
+            elif kind is fall:
+                taken = False
+                target = block.fallthrough
+            else:  # HALT
+                taken = False
+                target = None
+
+            yield Step(block, taken, target)
+            block = target
+
+        self.steps_executed = steps
+        self.instructions_executed = instructions
+
+    def run_to_list(self) -> list:
+        """Materialize the full stream (tests and small programs only)."""
+        return list(self.run())

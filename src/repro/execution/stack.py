@@ -1,0 +1,46 @@
+"""Call stack used by the execution engine for call/return semantics."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ExecutionError
+from repro.program.cfg import BasicBlock
+
+
+class CallStack:
+    """Stack of pending return sites with a bounded depth.
+
+    The depth bound protects against synthetic programs that recurse
+    without a terminating model; hitting it is a workload bug, reported
+    loudly instead of consuming memory forever.
+    """
+
+    __slots__ = ("_frames", "max_depth")
+
+    def __init__(self, max_depth: int = 4096) -> None:
+        if max_depth < 1:
+            raise ExecutionError(f"max_depth must be >= 1, got {max_depth}")
+        self._frames: List[BasicBlock] = []
+        self.max_depth = max_depth
+
+    def push(self, return_site: BasicBlock) -> None:
+        if len(self._frames) >= self.max_depth:
+            raise ExecutionError(
+                f"call stack overflow (depth {self.max_depth}); "
+                "does a recursive workload lack a base case?"
+            )
+        self._frames.append(return_site)
+
+    def pop(self) -> Optional[BasicBlock]:
+        """Pop the pending return site; ``None`` when returning from main."""
+        if not self._frames:
+            return None
+        return self._frames.pop()
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    def __bool__(self) -> bool:
+        return bool(self._frames)

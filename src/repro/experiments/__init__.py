@@ -1,0 +1,32 @@
+"""Per-figure experiment harness.
+
+* :mod:`~repro.experiments.runner` — runs the (benchmark x selector)
+  grid once, with caching, producing one
+  :class:`~repro.metrics.summary.MetricReport` per cell;
+* :mod:`~repro.experiments.figures` — one function per paper figure /
+  reported statistic, mapping a grid to rows that mirror the paper's
+  chart series;
+* :mod:`~repro.experiments.render` — plain-text and Markdown tables;
+* ``python -m repro.experiments`` — regenerate every figure at a chosen
+  scale and print (or write) the tables.
+"""
+
+from repro.experiments.runner import ExperimentGrid, run_grid
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    FigureResult,
+    compute_figure,
+    figure_ids,
+)
+from repro.experiments.render import figure_to_markdown, figure_to_text
+
+__all__ = [
+    "ExperimentGrid",
+    "run_grid",
+    "FigureResult",
+    "ALL_FIGURES",
+    "compute_figure",
+    "figure_ids",
+    "figure_to_text",
+    "figure_to_markdown",
+]

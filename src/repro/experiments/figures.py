@@ -1,0 +1,401 @@
+"""One computation per paper figure / reported statistic.
+
+Every public ``fig*``/stat function maps an
+:class:`~repro.experiments.runner.ExperimentGrid` to a
+:class:`FigureResult` whose rows mirror the series the paper plots.
+``paper_note`` records what the original reports, so the rendered
+tables double as the paper-vs-measured record in EXPERIMENTS.md.
+
+Relative values follow the paper's conventions: "X relative to Y" is
+the ratio X/Y (Figures 8, 10, 16, 19), cycle-ratio deltas are
+percentage points (Figure 7), and cover sets are absolute region
+counts (Figures 9, 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import fmean
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.experiments.runner import ExperimentGrid
+from repro.metrics.summary import MetricReport, safe_ratio
+
+Value = Optional[float]
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """Rows of one reproduced figure."""
+
+    figure_id: str
+    title: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[str, Tuple[Value, ...]], ...]
+    paper_note: str
+
+    @property
+    def means(self) -> Tuple[Value, ...]:
+        """Column-wise means over rows, ignoring undefined cells."""
+        out: List[Value] = []
+        for index in range(len(self.columns)):
+            values = [row[1][index] for row in self.rows if row[1][index] is not None]
+            out.append(fmean(values) if values else None)
+        return tuple(out)
+
+    def column(self, name: str) -> List[Value]:
+        index = self.columns.index(name)
+        return [row[1][index] for row in self.rows]
+
+    def value(self, benchmark: str, column: str) -> Value:
+        index = self.columns.index(column)
+        for name, values in self.rows:
+            if name == benchmark:
+                return values[index]
+        raise ConfigError(f"no row {benchmark!r} in figure {self.figure_id}")
+
+
+def _rows(
+    grid: ExperimentGrid,
+    compute: Callable[[Dict[str, MetricReport]], Sequence[Value]],
+) -> Tuple[Tuple[str, Tuple[Value, ...]], ...]:
+    rows = []
+    for bench in grid.benchmarks:
+        by_selector = {
+            selector: grid.report(bench, selector) for selector in grid.selectors
+        }
+        rows.append((bench, tuple(compute(by_selector))))
+    return tuple(rows)
+
+
+# ---------------------------------------------------------------------------
+# Section 3 figures: LEI versus NET
+# ---------------------------------------------------------------------------
+
+def fig07_cycle_ratios(grid: ExperimentGrid) -> FigureResult:
+    """Figure 7: improvement of LEI over NET in spanning cycles."""
+    def compute(r):
+        return (
+            100.0 * (r["lei"].spanned_cycle_ratio - r["net"].spanned_cycle_ratio),
+            100.0 * (r["lei"].executed_cycle_ratio - r["net"].executed_cycle_ratio),
+        )
+    return FigureResult(
+        "fig07",
+        "Figure 7: LEI - NET cycle ratios (percentage points)",
+        ("delta_spanned_pp", "delta_executed_pp"),
+        _rows(grid, compute),
+        "Paper: LEI spans more cycles for every benchmark, raising the "
+        "overall cycle-spanning proportion by ~5pp; executed cycles rise "
+        "with it, and crafty/parser gain least.",
+    )
+
+
+def fig08_expansion_transitions(grid: ExperimentGrid) -> FigureResult:
+    """Figure 8: LEI code expansion and region transitions relative to NET."""
+    def compute(r):
+        return (
+            safe_ratio(r["lei"].code_expansion, r["net"].code_expansion),
+            safe_ratio(r["lei"].region_transitions, r["net"].region_transitions),
+        )
+    return FigureResult(
+        "fig08",
+        "Figure 8: LEI relative to NET",
+        ("code_expansion_ratio", "region_transition_ratio"),
+        _rows(grid, compute),
+        "Paper: mean expansion ratio 0.92 (crafty the only benchmark "
+        "above 1.0); mean transition ratio 0.80 (parser shows no gain).",
+    )
+
+
+def fig09_cover_sets(grid: ExperimentGrid) -> FigureResult:
+    """Figure 9: 90% cover set sizes for NET and LEI."""
+    def compute(r):
+        return (r["net"].cover_set_90, r["lei"].cover_set_90)
+    return FigureResult(
+        "fig09",
+        "Figure 9: minimum traces covering 90% of executed instructions",
+        ("net", "lei"),
+        _rows(grid, compute),
+        "Paper: LEI needs a significantly smaller set for every "
+        "benchmark, 18% fewer traces on average.",
+    )
+
+
+def fig10_counters(grid: ExperimentGrid) -> FigureResult:
+    """Figure 10: peak profiling counters, LEI relative to NET."""
+    def compute(r):
+        return (
+            r["net"].peak_counters,
+            r["lei"].peak_counters,
+            safe_ratio(r["lei"].peak_counters, r["net"].peak_counters),
+        )
+    return FigureResult(
+        "fig10",
+        "Figure 10: maximum concurrent profiling counters",
+        ("net", "lei", "lei_over_net"),
+        _rows(grid, compute),
+        "Paper: LEI requires only about two-thirds of NET's counter "
+        "memory on average.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section 4.1 figures: exit domination under plain trace selection
+# ---------------------------------------------------------------------------
+
+def fig11_exit_dominated_duplication(grid: ExperimentGrid) -> FigureResult:
+    """Figure 11: % of selected instructions that are exit-dominated
+    duplication."""
+    def compute(r):
+        return (
+            100.0 * r["net"].exit_dominated_duplication_fraction,
+            100.0 * r["lei"].exit_dominated_duplication_fraction,
+        )
+    return FigureResult(
+        "fig11",
+        "Figure 11: exit-dominated duplication (% of selected instructions)",
+        ("net_pct", "lei_pct"),
+        _rows(grid, compute),
+        "Paper: 1-7% of all selected instructions, generally higher "
+        "under LEI than NET.",
+    )
+
+
+def fig12_exit_dominated_traces(grid: ExperimentGrid) -> FigureResult:
+    """Figure 12: % of selected traces that are exit-dominated."""
+    def compute(r):
+        return (
+            100.0 * r["net"].exit_dominated_region_fraction,
+            100.0 * r["lei"].exit_dominated_region_fraction,
+            float(r["net"].max_dominator_fanout),
+        )
+    return FigureResult(
+        "fig12",
+        "Figure 12: exit-dominated traces (% of selected traces)",
+        ("net_pct", "lei_pct", "net_max_dominator_fanout"),
+        _rows(grid, compute),
+        "Paper: mean 15% (NET) and 22% (LEI); eon is the outlier because "
+        "a few traces (ggPoint3 constructors) each exit-dominate a large "
+        "number of other traces — the fan-out column shows the analogue.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section 4.3 figures: trace combination
+# ---------------------------------------------------------------------------
+
+def fig16_combined_transitions(grid: ExperimentGrid) -> FigureResult:
+    """Figure 16: region transitions under trace combination."""
+    def compute(r):
+        return (
+            safe_ratio(r["combined-net"].region_transitions,
+                       r["net"].region_transitions),
+            safe_ratio(r["combined-lei"].region_transitions,
+                       r["lei"].region_transitions),
+        )
+    return FigureResult(
+        "fig16",
+        "Figure 16: region transitions relative to the uncombined selector",
+        ("combined_net_over_net", "combined_lei_over_lei"),
+        _rows(grid, compute),
+        "Paper: combined NET averages 0.85, combined LEI 0.64; vortex "
+        "under NET is the one case that rises (~1%).",
+    )
+
+
+def fig17_combined_cover_sets(grid: ExperimentGrid) -> FigureResult:
+    """Figure 17: 90% cover set sizes under trace combination."""
+    def compute(r):
+        return (
+            r["net"].cover_set_90,
+            r["combined-net"].cover_set_90,
+            r["lei"].cover_set_90,
+            r["combined-lei"].cover_set_90,
+        )
+    return FigureResult(
+        "fig17",
+        "Figure 17: 90% cover set size under trace combination",
+        ("net", "combined_net", "lei", "combined_lei"),
+        _rows(grid, compute),
+        "Paper: combination shrinks NET cover sets by 15% and LEI cover "
+        "sets by 28% on average; gzip/NET is the only (trivial) increase "
+        "and bzip2 the only case where LEI benefits less than NET.",
+    )
+
+
+def fig18_profiling_memory(grid: ExperimentGrid) -> FigureResult:
+    """Figure 18: observed-trace memory as % of estimated cache size."""
+    def compute(r):
+        def pct(report):
+            fraction = report.observed_trace_memory_fraction
+            return None if fraction is None else 100.0 * fraction
+        return (pct(r["combined-net"]), pct(r["combined-lei"]))
+    return FigureResult(
+        "fig18",
+        "Figure 18: peak observed-trace memory (% of estimated cache size)",
+        ("combined_net_pct", "combined_lei_pct"),
+        _rows(grid, compute),
+        "Paper: averages 6% (NET) and 13% (LEI), never above 12%/18%; "
+        "LEI consistently needs more because its traces are longer. At "
+        "our reduced program scale the cache is far smaller, so the "
+        "percentages are larger; the NET<LEI ordering is the shape "
+        "under test.",
+    )
+
+
+def fig19_exit_stubs(grid: ExperimentGrid) -> FigureResult:
+    """Figure 19: exit stubs under trace combination."""
+    def compute(r):
+        return (
+            r["net"].exit_stubs,
+            r["combined-net"].exit_stubs,
+            r["lei"].exit_stubs,
+            r["combined-lei"].exit_stubs,
+            safe_ratio(r["combined-net"].exit_stubs, r["net"].exit_stubs),
+            safe_ratio(r["combined-lei"].exit_stubs, r["lei"].exit_stubs),
+        )
+    return FigureResult(
+        "fig19",
+        "Figure 19: exit stubs with and without trace combination",
+        ("net", "combined_net", "lei", "combined_lei",
+         "cn_over_net", "cl_over_lei"),
+        _rows(grid, compute),
+        "Paper: combination removes 18% of NET's stubs and 26% of LEI's.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reported statistics without a numbered figure
+# ---------------------------------------------------------------------------
+
+def stat_hit_rates(grid: ExperimentGrid) -> FigureResult:
+    """Hit rates (Sections 3.2 and 4.3 text)."""
+    def compute(r):
+        return tuple(100.0 * r[s].hit_rate for s in
+                     ("net", "lei", "combined-net", "combined-lei"))
+    return FigureResult(
+        "hitrate",
+        "Hit rate (% of instructions executed from the code cache)",
+        ("net", "lei", "combined_net", "combined_lei"),
+        _rows(grid, compute),
+        "Paper: above 99% for all but two benchmarks under LEI (mcf "
+        "99.80->98.31, gcc 99.37->98.98); combination changes hit rate "
+        "by ~0.1%. Our programs run far fewer instructions, so absolute "
+        "rates sit a little lower at default scale.",
+    )
+
+
+def stat_average_region_size(grid: ExperimentGrid) -> FigureResult:
+    """Average region size (Section 3.2.2: 14.8 -> 18.3 instructions)."""
+    def compute(r):
+        return (
+            r["net"].average_region_instructions,
+            r["lei"].average_region_instructions,
+        )
+    return FigureResult(
+        "avgsize",
+        "Average instructions per selected region",
+        ("net", "lei"),
+        _rows(grid, compute),
+        "Paper: LEI traces are larger on average (14.8 -> 18.3 "
+        "instructions) even though total expansion falls.",
+    )
+
+
+def stat_region_counts(grid: ExperimentGrid) -> FigureResult:
+    """Total regions selected (Section 4.3.3: -9% NET, -30% LEI)."""
+    def compute(r):
+        return (
+            r["net"].region_count,
+            r["combined-net"].region_count,
+            r["lei"].region_count,
+            r["combined-lei"].region_count,
+        )
+    return FigureResult(
+        "regioncount",
+        "Total regions selected",
+        ("net", "combined_net", "lei", "combined_lei"),
+        _rows(grid, compute),
+        "Paper: combination reduces the number of regions selected by 9% "
+        "for NET and 30% for LEI.",
+    )
+
+
+def stat_exit_domination_reduction(grid: ExperimentGrid) -> FigureResult:
+    """Section 4.3.1: combination removes ~65% of exit-dominated
+    duplication and ~40% of exit-dominated regions."""
+    def compute(r):
+        return (
+            r["net"].exit_dominated_regions,
+            r["combined-net"].exit_dominated_regions,
+            r["lei"].exit_dominated_regions,
+            r["combined-lei"].exit_dominated_regions,
+            r["net"].exit_dominated_duplicated_instructions,
+            r["combined-net"].exit_dominated_duplicated_instructions,
+        )
+    return FigureResult(
+        "expdom",
+        "Exit domination: plain versus combined",
+        ("net_regions", "cnet_regions", "lei_regions", "clei_regions",
+         "net_dup_insts", "cnet_dup_insts"),
+        _rows(grid, compute),
+        "Paper: combining avoids ~65% of exit-dominated duplication and "
+        "~40% of exit-dominated regions.",
+    )
+
+
+def stat_summary_conclusion(grid: ExperimentGrid) -> FigureResult:
+    """Section 6: combined LEI versus plain NET, the headline comparison."""
+    def compute(r):
+        best, base = r["combined-lei"], r["net"]
+        return (
+            safe_ratio(best.code_expansion, base.code_expansion),
+            safe_ratio(best.exit_stubs, base.exit_stubs),
+            safe_ratio(best.region_transitions, base.region_transitions),
+            safe_ratio(best.cover_set_90, base.cover_set_90)
+            if best.cover_set_90 is not None and base.cover_set_90 else None,
+        )
+    return FigureResult(
+        "summary",
+        "Conclusion: combined LEI relative to NET",
+        ("code_expansion", "exit_stubs", "region_transitions", "cover_set_90"),
+        _rows(grid, compute),
+        "Paper: expansion x0.91, exit stubs x0.68, region transitions "
+        "~x0.5, and the 90% cover set improves by more than 25% for "
+        "every benchmark (44% mean).",
+    )
+
+
+#: Registry: figure id -> computation, in paper order.
+ALL_FIGURES: Dict[str, Callable[[ExperimentGrid], FigureResult]] = {
+    "fig07": fig07_cycle_ratios,
+    "fig08": fig08_expansion_transitions,
+    "fig09": fig09_cover_sets,
+    "fig10": fig10_counters,
+    "fig11": fig11_exit_dominated_duplication,
+    "fig12": fig12_exit_dominated_traces,
+    "fig16": fig16_combined_transitions,
+    "fig17": fig17_combined_cover_sets,
+    "fig18": fig18_profiling_memory,
+    "fig19": fig19_exit_stubs,
+    "hitrate": stat_hit_rates,
+    "avgsize": stat_average_region_size,
+    "regioncount": stat_region_counts,
+    "expdom": stat_exit_domination_reduction,
+    "summary": stat_summary_conclusion,
+}
+
+
+def figure_ids() -> Tuple[str, ...]:
+    return tuple(ALL_FIGURES)
+
+
+def compute_figure(figure_id: str, grid: ExperimentGrid) -> FigureResult:
+    try:
+        fn = ALL_FIGURES[figure_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown figure {figure_id!r}; known: {', '.join(ALL_FIGURES)}"
+        ) from None
+    return fn(grid)

@@ -1,0 +1,62 @@
+"""Plain-text and Markdown rendering of figure results."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.figures import FigureResult
+
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) >= 10:
+            return str(int(value))
+        return f"{value:.3f}"
+    return str(value)
+
+
+def figure_to_text(figure: FigureResult, width: int = 14) -> str:
+    """Render a figure as an aligned plain-text table."""
+    header = ["benchmark"] + list(figure.columns)
+    lines = [figure.title]
+    lines.append("  ".join(h.rjust(width) if i else h.ljust(10)
+                           for i, h in enumerate(header)))
+    for name, values in figure.rows:
+        cells = [name.ljust(10)] + [
+            _format_value(v).rjust(width) for v in values
+        ]
+        lines.append("  ".join(cells))
+    mean_cells = ["mean".ljust(10)] + [
+        _format_value(v).rjust(width) for v in figure.means
+    ]
+    lines.append("  ".join(mean_cells))
+    lines.append(figure.paper_note)
+    return "\n".join(lines)
+
+
+def figure_to_markdown(figure: FigureResult) -> str:
+    """Render a figure as a GitHub-flavoured Markdown table."""
+    header = ["benchmark"] + list(figure.columns)
+    lines = [f"### {figure.title}", ""]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    for name, values in figure.rows:
+        lines.append(
+            "| " + " | ".join([name] + [_format_value(v) for v in values]) + " |"
+        )
+    lines.append(
+        "| **mean** | " + " | ".join(_format_value(v) for v in figure.means) + " |"
+    )
+    lines.append("")
+    lines.append(f"*{figure.paper_note}*")
+    return "\n".join(lines)
+
+
+def grid_banner(scale: float, seed: int) -> str:
+    return (
+        f"(benchmark x selector) grid at scale={scale}, seed={seed}; "
+        "12 synthetic SPECint2000 stand-ins x {net, lei, combined-net, "
+        "combined-lei}"
+    )

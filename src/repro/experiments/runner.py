@@ -1,0 +1,96 @@
+"""Run the (benchmark x selector) grid the figures are computed from."""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.metrics.summary import MetricReport
+from repro.selection.registry import SELECTOR_NAMES
+from repro.system.simulator import simulate
+from repro.workloads import benchmark_names, build_benchmark
+
+
+def _grid_cell(task: Tuple[str, str, float, int, SystemConfig]) -> Tuple[str, str, MetricReport]:
+    """Worker: simulate one cell (used by the parallel grid runner).
+
+    Builds the program inside the worker — programs hold plain model
+    objects and are cheap to rebuild, while shipping them across
+    processes would be slower than rebuilding.
+    """
+    bench, selector, scale, seed, config = task
+    program = build_benchmark(bench, scale=scale)
+    report = MetricReport.from_result(simulate(program, selector, config, seed=seed))
+    return bench, selector, report
+
+
+@dataclass
+class ExperimentGrid:
+    """Metric reports for every (benchmark, selector) cell."""
+
+    scale: float
+    seed: int
+    config: SystemConfig
+    reports: Dict[Tuple[str, str], MetricReport] = field(default_factory=dict)
+
+    def report(self, benchmark: str, selector: str) -> MetricReport:
+        return self.reports[(benchmark, selector)]
+
+    @property
+    def benchmarks(self) -> Tuple[str, ...]:
+        seen = []
+        for bench, _ in self.reports:
+            if bench not in seen:
+                seen.append(bench)
+        return tuple(seen)
+
+    @property
+    def selectors(self) -> Tuple[str, ...]:
+        seen = []
+        for _, selector in self.reports:
+            if selector not in seen:
+                seen.append(selector)
+        return tuple(seen)
+
+
+def run_grid(
+    scale: float = 1.0,
+    seed: int = 1,
+    config: Optional[SystemConfig] = None,
+    benchmarks: Optional[Iterable[str]] = None,
+    selectors: Optional[Iterable[str]] = None,
+    workers: int = 1,
+) -> ExperimentGrid:
+    """Simulate every cell and compute its metric report.
+
+    This is the expensive call behind every figure (a full-scale grid
+    simulates roughly twenty million basic-block events); the benchmark
+    harness runs it once per session and shares the grid.  ``workers``
+    above 1 fans cells out over processes — results are bit-identical
+    to the serial run because every cell is deterministic in
+    ``(benchmark, selector, scale, seed, config)``.
+    """
+    config = config if config is not None else SystemConfig()
+    bench_list = tuple(benchmarks) if benchmarks is not None else benchmark_names()
+    selector_list = tuple(selectors) if selectors is not None else SELECTOR_NAMES
+    grid = ExperimentGrid(scale=scale, seed=seed, config=config)
+    tasks = [
+        (bench, selector, scale, seed, config)
+        for bench in bench_list
+        for selector in selector_list
+    ]
+    if workers <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            bench, selector, report = _grid_cell(task)
+            grid.reports[(bench, selector)] = report
+        return grid
+
+    context = multiprocessing.get_context("fork")
+    with context.Pool(processes=min(workers, len(tasks))) as pool:
+        for bench, selector, report in pool.map(_grid_cell, tasks):
+            grid.reports[(bench, selector)] = report
+    # pool.map preserves task order, so grid iteration order matches the
+    # serial runner exactly.
+    return grid

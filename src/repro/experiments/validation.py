@@ -1,0 +1,206 @@
+"""Machine-checkable paper claims.
+
+EXPERIMENTS.md records paper-vs-measured prose; this module encodes the
+*checkable core* of every claim as a named predicate over an
+:class:`~repro.experiments.runner.ExperimentGrid`, so a single call —
+or ``python -m repro.experiments --validate`` — answers "does this
+build still reproduce the paper?" with a pass/fail per claim.
+
+The thresholds are the same deliberately-loose bounds the benchmark
+harness asserts: directions and orderings, not absolute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import fmean
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.experiments.figures import compute_figure
+from repro.experiments.runner import ExperimentGrid
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """Outcome of checking one paper claim against a grid."""
+
+    claim_id: str
+    description: str
+    passed: bool
+    detail: str
+
+
+def _mean(values) -> float:
+    cleaned = [v for v in values if v is not None]
+    return fmean(cleaned) if cleaned else float("nan")
+
+
+def _check_fig07(grid) -> Tuple[bool, str]:
+    figure = compute_figure("fig07", grid)
+    spanned = _mean(figure.column("delta_spanned_pp"))
+    executed = _mean(figure.column("delta_executed_pp"))
+    return (spanned > 0 and executed > 0,
+            f"mean delta spanned {spanned:+.1f}pp, executed {executed:+.1f}pp")
+
+
+def _check_fig08(grid) -> Tuple[bool, str]:
+    figure = compute_figure("fig08", grid)
+    expansion = _mean(figure.column("code_expansion_ratio"))
+    transitions = _mean(figure.column("region_transition_ratio"))
+    return (expansion < 1.0 and transitions < 0.95,
+            f"expansion x{expansion:.3f}, transitions x{transitions:.3f} "
+            "(paper 0.92 / 0.80)")
+
+
+def _check_fig09(grid) -> Tuple[bool, str]:
+    figure = compute_figure("fig09", grid)
+    pairs = [
+        (net, lei)
+        for net, lei in zip(figure.column("net"), figure.column("lei"))
+        if net is not None and lei is not None
+    ]
+    ok = len(pairs) >= 10 and all(lei <= net for net, lei in pairs)
+    reduction = 1 - _mean(l for _, l in pairs) / _mean(n for n, _ in pairs)
+    return ok, f"LEI <= NET on {len(pairs)} benchmarks, mean -{100*reduction:.0f}% (paper -18%)"
+
+
+def _check_fig10(grid) -> Tuple[bool, str]:
+    figure = compute_figure("fig10", grid)
+    ratio = _mean(figure.column("lei_over_net"))
+    return ratio < 0.85, f"counter ratio x{ratio:.3f} (paper ~0.67)"
+
+
+def _check_fig11(grid) -> Tuple[bool, str]:
+    figure = compute_figure("fig11", grid)
+    net = _mean(figure.column("net_pct"))
+    lei = _mean(figure.column("lei_pct"))
+    return (net > 0.5 and lei > 0.8 * net,
+            f"duplication {net:.1f}% (NET) / {lei:.1f}% (LEI)")
+
+
+def _check_fig12(grid) -> Tuple[bool, str]:
+    figure = compute_figure("fig12", grid)
+    net = _mean(figure.column("net_pct"))
+    lei = _mean(figure.column("lei_pct"))
+    fanouts = {name: values[figure.columns.index("net_max_dominator_fanout")]
+               for name, values in figure.rows}
+    eon = fanouts.pop("eon", 0)
+    ok = net > 10 and lei >= 0.9 * net and eon >= max(fanouts.values(), default=0)
+    return ok, (f"dominated {net:.0f}%/{lei:.0f}%, eon fan-out {eon:.0f} "
+                f"vs others' max {max(fanouts.values(), default=0):.0f}")
+
+
+def _check_fig16(grid) -> Tuple[bool, str]:
+    figure = compute_figure("fig16", grid)
+    cnet = _mean(figure.column("combined_net_over_net"))
+    clei = _mean(figure.column("combined_lei_over_lei"))
+    return (cnet < 1.0 and clei < cnet,
+            f"x{cnet:.3f} (NET), x{clei:.3f} (LEI) (paper 0.85 / 0.64)")
+
+
+def _check_fig17(grid) -> Tuple[bool, str]:
+    figure = compute_figure("fig17", grid)
+    net = _mean(figure.column("net"))
+    cnet = _mean(figure.column("combined_net"))
+    lei = _mean(figure.column("lei"))
+    clei = _mean(figure.column("combined_lei"))
+    net_cut = 1 - cnet / net
+    lei_cut = 1 - clei / lei
+    # Both must shrink meaningfully; the LEI-benefits-more ordering is
+    # checked with slack because it is mildly scale-sensitive (it holds
+    # strictly at scale 1.0, where the benches assert it).
+    return (net_cut > 0.05 and lei_cut > 0.05 and lei_cut > net_cut * 0.75,
+            f"cover cut {100*net_cut:.0f}% (NET) / {100*lei_cut:.0f}% (LEI) "
+            "(paper 15% / 28%)")
+
+
+def _check_fig18(grid) -> Tuple[bool, str]:
+    figure = compute_figure("fig18", grid)
+    cnet = _mean(figure.column("combined_net_pct"))
+    clei = _mean(figure.column("combined_lei_pct"))
+    return clei > cnet, f"memory {cnet:.0f}% (NET) < {clei:.0f}% (LEI), ordering as in paper"
+
+
+def _check_fig19(grid) -> Tuple[bool, str]:
+    figure = compute_figure("fig19", grid)
+    cn = _mean(figure.column("cn_over_net"))
+    cl = _mean(figure.column("cl_over_lei"))
+    return (cn < 0.9 and cl < 0.9,
+            f"stub ratio x{cn:.2f} (NET), x{cl:.2f} (LEI) (paper 0.82 / 0.74)")
+
+
+def _check_hitrate(grid) -> Tuple[bool, str]:
+    figure = compute_figure("hitrate", grid)
+    floor = 93.0 if grid.scale >= 1.0 else 85.0
+    means = {column: _mean(figure.column(column)) for column in figure.columns}
+    ok = all(value > floor for value in means.values())
+    return ok, ", ".join(f"{k}={v:.1f}%" for k, v in means.items())
+
+
+def _check_expdom(grid) -> Tuple[bool, str]:
+    figure = compute_figure("expdom", grid)
+    net = _mean(figure.column("net_regions"))
+    cnet = _mean(figure.column("cnet_regions"))
+    dup = _mean(figure.column("net_dup_insts"))
+    cdup = _mean(figure.column("cnet_dup_insts"))
+    region_cut = 1 - cnet / net
+    dup_cut = 1 - cdup / dup
+    return (region_cut > 0.15 and dup_cut > region_cut,
+            f"dominated regions -{100*region_cut:.0f}% (paper ~40%), "
+            f"duplication -{100*dup_cut:.0f}% (paper ~65%)")
+
+
+def _check_summary(grid) -> Tuple[bool, str]:
+    figure = compute_figure("summary", grid)
+    values = {
+        column: _mean(figure.column(column))
+        for column in ("code_expansion", "exit_stubs", "region_transitions",
+                       "cover_set_90")
+    }
+    ok = (values["code_expansion"] < 1.0 and values["exit_stubs"] < 0.8
+          and values["region_transitions"] < 0.7 and values["cover_set_90"] < 0.75)
+    return ok, ", ".join(f"{k} x{v:.2f}" for k, v in values.items())
+
+
+#: claim id -> (description, checker).
+CLAIMS: Dict[str, Tuple[str, Callable[[ExperimentGrid], Tuple[bool, str]]]] = {
+    "fig07": ("LEI spans and executes more cycles than NET", _check_fig07),
+    "fig08": ("LEI expands less code and transitions less than NET", _check_fig08),
+    "fig09": ("LEI's 90% cover set is never larger, mean smaller", _check_fig09),
+    "fig10": ("LEI needs roughly two-thirds of NET's counters", _check_fig10),
+    "fig11": ("exit-dominated duplication exists; LEI has its share", _check_fig11),
+    "fig12": ("many traces are exit-dominated; eon is the fan-out outlier", _check_fig12),
+    "fig16": ("combination cuts transitions, more for LEI", _check_fig16),
+    "fig17": ("combination shrinks cover sets, more for LEI", _check_fig17),
+    "fig18": ("combined LEI needs more observation memory than combined NET", _check_fig18),
+    "fig19": ("combination removes a significant share of exit stubs", _check_fig19),
+    "hitrate": ("all selectors keep execution overwhelmingly cached", _check_hitrate),
+    "expdom": ("combination removes dominated regions, duplication faster", _check_expdom),
+    "summary": ("combined LEI beats NET on all four conclusion metrics", _check_summary),
+}
+
+
+def validate_grid(grid: ExperimentGrid,
+                  claims: Optional[List[str]] = None) -> List[ClaimResult]:
+    """Check every (or the named) paper claims against a grid."""
+    wanted = claims if claims is not None else list(CLAIMS)
+    results: List[ClaimResult] = []
+    for claim_id in wanted:
+        description, checker = CLAIMS[claim_id]
+        try:
+            passed, detail = checker(grid)
+        except Exception as exc:  # a broken figure is a failed claim
+            passed, detail = False, f"checker raised {type(exc).__name__}: {exc}"
+        results.append(ClaimResult(claim_id, description, passed, detail))
+    return results
+
+
+def render_validation(results: List[ClaimResult]) -> str:
+    lines = ["paper-claim validation:"]
+    for result in results:
+        status = "PASS" if result.passed else "FAIL"
+        lines.append(f"  [{status}] {result.claim_id:8s} {result.description}")
+        lines.append(f"         {result.detail}")
+    failed = sum(1 for r in results if not r.passed)
+    lines.append(f"{len(results) - failed}/{len(results)} claims hold")
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Instruction-set model.
+
+The simulator never executes real machine instructions; it only needs to
+know, for every basic block, how many instructions it holds, how many
+bytes they occupy, and what kind of control transfer terminates the
+block.  This package defines those abstractions:
+
+* :class:`~repro.isa.opcodes.BranchKind` — the taxonomy of block
+  terminators (conditional branch, direct jump, call, return, indirect
+  jump, plain fall-through, halt).
+* :class:`~repro.isa.instruction.InstructionBundle` — the instructions of
+  one basic block, with per-block byte sizing used by the Figure 18 cache
+  size estimate.
+"""
+
+from repro.isa.opcodes import BranchKind
+from repro.isa.instruction import InstructionBundle, DEFAULT_INSTRUCTION_BYTES
+
+__all__ = ["BranchKind", "InstructionBundle", "DEFAULT_INSTRUCTION_BYTES"]

@@ -1,0 +1,64 @@
+"""Instruction bundles: the instructions of a single basic block.
+
+Instructions are never decoded or executed individually; the simulator
+counts them (hit rate, code expansion) and sums their byte sizes (cache
+size estimate of Figure 18, where the paper reports an average selected
+instruction size between three and four bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProgramStructureError
+
+#: Default per-instruction size in bytes.  The paper reports that "for all
+#: benchmarks the average size of a selected instruction is between three
+#: and four bytes"; 3.5 is the midpoint and workloads may override it per
+#: block to model denser or sparser code.
+DEFAULT_INSTRUCTION_BYTES = 3.5
+
+
+@dataclass(frozen=True)
+class InstructionBundle:
+    """The instruction payload of one basic block.
+
+    Parameters
+    ----------
+    count:
+        Number of instructions in the block, including the terminator.
+        Must be at least 1 (every block ends in some instruction, even a
+        pure fall-through block has the instruction that does the work).
+    bytes_per_instruction:
+        Average encoded size of one instruction in this block.
+    """
+
+    count: int
+    bytes_per_instruction: float = DEFAULT_INSTRUCTION_BYTES
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ProgramStructureError(
+                f"a basic block must contain at least one instruction, got {self.count}"
+            )
+        if self.bytes_per_instruction <= 0:
+            raise ProgramStructureError(
+                "bytes_per_instruction must be positive, got "
+                f"{self.bytes_per_instruction}"
+            )
+
+    @property
+    def byte_size(self) -> int:
+        """Total encoded size of the block in bytes (rounded to whole bytes)."""
+        return max(1, round(self.count * self.bytes_per_instruction))
+
+    def scaled(self, factor: float) -> "InstructionBundle":
+        """Return a bundle with the instruction count scaled by ``factor``.
+
+        Used by workload generators to derive hot/cold variants of a
+        motif without re-specifying byte sizing.
+        """
+        return InstructionBundle(
+            count=max(1, round(self.count * factor)),
+            bytes_per_instruction=self.bytes_per_instruction,
+        )

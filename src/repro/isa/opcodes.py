@@ -1,0 +1,60 @@
+"""Control-transfer taxonomy for basic-block terminators.
+
+The region-selection algorithms in the paper only distinguish branches by
+three properties of the *executed* transfer:
+
+* was the branch taken (fall-throughs never trigger selection logic),
+* is the target address lower than the source (a *backward* branch),
+* is the target encoded in the instruction (direct) or not (indirect).
+
+:class:`BranchKind` captures the static terminator kind; the dynamic
+properties are derived from addresses at execution time.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class BranchKind(enum.Enum):
+    """Kind of control transfer terminating a basic block."""
+
+    #: Two-way conditional branch: a taken target and a fall-through.
+    COND = "cond"
+    #: Unconditional direct jump (always taken).
+    JUMP = "jump"
+    #: Direct procedure call (always taken; pushes a return address).
+    CALL = "call"
+    #: Procedure return (always taken; target comes from the call stack).
+    RETURN = "return"
+    #: Indirect jump/call through a register or table (always taken;
+    #: target chosen dynamically from a set of possible targets).
+    INDIRECT = "indirect"
+    #: No branch: execution falls through to the next block in layout.
+    FALLTHROUGH = "fallthrough"
+    #: Program termination.
+    HALT = "halt"
+
+    @property
+    def is_always_taken(self) -> bool:
+        """True when the transfer is taken on every execution."""
+        return self in _ALWAYS_TAKEN
+
+    @property
+    def may_fall_through(self) -> bool:
+        """True when the block can continue to its layout successor."""
+        return self in (BranchKind.COND, BranchKind.FALLTHROUGH)
+
+    @property
+    def target_is_dynamic(self) -> bool:
+        """True when the target is not known from the instruction.
+
+        Indirect branches and returns require the Figure 14 compact trace
+        encoding to record the target address explicitly ("01" records).
+        """
+        return self in (BranchKind.INDIRECT, BranchKind.RETURN)
+
+
+_ALWAYS_TAKEN = frozenset(
+    {BranchKind.JUMP, BranchKind.CALL, BranchKind.RETURN, BranchKind.INDIRECT}
+)

@@ -1,0 +1,62 @@
+"""The paper's evaluation metrics (Section 2.3 and per-section metrics).
+
+Each metric lives in its own module and consumes a
+:class:`~repro.system.results.RunResult`:
+
+* :mod:`~repro.metrics.locality` — hit rate, region transitions;
+* :mod:`~repro.metrics.expansion` — code expansion, average region
+  size, exit stubs;
+* :mod:`~repro.metrics.coverset` — the X% cover set (90% by default),
+  the paper's best performance predictor;
+* :mod:`~repro.metrics.cycles` — spanned / executed cycle ratios
+  (Section 3.2.1);
+* :mod:`~repro.metrics.domination` — exit domination and
+  exit-dominated duplication (Section 4.1);
+* :mod:`~repro.metrics.memory` — profiling counters (Figure 10) and
+  observed-trace memory relative to the cache size (Figure 18);
+* :mod:`~repro.metrics.summary` — one :class:`MetricReport` per run,
+  plus ratio helpers for the relative figures.
+"""
+
+from repro.metrics.costmodel import (
+    DEFAULT_COST_MODEL,
+    CostModel,
+    estimated_speedup,
+    estimated_time,
+    interpreter_only_time,
+)
+from repro.metrics.coverset import cover_set_size
+from repro.metrics.linking import inter_region_links
+from repro.metrics.cycles import executed_cycle_ratio, spanned_cycle_ratio
+from repro.metrics.domination import DominationReport, analyze_exit_domination
+from repro.metrics.expansion import (
+    average_region_instructions,
+    code_expansion,
+    exit_stub_count,
+)
+from repro.metrics.locality import hit_rate, region_transitions
+from repro.metrics.memory import observed_trace_memory_fraction, peak_counter_memory
+from repro.metrics.summary import MetricReport, safe_ratio
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "estimated_time",
+    "estimated_speedup",
+    "interpreter_only_time",
+    "inter_region_links",
+    "cover_set_size",
+    "spanned_cycle_ratio",
+    "executed_cycle_ratio",
+    "DominationReport",
+    "analyze_exit_domination",
+    "code_expansion",
+    "average_region_instructions",
+    "exit_stub_count",
+    "hit_rate",
+    "region_transitions",
+    "peak_counter_memory",
+    "observed_trace_memory_fraction",
+    "MetricReport",
+    "safe_ratio",
+]

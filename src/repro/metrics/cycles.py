@@ -1,0 +1,33 @@
+"""Cycle metrics (Section 3.2.1).
+
+"The spanned cycle ratio is the percentage of selected traces that
+include a branch to the top of the trace.  The executed cycle ratio is
+the percentage of trace executions that end by taking a branch to the
+top of the trace, thereby executing the entire spanned cycle."
+"""
+
+from __future__ import annotations
+
+from repro.system.results import RunResult
+
+
+def spanned_cycle_ratio(result: RunResult) -> float:
+    """Fraction of selected regions that span a cycle (0..1)."""
+    regions = result.regions
+    if not regions:
+        return 0.0
+    return sum(1 for region in regions if region.spans_cycle) / len(regions)
+
+
+def executed_cycle_ratio(result: RunResult) -> float:
+    """Fraction of region executions ending with a branch to the top.
+
+    A region execution ends either by cycling back to the region's
+    entry (counted in ``cycle_backs``) or by leaving the region
+    (``exit_count``); the ratio is cycles over all execution ends.
+    """
+    cycles = sum(region.cycle_backs for region in result.regions)
+    ends = sum(region.execution_ends for region in result.regions)
+    if ends == 0:
+        return 0.0
+    return cycles / ends

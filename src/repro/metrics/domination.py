@@ -1,0 +1,121 @@
+"""Exit domination analysis (Section 4.1).
+
+"We say that region R exit-dominates region S if three conditions hold.
+First, S begins at an exit from R.  Second, the exit block is the only
+predecessor to the entrance block of S that executes and is not
+contained in S.  Third, R was selected before S."
+
+Domination is computed offline over the run's executed-edge profile
+(footnote 5: only *executed* incoming edges matter — a never-executed
+predecessor does not make separating the regions useful).
+*Exit-dominated duplication* is the instruction mass of blocks the
+dominated region shares with its dominator(s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.cache.region import Region
+from repro.program.cfg import BasicBlock
+from repro.system.results import RunResult
+
+
+@dataclass
+class DominationReport:
+    """Results of the exit-domination analysis for one run."""
+
+    #: Dominated region -> the regions that exit-dominate it.
+    dominators: Dict[Region, Set[Region]] = field(default_factory=dict)
+    #: Number of regions selected in total.
+    region_count: int = 0
+    #: Total instructions selected into the cache.
+    selected_instructions: int = 0
+    #: Instructions in dominated regions that also appear in a dominator.
+    duplicated_instructions: int = 0
+
+    @property
+    def dominated_count(self) -> int:
+        return len(self.dominators)
+
+    @property
+    def dominated_region_fraction(self) -> float:
+        """Fraction of regions that are exit-dominated (Figure 12)."""
+        if self.region_count == 0:
+            return 0.0
+        return self.dominated_count / self.region_count
+
+    @property
+    def max_dominator_fanout(self) -> int:
+        """Most regions exit-dominated by any single region.
+
+        The paper singles out eon for exactly this: "several traces
+        that each exit-dominate a large number of other traces"
+        (constructors of the widely used ggPoint3 class).
+        """
+        fanout: Dict[Region, int] = {}
+        for dominators in self.dominators.values():
+            for dominator in dominators:
+                fanout[dominator] = fanout.get(dominator, 0) + 1
+        return max(fanout.values(), default=0)
+
+    @property
+    def duplication_fraction(self) -> float:
+        """Fraction of selected instructions that are exit-dominated
+        duplication (Figure 11)."""
+        if self.selected_instructions == 0:
+            return 0.0
+        return self.duplicated_instructions / self.selected_instructions
+
+
+def analyze_exit_domination(result: RunResult) -> DominationReport:
+    """Compute exit domination over a finished run."""
+    regions = result.regions
+    report = DominationReport(
+        region_count=len(regions),
+        selected_instructions=sum(r.instruction_count for r in regions),
+    )
+    if len(regions) < 2:
+        return report
+
+    executed_preds: Dict[BasicBlock, Set[BasicBlock]] = {}
+    for (src, dst) in result.edge_profile:
+        executed_preds.setdefault(dst, set()).add(src)
+
+    containing: Dict[BasicBlock, List[Region]] = {}
+    for region in regions:
+        for block in region.block_set:
+            containing.setdefault(block, []).append(region)
+
+    for dominated in regions:
+        entrance = dominated.entry
+        preds = executed_preds.get(entrance, set())
+        outside = [p for p in preds if p not in dominated.block_set]
+        if len(outside) != 1:
+            # Either nothing executed into the entrance from outside, or
+            # several blocks did — in both cases no single exit block
+            # satisfies condition two.
+            continue
+        exit_block = outside[0]
+        assert dominated.selection_order is not None
+        for candidate in containing.get(exit_block, ()):
+            if candidate is dominated:
+                continue
+            assert candidate.selection_order is not None
+            if candidate.selection_order >= dominated.selection_order:
+                continue  # condition three: R selected before S
+            if (exit_block, entrance) in candidate.internal_edges():
+                continue  # the edge stays inside R: not an exit of R
+            report.dominators.setdefault(dominated, set()).add(candidate)
+
+    # Exit-dominated duplication: blocks of a dominated region that also
+    # appear in any of its dominators, weighted by instruction count.
+    for dominated, dominators in report.dominators.items():
+        dominator_blocks: Set[BasicBlock] = set()
+        for dominator in dominators:
+            dominator_blocks |= dominator.block_set
+        for block in dominated.block_set & dominator_blocks:
+            report.duplicated_instructions += block.instruction_count
+
+    return report

@@ -1,0 +1,50 @@
+"""Inter-region link counting (the paper's footnote 9).
+
+"We ignore the memory required for links between regions in the cache.
+Our algorithms are very likely to reduce the number of such links, as
+fewer regions are selected and each contains more related code."
+
+A *link* exists wherever one region's exit stub can be rewritten to
+jump directly to another region's entry.  We count static links over
+the final cache: for every region, each direct (statically-known) exit
+target that is another cached region's entry.  Dynamic exits (returns,
+indirect jumps) resolve through the dispatcher and are not links.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.cache.region import Region
+from repro.isa.opcodes import BranchKind
+from repro.program.cfg import BasicBlock
+from repro.system.results import RunResult
+
+
+def _direct_exit_targets(region: Region) -> Set[BasicBlock]:
+    """Statically-known blocks a region's exits can jump to."""
+    internal = region.internal_edges()
+    targets: Set[BasicBlock] = set()
+    for block in region.block_set:
+        term = block.terminator
+        kind = term.kind
+        candidates = []
+        if kind in (BranchKind.COND, BranchKind.JUMP, BranchKind.CALL):
+            candidates.append(term.taken_target)
+        if kind.may_fall_through:
+            candidates.append(block.fallthrough)
+        for target in candidates:
+            if target is not None and (block, target) not in internal:
+                targets.add(target)
+    return targets
+
+
+def inter_region_links(result: RunResult) -> int:
+    """Number of direct exit-stub -> region-entry links in the cache."""
+    entries = {region.entry for region in result.regions}
+    links = 0
+    for region in result.regions:
+        for target in _direct_exit_targets(region):
+            if target in entries and target is not region.entry:
+                links += 1
+    return links

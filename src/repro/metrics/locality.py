@@ -1,0 +1,22 @@
+"""Locality metrics: hit rate and region transitions (Section 2.3).
+
+"The hit rate for a program is the percentage of executed program
+instructions that execute from the code cache." ... "A region
+transition is a jump between regions in the code cache, which are often
+far apart.  Fewer region transitions implies better locality of
+execution."
+"""
+
+from __future__ import annotations
+
+from repro.system.results import RunResult
+
+
+def hit_rate(result: RunResult) -> float:
+    """Fraction (0..1) of executed instructions run from the cache."""
+    return result.hit_rate
+
+
+def region_transitions(result: RunResult) -> int:
+    """Count of direct region-to-region jumps during the run."""
+    return result.stats.region_transitions

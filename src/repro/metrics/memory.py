@@ -1,0 +1,36 @@
+"""Profiling memory metrics (Sections 3.2.4 and 4.3.4).
+
+Two distinct costs:
+
+* **Counter memory** (Figure 10): the maximum number of profiling
+  counters simultaneously live.  Both NET and LEI recycle counters at
+  the threshold, so peak concurrency — not total allocations — is what
+  a real implementation must reserve.
+* **Observed-trace memory** (Figure 18): the peak bytes of stored
+  compact traces during trace combination, reported as a fraction of
+  the estimated final code cache size (instruction bytes plus 10 bytes
+  per exit stub), exactly the paper's normalization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.system.results import RunResult
+
+
+def peak_counter_memory(result: RunResult) -> int:
+    """Maximum number of simultaneously live profiling counters."""
+    return result.peak_counters
+
+
+def observed_trace_memory_fraction(result: RunResult) -> Optional[float]:
+    """Peak observed-trace bytes over estimated cache bytes.
+
+    ``None`` when the run cached nothing (the fraction is undefined);
+    0.0 for plain (non-combining) selectors.
+    """
+    cache_bytes = result.cache_size_estimate
+    if cache_bytes == 0:
+        return None
+    return result.peak_observed_trace_bytes / cache_bytes

@@ -1,0 +1,73 @@
+"""Per-run metric reports and ratio helpers for the relative figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.coverset import cover_set_size
+from repro.metrics.cycles import executed_cycle_ratio, spanned_cycle_ratio
+from repro.metrics.domination import analyze_exit_domination
+from repro.metrics.memory import observed_trace_memory_fraction
+from repro.system.results import RunResult
+
+
+def safe_ratio(numerator: float, denominator: float) -> Optional[float]:
+    """``numerator / denominator`` with ``None`` for undefined ratios."""
+    if denominator == 0:
+        return None
+    return numerator / denominator
+
+
+@dataclass(frozen=True)
+class MetricReport:
+    """Every paper metric for one (benchmark, selector) run."""
+
+    program: str
+    selector: str
+    hit_rate: float
+    code_expansion: int
+    exit_stubs: int
+    region_count: int
+    region_transitions: int
+    average_region_instructions: float
+    spanned_cycle_ratio: float
+    executed_cycle_ratio: float
+    cover_set_90: Optional[int]
+    peak_counters: int
+    observed_trace_memory_fraction: Optional[float]
+    exit_dominated_regions: int
+    exit_dominated_region_fraction: float
+    exit_dominated_duplication_fraction: float
+    exit_dominated_duplicated_instructions: int
+    max_dominator_fanout: int
+    cache_size_estimate: int
+    total_instructions: int
+    interpreted_instructions: int
+
+    @classmethod
+    def from_result(cls, result: RunResult) -> "MetricReport":
+        domination = analyze_exit_domination(result)
+        return cls(
+            program=result.program_name,
+            selector=result.selector_name,
+            hit_rate=result.hit_rate,
+            code_expansion=result.code_expansion,
+            exit_stubs=result.exit_stubs,
+            region_count=result.region_count,
+            region_transitions=result.region_transitions,
+            average_region_instructions=result.average_trace_instructions,
+            spanned_cycle_ratio=spanned_cycle_ratio(result),
+            executed_cycle_ratio=executed_cycle_ratio(result),
+            cover_set_90=cover_set_size(result, 0.9),
+            peak_counters=result.peak_counters,
+            observed_trace_memory_fraction=observed_trace_memory_fraction(result),
+            exit_dominated_regions=domination.dominated_count,
+            exit_dominated_region_fraction=domination.dominated_region_fraction,
+            exit_dominated_duplication_fraction=domination.duplication_fraction,
+            exit_dominated_duplicated_instructions=domination.duplicated_instructions,
+            max_dominator_fanout=domination.max_dominator_fanout,
+            cache_size_estimate=result.cache_size_estimate,
+            total_instructions=result.total_instructions_executed,
+            interpreted_instructions=result.stats.interp_instructions,
+        )

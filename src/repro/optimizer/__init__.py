@@ -1,0 +1,20 @@
+"""Optimization-opportunity analysis (Section 4.4).
+
+The paper argues multi-path regions are better *optimization* units
+than traces for three reasons: code layout dominates Dynamo's speedup
+(removing unconditional jumps), regions holding both sides of an
+if-else let redundancy elimination skip compensation code, and a region
+holding a cycle *plus* blocks outside it gives loop-invariant code
+motion somewhere to hoist to — "even a trace that spans a cycle cannot
+perform this optimization, because it has nowhere outside the cycle to
+move an instruction".
+
+This package quantifies those opportunities for any selected region, so
+the Section 4.4 discussion becomes a measurable comparison between
+selectors (see ``benchmarks/test_optimization_opportunities.py``).
+"""
+
+from repro.optimizer.opportunities import RegionOpportunities, analyze_region
+from repro.optimizer.report import OptimizationReport
+
+__all__ = ["RegionOpportunities", "analyze_region", "OptimizationReport"]

@@ -1,0 +1,114 @@
+"""Per-region optimization opportunity analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set
+
+from repro.cache.region import Region
+from repro.isa.opcodes import BranchKind
+from repro.program.cfg import BasicBlock
+
+
+@dataclass(frozen=True)
+class RegionOpportunities:
+    """What an optimizer could do with one cached region (Section 4.4)."""
+
+    region_kind: str
+    block_count: int
+    instruction_count: int
+    #: Internal edges realized by unconditional jumps or calls: laying
+    #: the region out contiguously deletes these instructions outright —
+    #: the code-layout benefit that provides "roughly two-thirds of the
+    #: average performance speedup" in Dynamo.
+    removed_jumps: int
+    #: Blocks with two or more internal predecessors.  A join means the
+    #: region holds multiple paths into the same code: redundancy
+    #: elimination can work across it without compensation code.
+    internal_joins: int
+    #: Blocks with two or more internal successors (the matching splits).
+    internal_splits: int
+    #: Splits whose *both* direct successors are inside the region —
+    #: complete if-else contexts.
+    complete_diamonds: int
+    #: The region contains a cycle among its internal edges.
+    has_cycle: bool
+    #: The region contains a cycle *and* at least one block outside that
+    #: cycle: loop-invariant code motion has somewhere to hoist to.
+    #: Always False for traces, even cycle-spanning ones.
+    licm_ready: bool
+
+    @property
+    def is_multipath(self) -> bool:
+        return self.internal_joins > 0 or self.internal_splits > 0
+
+
+def _cycle_members(
+    blocks: FrozenSet[BasicBlock],
+    successors: Dict[BasicBlock, Set[BasicBlock]],
+) -> Set[BasicBlock]:
+    """Blocks that lie on some internal cycle (reachable from themselves).
+
+    Regions are small (tens of blocks), so the O(n * e) reachability
+    sweep is cheaper than a Tarjan SCC pass would be to maintain.
+    """
+    members: Set[BasicBlock] = set()
+    for start in blocks:
+        frontier = list(successors.get(start, ()))
+        seen: Set[BasicBlock] = set()
+        while frontier:
+            block = frontier.pop()
+            if block is start:
+                members.add(start)
+                break
+            if block in seen:
+                continue
+            seen.add(block)
+            frontier.extend(successors.get(block, ()))
+    return members
+
+
+def analyze_region(region: Region) -> RegionOpportunities:
+    """Quantify Section 4.4's optimization opportunities for a region."""
+    edges = region.internal_edges()
+    blocks = region.block_set
+
+    predecessors: Dict[BasicBlock, Set[BasicBlock]] = {}
+    successors: Dict[BasicBlock, Set[BasicBlock]] = {}
+    for src, dst in edges:
+        successors.setdefault(src, set()).add(dst)
+        predecessors.setdefault(dst, set()).add(src)
+
+    removed_jumps = sum(
+        1
+        for src, dst in edges
+        if src.terminator.kind in (BranchKind.JUMP, BranchKind.CALL)
+        and src.terminator.taken_target is dst
+    )
+    internal_joins = sum(1 for preds in predecessors.values() if len(preds) >= 2)
+    internal_splits = sum(1 for succs in successors.values() if len(succs) >= 2)
+
+    complete_diamonds = 0
+    for block, succs in successors.items():
+        if len(succs) < 2:
+            continue
+        term = block.terminator
+        if term.kind is BranchKind.COND:
+            if term.taken_target in blocks and block.fallthrough in blocks:
+                complete_diamonds += 1
+
+    cycle = _cycle_members(blocks, successors)
+    has_cycle = bool(cycle)
+    licm_ready = has_cycle and len(cycle) < len(blocks)
+
+    return RegionOpportunities(
+        region_kind=region.kind,
+        block_count=len(blocks),
+        instruction_count=region.instruction_count,
+        removed_jumps=removed_jumps,
+        internal_joins=internal_joins,
+        internal_splits=internal_splits,
+        complete_diamonds=complete_diamonds,
+        has_cycle=has_cycle,
+        licm_ready=licm_ready,
+    )

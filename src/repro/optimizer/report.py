@@ -1,0 +1,56 @@
+"""Aggregate optimization-opportunity reports over a whole cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.cache.region import Region
+from repro.optimizer.opportunities import RegionOpportunities, analyze_region
+
+
+@dataclass(frozen=True)
+class OptimizationReport:
+    """Section 4.4's three factors, summed over all selected regions."""
+
+    regions_analyzed: int
+    multipath_regions: int
+    #: Factor one: unconditional transfers deleted by contiguous layout.
+    removed_jumps: int
+    #: Factor two: join/split context available to the optimizer.
+    internal_joins: int
+    internal_splits: int
+    complete_diamonds: int
+    #: Loop context: regions holding a cycle at all, and regions where
+    #: loop-invariant code motion has a hoist target.
+    regions_with_cycles: int
+    licm_ready_regions: int
+    #: Cycles with no hoisting space (every cycle-spanning *trace*).
+    cycles_without_hoist_space: int
+
+    @classmethod
+    def from_regions(cls, regions: Iterable[Region]) -> "OptimizationReport":
+        analyses: List[RegionOpportunities] = [
+            analyze_region(region) for region in regions
+        ]
+        with_cycles = sum(1 for a in analyses if a.has_cycle)
+        licm_ready = sum(1 for a in analyses if a.licm_ready)
+        return cls(
+            regions_analyzed=len(analyses),
+            multipath_regions=sum(1 for a in analyses if a.is_multipath),
+            removed_jumps=sum(a.removed_jumps for a in analyses),
+            internal_joins=sum(a.internal_joins for a in analyses),
+            internal_splits=sum(a.internal_splits for a in analyses),
+            complete_diamonds=sum(a.complete_diamonds for a in analyses),
+            regions_with_cycles=with_cycles,
+            licm_ready_regions=licm_ready,
+            cycles_without_hoist_space=with_cycles - licm_ready,
+        )
+
+    def summary_line(self) -> str:
+        return (
+            f"regions={self.regions_analyzed} multipath={self.multipath_regions} "
+            f"removed_jumps={self.removed_jumps} joins={self.internal_joins} "
+            f"diamonds={self.complete_diamonds} cycles={self.regions_with_cycles} "
+            f"licm_ready={self.licm_ready_regions}"
+        )

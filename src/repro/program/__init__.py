@@ -1,0 +1,29 @@
+"""Static program representation: blocks, procedures, programs, builder.
+
+A :class:`~repro.program.program.Program` is an ordered list of
+procedures, each an ordered list of basic blocks.  Order matters: the
+address layout pass assigns increasing byte addresses in declaration
+order, and *backward branch* (the pivotal notion in both NET and LEI)
+is defined purely by comparing the branch's source and target
+addresses.  Workloads therefore control branch direction by choosing
+where procedures and blocks are declared — exactly as link order does
+for real binaries (see Figure 2's "the function beginning with E is at
+a lower address" caption).
+"""
+
+from repro.program.cfg import BasicBlock, Terminator
+from repro.program.procedure import Procedure
+from repro.program.program import Program
+from repro.program.builder import BlockHandle, ProcedureBuilder, ProgramBuilder
+from repro.program.validate import validate_program
+
+__all__ = [
+    "BasicBlock",
+    "Terminator",
+    "Procedure",
+    "Program",
+    "ProgramBuilder",
+    "ProcedureBuilder",
+    "BlockHandle",
+    "validate_program",
+]

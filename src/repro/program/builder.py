@@ -1,0 +1,213 @@
+"""Fluent builder for synthetic programs.
+
+All workloads, examples and most tests construct programs through this
+DSL rather than instantiating blocks directly::
+
+    pb = ProgramBuilder("demo")
+    main = pb.procedure("main")
+    main.block("head", insts=4).cond("body", model=LoopTrip(100))
+    main.block("body", insts=8).jump("head")
+    main.block("done", insts=1).halt()
+    program = pb.build()
+
+Target references accept a :class:`BlockHandle`, a bare label in the
+same procedure, a procedure name (meaning that procedure's entry), or
+an explicit ``"proc:label"`` string.  Resolution happens at build time,
+so forward references are fine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+from repro.behavior.models import BranchModel, IndirectModel, TableIndirect
+from repro.errors import ProgramStructureError
+from repro.isa.instruction import DEFAULT_INSTRUCTION_BYTES, InstructionBundle
+from repro.isa.opcodes import BranchKind
+from repro.program.cfg import BasicBlock, Terminator
+from repro.program.layout import DEFAULT_BASE_ADDRESS
+from repro.program.procedure import Procedure
+from repro.program.program import Program
+
+TargetSpec = Union[str, "BlockHandle"]
+
+
+def _ref_of(target: TargetSpec) -> str:
+    if isinstance(target, BlockHandle):
+        return f"{target.procedure_name}:{target.label}"
+    if isinstance(target, str) and target:
+        return target
+    raise ProgramStructureError(f"invalid branch target spec: {target!r}")
+
+
+class BlockHandle:
+    """Handle to a block under construction; terminator setters live here.
+
+    Each terminator setter may be called at most once; a block left
+    without a terminator becomes a plain fall-through block.
+    """
+
+    def __init__(self, builder: "ProcedureBuilder", block: BasicBlock) -> None:
+        self._builder = builder
+        self._block = block
+        self._terminated = False
+
+    @property
+    def label(self) -> str:
+        return self._block.label
+
+    @property
+    def procedure_name(self) -> str:
+        return self._builder.name
+
+    @property
+    def raw_block(self) -> BasicBlock:
+        """The underlying block (addresses resolve only after build())."""
+        return self._block
+
+    def _set(self, terminator: Terminator) -> "BlockHandle":
+        if self._terminated:
+            raise ProgramStructureError(
+                f"block {self._block.label!r} already has a terminator"
+            )
+        self._block.terminator = terminator
+        self._terminated = True
+        return self
+
+    def cond(self, taken: TargetSpec, model: BranchModel) -> "BlockHandle":
+        """Conditional branch: ``taken`` target plus implicit fall-through."""
+        return self._set(Terminator(BranchKind.COND, _ref_of(taken), model=model))
+
+    def jump(self, target: TargetSpec) -> "BlockHandle":
+        """Unconditional direct jump."""
+        return self._set(Terminator(BranchKind.JUMP, _ref_of(target)))
+
+    def call(self, target: TargetSpec) -> "BlockHandle":
+        """Direct call; the next declared block is the return site."""
+        return self._set(Terminator(BranchKind.CALL, _ref_of(target)))
+
+    def ret(self) -> "BlockHandle":
+        """Return to the pending call site."""
+        return self._set(Terminator(BranchKind.RETURN))
+
+    def indirect(
+        self,
+        targets: Union[Dict[TargetSpec, float], Sequence[TargetSpec]],
+        model: Optional[IndirectModel] = None,
+    ) -> "BlockHandle":
+        """Indirect jump over a target table.
+
+        Pass a ``{target: weight}`` dict to get a
+        :class:`~repro.behavior.models.TableIndirect` model implicitly,
+        or a sequence of targets plus an explicit model.
+        """
+        if isinstance(targets, dict):
+            if model is not None:
+                raise ProgramStructureError(
+                    "pass either a weight dict or an explicit model, not both"
+                )
+            refs = tuple(_ref_of(t) for t in targets)
+            model = TableIndirect(tuple(targets.values()))
+        else:
+            refs = tuple(_ref_of(t) for t in targets)
+            if model is None:
+                raise ProgramStructureError(
+                    "an indirect branch with a target sequence needs a model"
+                )
+        return self._set(
+            Terminator(BranchKind.INDIRECT, indirect_refs=refs, indirect_model=model)
+        )
+
+    def halt(self) -> "BlockHandle":
+        """Terminate the program."""
+        return self._set(Terminator(BranchKind.HALT))
+
+    def fallthrough(self) -> "BlockHandle":
+        """Explicit fall-through (the default for unterminated blocks)."""
+        return self._set(Terminator(BranchKind.FALLTHROUGH))
+
+
+class ProcedureBuilder:
+    """Builds one procedure; obtained from :meth:`ProgramBuilder.procedure`."""
+
+    def __init__(self, program_builder: "ProgramBuilder", name: str) -> None:
+        self._program_builder = program_builder
+        self._procedure = Procedure(name)
+        self._handles: Dict[str, BlockHandle] = {}
+
+    @property
+    def name(self) -> str:
+        return self._procedure.name
+
+    @property
+    def procedure(self) -> Procedure:
+        return self._procedure
+
+    def block(
+        self,
+        label: str,
+        insts: int = 1,
+        bytes_per_instruction: float = DEFAULT_INSTRUCTION_BYTES,
+    ) -> BlockHandle:
+        """Declare the next block of this procedure."""
+        bundle = InstructionBundle(insts, bytes_per_instruction)
+        block = BasicBlock(label, bundle, Terminator(BranchKind.FALLTHROUGH))
+        self._procedure.add_block(block)
+        handle = BlockHandle(self, block)
+        self._handles[label] = handle
+        return handle
+
+    def linear(self, labels: Iterable[str], insts: int = 1) -> Tuple[BlockHandle, ...]:
+        """Declare several consecutive fall-through blocks at once."""
+        return tuple(self.block(label, insts=insts) for label in labels)
+
+    def handle(self, label: str) -> BlockHandle:
+        try:
+            return self._handles[label]
+        except KeyError:
+            raise ProgramStructureError(
+                f"no block {label!r} declared in procedure {self.name!r}"
+            ) from None
+
+
+class ProgramBuilder:
+    """Top-level builder; procedures lay out in declaration order.
+
+    Declaration order is semantically meaningful: it fixes addresses,
+    and addresses fix which branches are backward.  Declaring a callee
+    *before* its caller makes calls to it backward branches (Figure 2's
+    scenario); declaring it after makes them forward.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base_address: int = DEFAULT_BASE_ADDRESS,
+        entry: Optional[str] = None,
+    ) -> None:
+        self._program = Program(name)
+        self._program.entry_procedure_name = entry
+        self._base_address = base_address
+        self._builders: Dict[str, ProcedureBuilder] = {}
+
+    @property
+    def name(self) -> str:
+        return self._program.name
+
+    def set_entry(self, procedure_name: str) -> "ProgramBuilder":
+        """Name the procedure execution starts in (default: first declared)."""
+        self._program.entry_procedure_name = procedure_name
+        return self
+
+    def procedure(self, name: str) -> ProcedureBuilder:
+        """Declare (or retrieve) a procedure builder."""
+        if name in self._builders:
+            return self._builders[name]
+        builder = ProcedureBuilder(self, name)
+        self._program.add_procedure(builder.procedure)
+        self._builders[name] = builder
+        return builder
+
+    def build(self) -> Program:
+        """Finalize and return the program (layout, resolve, validate)."""
+        return self._program.finalize(self._base_address)

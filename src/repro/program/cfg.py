@@ -1,0 +1,121 @@
+"""Basic blocks and their terminating control transfers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, TYPE_CHECKING
+
+from repro.behavior.models import BranchModel, IndirectModel
+from repro.errors import LayoutError
+from repro.isa.instruction import InstructionBundle
+from repro.isa.opcodes import BranchKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.program.procedure import Procedure
+
+
+class Terminator:
+    """The control transfer ending a basic block.
+
+    Target references are stored as unresolved ``"proc:label"`` strings
+    by the builder and resolved to :class:`BasicBlock` objects when the
+    program is finalized.
+    """
+
+    __slots__ = (
+        "kind",
+        "taken_ref",
+        "indirect_refs",
+        "model",
+        "indirect_model",
+        "taken_target",
+        "indirect_targets",
+    )
+
+    def __init__(
+        self,
+        kind: BranchKind,
+        taken_ref: Optional[str] = None,
+        indirect_refs: Tuple[str, ...] = (),
+        model: Optional[BranchModel] = None,
+        indirect_model: Optional[IndirectModel] = None,
+    ) -> None:
+        self.kind = kind
+        self.taken_ref = taken_ref
+        self.indirect_refs = indirect_refs
+        self.model = model
+        self.indirect_model = indirect_model
+        # Resolved at Program.finalize() time.
+        self.taken_target: Optional[BasicBlock] = None
+        self.indirect_targets: Tuple[BasicBlock, ...] = ()
+
+    def __repr__(self) -> str:
+        if self.kind is BranchKind.INDIRECT:
+            return f"Terminator({self.kind.value}, targets={list(self.indirect_refs)})"
+        return f"Terminator({self.kind.value}, taken={self.taken_ref!r})"
+
+
+class BasicBlock:
+    """One basic block: a bundle of instructions plus one terminator.
+
+    Identity is by object; equality/hash are identity-based on purpose,
+    because two blocks with the same label in different programs are
+    different blocks.  After :meth:`repro.program.program.Program.finalize`
+    the block also carries its assigned address range and a dense
+    ``block_id`` used by the binary trace format.
+    """
+
+    __slots__ = (
+        "label",
+        "bundle",
+        "terminator",
+        "procedure",
+        "fallthrough",
+        "address",
+        "end_address",
+        "block_id",
+    )
+
+    def __init__(self, label: str, bundle: InstructionBundle, terminator: Terminator) -> None:
+        self.label = label
+        self.bundle = bundle
+        self.terminator = terminator
+        # Wired up when the block is added to a procedure / program.
+        self.procedure: Optional["Procedure"] = None
+        self.fallthrough: Optional[BasicBlock] = None
+        self.address: Optional[int] = None
+        self.end_address: Optional[int] = None
+        self.block_id: Optional[int] = None
+
+    @property
+    def full_label(self) -> str:
+        """Procedure-qualified label, e.g. ``"main:loop_head"``."""
+        proc = self.procedure.name if self.procedure is not None else "?"
+        return f"{proc}:{self.label}"
+
+    @property
+    def instruction_count(self) -> int:
+        return self.bundle.count
+
+    @property
+    def byte_size(self) -> int:
+        return self.bundle.byte_size
+
+    def require_address(self) -> int:
+        """Return the block's address, raising if layout has not run."""
+        if self.address is None:
+            raise LayoutError(f"block {self.full_label} has no address; finalize first")
+        return self.address
+
+    def is_backward_transfer_to(self, target: "BasicBlock") -> bool:
+        """True when a taken branch from this block to ``target`` is backward.
+
+        Backward means the target address is not greater than the source
+        address of the branch instruction (the last instruction of this
+        block) — the paper's ``tgt <= src`` test from Figure 5 line 9.
+        """
+        if self.end_address is None or target.address is None:
+            raise LayoutError("cannot classify branch direction before layout")
+        return target.address <= self.end_address
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.full_label} x{self.bundle.count}>"

@@ -1,0 +1,73 @@
+"""Graphviz export of program CFGs, for debugging and the examples.
+
+The output is plain DOT text; no graphviz dependency is required to
+generate it (only to render it, which is optional).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, TYPE_CHECKING
+
+from repro.isa.opcodes import BranchKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.program.program import Program
+    from repro.program.cfg import BasicBlock
+
+
+def _node_id(block: "BasicBlock") -> str:
+    return block.full_label.replace(":", "__").replace(".", "_")
+
+
+def program_to_dot(
+    program: "Program",
+    highlight: Optional[Set["BasicBlock"]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a finalized program as a DOT digraph string.
+
+    ``highlight`` blocks (for example, the blocks chosen into a region)
+    are drawn filled.  Call/return structure is shown with dashed edges.
+    """
+    highlight = highlight or set()
+    lines: List[str] = ["digraph program {", "  node [shape=box, fontname=monospace];"]
+    if title:
+        lines.append(f'  label="{title}"; labelloc=top;')
+
+    for procedure in program.procedures:
+        lines.append(f"  subgraph cluster_{procedure.name} {{")
+        lines.append(f'    label="{procedure.name}";')
+        for block in procedure.blocks:
+            style = ', style=filled, fillcolor="#cde7ff"' if block in highlight else ""
+            addr = f"0x{block.address:x}" if block.address is not None else "?"
+            lines.append(
+                f'    {_node_id(block)} [label="{block.label}\\n{addr} '
+                f'x{block.instruction_count}"{style}];'
+            )
+        lines.append("  }")
+
+    for block in program.blocks:
+        term = block.terminator
+        kind = term.kind
+        src = _node_id(block)
+        if kind is BranchKind.COND:
+            assert term.taken_target is not None and block.fallthrough is not None
+            lines.append(f'  {src} -> {_node_id(term.taken_target)} [label="T"];')
+            lines.append(f'  {src} -> {_node_id(block.fallthrough)} [label="F"];')
+        elif kind is BranchKind.JUMP:
+            assert term.taken_target is not None
+            lines.append(f"  {src} -> {_node_id(term.taken_target)};")
+        elif kind is BranchKind.CALL:
+            assert term.taken_target is not None
+            lines.append(
+                f'  {src} -> {_node_id(term.taken_target)} [style=dashed, label="call"];'
+            )
+        elif kind is BranchKind.INDIRECT:
+            for target in term.indirect_targets:
+                lines.append(f"  {src} -> {_node_id(target)} [style=dotted];")
+        elif kind is BranchKind.FALLTHROUGH and block.fallthrough is not None:
+            lines.append(f"  {src} -> {_node_id(block.fallthrough)};")
+        # RETURN/HALT edges are dynamic; omitted.
+
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Address layout: assign byte addresses to every block.
+
+Layout walks procedures and blocks in declaration order and assigns each
+block a contiguous byte range.  A taken branch is *backward* exactly
+when its target address is not greater than the address of the branch
+instruction itself (the last instruction of the source block); both NET
+and LEI key their start conditions on this property, so layout is what
+ultimately decides which branch targets are profiled.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import LayoutError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.program.program import Program
+
+#: Default image base, chosen to look like a conventional ELF text base.
+DEFAULT_BASE_ADDRESS = 0x400000
+
+#: Gap inserted between procedures, modelling alignment padding.  A
+#: non-zero gap keeps "call to next procedure" a forward branch even
+#: when the caller's last block abuts the callee.
+PROCEDURE_PADDING = 16
+
+
+def assign_addresses(
+    program: "Program",
+    base_address: int = DEFAULT_BASE_ADDRESS,
+    procedure_padding: int = PROCEDURE_PADDING,
+) -> int:
+    """Assign addresses to all blocks; return the end of the image.
+
+    The source address of a block's terminator is taken to be the
+    block's last byte (``end_address``); branch direction tests compare
+    target block addresses against it.
+    """
+    if base_address < 0:
+        raise LayoutError(f"base address must be non-negative, got {base_address}")
+    if procedure_padding < 0:
+        raise LayoutError(f"padding must be non-negative, got {procedure_padding}")
+
+    cursor = base_address
+    block_id = 0
+    for procedure in program.procedures:
+        for block in procedure.blocks:
+            block.address = cursor
+            block.end_address = cursor + block.byte_size - 1
+            block.block_id = block_id
+            block_id += 1
+            cursor += block.byte_size
+        cursor += procedure_padding
+    return cursor

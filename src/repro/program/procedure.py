@@ -1,0 +1,71 @@
+"""Procedures: named, ordered sequences of basic blocks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.errors import ProgramStructureError
+from repro.program.cfg import BasicBlock
+
+
+class Procedure:
+    """A procedure is an ordered list of blocks; the first is its entry.
+
+    Block order determines both fall-through successors and address
+    layout within the procedure.
+    """
+
+    __slots__ = ("name", "blocks", "_by_label")
+
+    def __init__(self, name: str) -> None:
+        if not name or ":" in name:
+            raise ProgramStructureError(
+                f"procedure name must be non-empty and contain no ':', got {name!r}"
+            )
+        self.name = name
+        self.blocks: List[BasicBlock] = []
+        self._by_label: Dict[str, BasicBlock] = {}
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if block.label in self._by_label:
+            raise ProgramStructureError(
+                f"duplicate block label {block.label!r} in procedure {self.name!r}"
+            )
+        if block.procedure is not None:
+            raise ProgramStructureError(
+                f"block {block.full_label} already belongs to a procedure"
+            )
+        block.procedure = self
+        self.blocks.append(block)
+        self._by_label[block.label] = block
+        return block
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ProgramStructureError(f"procedure {self.name!r} has no blocks")
+        return self.blocks[0]
+
+    def block(self, label: str) -> BasicBlock:
+        try:
+            return self._by_label[label]
+        except KeyError:
+            raise ProgramStructureError(
+                f"no block {label!r} in procedure {self.name!r}"
+            ) from None
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._by_label
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(block.instruction_count for block in self.blocks)
+
+    def __repr__(self) -> str:
+        return f"<Procedure {self.name} blocks={len(self.blocks)}>"

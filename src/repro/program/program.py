@@ -1,0 +1,238 @@
+"""The Program: ordered procedures plus finalization (layout + resolution)."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import LayoutError, ProgramStructureError
+from repro.isa.opcodes import BranchKind
+from repro.program.cfg import BasicBlock
+from repro.program.layout import DEFAULT_BASE_ADDRESS, assign_addresses
+from repro.program.procedure import Procedure
+
+
+class Program:
+    """An executable synthetic program.
+
+    Lifecycle: construct (usually via
+    :class:`~repro.program.builder.ProgramBuilder`), add procedures and
+    blocks, then :meth:`finalize` — which lays out addresses, resolves
+    branch target references, wires fall-through successors, and
+    validates structure.  Finalized programs are immutable by
+    convention; the execution engine and all selectors only read them.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ProgramStructureError("program name must be non-empty")
+        self.name = name
+        self.procedures: List[Procedure] = []
+        self._procs_by_name: Dict[str, Procedure] = {}
+        self._blocks: List[BasicBlock] = []
+        self._finalized = False
+        self.image_end: Optional[int] = None
+        #: Name of the procedure execution starts in; defaults to the
+        #: first declared procedure.  Separate from layout order so a
+        #: workload can place callees at lower addresses (making calls
+        #: to them *backward* branches, as in Figure 2) while still
+        #: starting execution in main.
+        self.entry_procedure_name: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_procedure(self, procedure: Procedure) -> Procedure:
+        if self._finalized:
+            raise ProgramStructureError("cannot add procedures after finalize()")
+        if procedure.name in self._procs_by_name:
+            raise ProgramStructureError(f"duplicate procedure {procedure.name!r}")
+        self.procedures.append(procedure)
+        self._procs_by_name[procedure.name] = procedure
+        return procedure
+
+    def procedure(self, name: str) -> Procedure:
+        try:
+            return self._procs_by_name[name]
+        except KeyError:
+            raise ProgramStructureError(f"no procedure named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def finalize(self, base_address: int = DEFAULT_BASE_ADDRESS) -> "Program":
+        """Lay out, resolve, wire and validate the program.
+
+        Idempotent: calling finalize twice is an error, to catch
+        accidental mutation of a shared program.
+        """
+        # Imported here to avoid a module cycle (validate imports Program
+        # for type checking only, but keep it simple).
+        from repro.program.validate import validate_program
+
+        if self._finalized:
+            raise ProgramStructureError(f"program {self.name!r} already finalized")
+        if not self.procedures:
+            raise ProgramStructureError(f"program {self.name!r} has no procedures")
+        if (
+            self.entry_procedure_name is not None
+            and self.entry_procedure_name not in self._procs_by_name
+        ):
+            raise ProgramStructureError(
+                f"entry procedure {self.entry_procedure_name!r} does not exist"
+            )
+
+        self._blocks = [block for proc in self.procedures for block in proc.blocks]
+        self.image_end = assign_addresses(self, base_address)
+        self._wire_fallthroughs()
+        self._resolve_targets()
+        validate_program(self)
+        self._block_starts = [block.address for block in self._blocks]
+        self._finalized = True
+        return self
+
+    def _wire_fallthroughs(self) -> None:
+        for procedure in self.procedures:
+            blocks = procedure.blocks
+            for index, block in enumerate(blocks):
+                nxt = blocks[index + 1] if index + 1 < len(blocks) else None
+                block.fallthrough = nxt
+
+    def _resolve_one(self, owner: BasicBlock, ref: str) -> BasicBlock:
+        """Resolve a ``"label"``, ``"proc:"`` or ``"proc:label"`` reference."""
+        if ":" in ref:
+            proc_name, _, label = ref.partition(":")
+            procedure = self.procedure(proc_name)
+            if label:
+                return procedure.block(label)
+            return procedure.entry
+        # Bare name: a label in the owner's procedure wins, else it names
+        # a procedure's entry block.
+        assert owner.procedure is not None
+        if ref in owner.procedure:
+            return owner.procedure.block(ref)
+        if ref in self._procs_by_name:
+            return self._procs_by_name[ref].entry
+        raise ProgramStructureError(
+            f"unresolved branch target {ref!r} in block {owner.full_label}"
+        )
+
+    def _resolve_targets(self) -> None:
+        for block in self._blocks:
+            term = block.terminator
+            if term.taken_ref is not None:
+                term.taken_target = self._resolve_one(block, term.taken_ref)
+            if term.indirect_refs:
+                term.indirect_targets = tuple(
+                    self._resolve_one(block, ref) for ref in term.indirect_refs
+                )
+
+    # ------------------------------------------------------------------
+    # Finalized accessors
+    # ------------------------------------------------------------------
+    def _require_finalized(self) -> None:
+        if not self._finalized:
+            raise LayoutError(f"program {self.name!r} is not finalized")
+
+    @property
+    def is_finalized(self) -> bool:
+        return self._finalized
+
+    @property
+    def entry(self) -> BasicBlock:
+        """The program entry block.
+
+        The entry block of :attr:`entry_procedure_name` when set,
+        otherwise the first block of the first declared procedure.
+        """
+        if self.entry_procedure_name is not None:
+            return self.procedure(self.entry_procedure_name).entry
+        return self.procedures[0].entry
+
+    @property
+    def blocks(self) -> List[BasicBlock]:
+        self._require_finalized()
+        return self._blocks
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks) if self._finalized else sum(
+            len(p) for p in self.procedures
+        )
+
+    @property
+    def instruction_count(self) -> int:
+        """Static instruction count over all blocks."""
+        source = self._blocks if self._finalized else [
+            b for p in self.procedures for b in p.blocks
+        ]
+        return sum(block.instruction_count for block in source)
+
+    def block_by_id(self, block_id: int) -> BasicBlock:
+        self._require_finalized()
+        try:
+            block = self._blocks[block_id]
+        except IndexError:
+            raise ProgramStructureError(
+                f"block id {block_id} out of range for program {self.name!r}"
+            ) from None
+        return block
+
+    def block_at_address(self, address: int) -> BasicBlock:
+        """Return the block whose byte range contains ``address``.
+
+        This is the "decode the instruction at this address" primitive
+        the compact trace representation of Figure 14 relies on.
+        """
+        self._require_finalized()
+        index = bisect.bisect_right(self._block_starts, address) - 1
+        if index >= 0:
+            block = self._blocks[index]
+            assert block.address is not None and block.end_address is not None
+            if block.address <= address <= block.end_address:
+                return block
+        raise ProgramStructureError(
+            f"address 0x{address:x} falls outside every block of "
+            f"program {self.name!r}"
+        )
+
+    def block_by_full_label(self, full_label: str) -> BasicBlock:
+        proc_name, _, label = full_label.partition(":")
+        return self.procedure(proc_name).block(label)
+
+    def static_successors(self, block: BasicBlock) -> List[BasicBlock]:
+        """All statically-possible successors of a block.
+
+        Returns do not have static successors (the callee cannot know
+        its callers here); callers needing return successors should use
+        an executed-edge profile instead.
+        """
+        self._require_finalized()
+        term = block.terminator
+        kind = term.kind
+        succs: List[BasicBlock] = []
+        if kind is BranchKind.COND:
+            assert term.taken_target is not None
+            succs.append(term.taken_target)
+            if block.fallthrough is not None:
+                succs.append(block.fallthrough)
+        elif kind in (BranchKind.JUMP, BranchKind.CALL):
+            assert term.taken_target is not None
+            succs.append(term.taken_target)
+        elif kind is BranchKind.INDIRECT:
+            succs.extend(term.indirect_targets)
+        elif kind is BranchKind.FALLTHROUGH:
+            if block.fallthrough is not None:
+                succs.append(block.fallthrough)
+        # RETURN and HALT: no static successors.
+        return succs
+
+    def __iter__(self) -> Iterator[Procedure]:
+        return iter(self.procedures)
+
+    def __repr__(self) -> str:
+        state = "finalized" if self._finalized else "building"
+        return (
+            f"<Program {self.name} procs={len(self.procedures)} "
+            f"blocks={self.block_count} ({state})>"
+        )

@@ -1,0 +1,127 @@
+"""Structural validation of finalized programs.
+
+The execution engine's inner loop does no defensive checking, so every
+invariant it relies on is enforced here, once, at finalize time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, TYPE_CHECKING
+
+from repro.behavior.models import TableIndirect
+from repro.errors import ProgramStructureError
+from repro.isa.opcodes import BranchKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.program.program import Program
+    from repro.program.cfg import BasicBlock
+
+
+def validate_program(program: "Program") -> None:
+    """Raise :class:`ProgramStructureError` on any structural defect."""
+    problems: List[str] = []
+    for procedure in program.procedures:
+        if not procedure.blocks:
+            problems.append(f"procedure {procedure.name!r} is empty")
+            continue
+        for block in procedure.blocks:
+            problems.extend(_check_block(block))
+    if problems:
+        raise ProgramStructureError(
+            f"program {program.name!r} is invalid:\n  - " + "\n  - ".join(problems)
+        )
+
+
+def _check_block(block: "BasicBlock") -> List[str]:
+    term = block.terminator
+    kind = term.kind
+    where = f"block {block.full_label}"
+    problems: List[str] = []
+
+    needs_taken_target = kind in (BranchKind.COND, BranchKind.JUMP, BranchKind.CALL)
+    if needs_taken_target and term.taken_target is None:
+        problems.append(f"{where}: {kind.value} terminator has no resolved target")
+    if not needs_taken_target and term.taken_ref is not None:
+        problems.append(f"{where}: {kind.value} terminator must not have a direct target")
+
+    if kind is BranchKind.COND:
+        if term.model is None:
+            problems.append(f"{where}: conditional branch has no decision model")
+        if block.fallthrough is None:
+            problems.append(
+                f"{where}: conditional branch is the last block of its "
+                "procedure, so it has no fall-through successor"
+            )
+
+    if kind is BranchKind.FALLTHROUGH and block.fallthrough is None:
+        problems.append(
+            f"{where}: fall-through block is the last block of its procedure"
+        )
+
+    if kind is BranchKind.CALL:
+        if block.fallthrough is None:
+            problems.append(
+                f"{where}: call has no fall-through block to return to"
+            )
+        target = term.taken_target
+        if target is not None and target.procedure is not None:
+            if target is not target.procedure.entry:
+                problems.append(
+                    f"{where}: call targets {target.full_label}, which is not "
+                    "a procedure entry block"
+                )
+
+    if kind is BranchKind.INDIRECT:
+        if not term.indirect_targets:
+            problems.append(f"{where}: indirect branch has no targets")
+        if term.indirect_model is None:
+            problems.append(f"{where}: indirect branch has no target-choice model")
+        elif isinstance(term.indirect_model, TableIndirect):
+            expected = len(term.indirect_model.weights)
+            if expected != len(term.indirect_targets):
+                problems.append(
+                    f"{where}: indirect model has {expected} weights for "
+                    f"{len(term.indirect_targets)} targets"
+                )
+
+    if kind in (BranchKind.RETURN, BranchKind.HALT):
+        if term.indirect_refs:
+            problems.append(f"{where}: {kind.value} must not list targets")
+
+    return problems
+
+
+def unreachable_blocks(program: "Program") -> Set["BasicBlock"]:
+    """Return statically unreachable blocks (diagnostic aid, not an error).
+
+    Reachability is approximate: returns are treated as reaching every
+    call site's fall-through block, which over-approximates real
+    executions but never reports a reachable block as unreachable.
+    """
+    # Collect call-return edges: a RETURN in procedure P can reach the
+    # fall-through of every call targeting P's entry.
+    return_sites = {}
+    for procedure in program.procedures:
+        return_sites[procedure.name] = []
+    for block in program.blocks:
+        term = block.terminator
+        if term.kind is BranchKind.CALL and term.taken_target is not None:
+            callee = term.taken_target.procedure
+            if callee is not None and block.fallthrough is not None:
+                return_sites[callee.name].append(block.fallthrough)
+
+    seen: Set["BasicBlock"] = set()
+    frontier = [program.entry]
+    while frontier:
+        block = frontier.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        for successor in program.static_successors(block):
+            if successor not in seen:
+                frontier.append(successor)
+        if block.terminator.kind is BranchKind.RETURN and block.procedure is not None:
+            for site in return_sites[block.procedure.name]:
+                if site not in seen:
+                    frontier.append(site)
+    return {block for block in program.blocks if block not in seen}

@@ -1,0 +1,93 @@
+"""The selector interface the simulator drives.
+
+A selector sees exactly what a software dynamic optimizer sees:
+
+* every *interpreted* step (so trace recorders can follow the
+  interpreted path),
+* every interpreted *taken branch whose target is not cached* (the
+  INTERPRETED-BRANCH-TAKEN entry point of Figures 5 and 13),
+* every *exit from the code cache* back to the interpreter (exit
+  targets are start candidates in both NET and LEI).
+
+It never sees execution inside the cache — by construction, a selection
+algorithm only pays overhead while interpreting (Section 3.1 argues
+both NET's and LEI's overhead is constant per interpreted taken
+branch).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, TYPE_CHECKING
+
+from repro.cache.codecache import CodeCache
+from repro.cache.region import Region
+from repro.execution.events import Step
+from repro.config import SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class RegionSelector(abc.ABC):
+    """Interface between the simulator and a selection algorithm."""
+
+    #: Short machine name ("net", "lei", "combined-net", "combined-lei").
+    name: str = "abstract"
+
+    def __init__(self, cache: CodeCache, config: SystemConfig) -> None:
+        self.cache = cache
+        self.config = config
+
+    # -- simulator callbacks --------------------------------------------
+    def observe_interpreted(self, step: Step) -> None:
+        """Called for *every* interpreted step, taken or not.
+
+        Recorders that copy the next-executing path (NET trace
+        formation, combined-NET observation) are fed here.  Called
+        before cache lookup for the step's transfer, so a recorder sees
+        the branch that enters the cache and can terminate on it.
+        """
+
+    @abc.abstractmethod
+    def on_interpreted_taken(self, step: Step) -> Optional[Region]:
+        """An interpreted taken branch whose target is not cached.
+
+        May install regions as a side effect.  Returning a region makes
+        the simulator enter it immediately (LEI's ``jump newT``);
+        returning ``None`` keeps interpreting.
+        """
+
+    def on_cache_enter(self, step: Step) -> None:
+        """An interpreted taken branch just entered a cached region.
+
+        Figure 5 lines 1-3 jump without profiling, so no counters move
+        here; LEI overrides this to record the branch as a *boundary*
+        entry in its history buffer.  Without it the buffer would have a
+        silent gap across every cache stint and FORM-TRACE's
+        fall-through reconstruction could stitch together a path that
+        never executed.
+        """
+
+    def on_cache_exit(self, step: Step, region: Region) -> None:
+        """Control left ``region`` to the interpreter via ``step``.
+
+        The exit target is a region-start candidate in both NET
+        ("an exit from an existing trace") and LEI ("follows an exit
+        from the code cache").
+        """
+
+    def finish(self) -> None:
+        """The stream ended; abandon any in-flight recording state."""
+
+    # -- profiling-memory accounting ------------------------------------
+    @property
+    @abc.abstractmethod
+    def peak_counters(self) -> int:
+        """Maximum number of profiling counters live at once (Figure 10)."""
+
+    @property
+    def peak_observed_trace_bytes(self) -> int:
+        """Peak memory holding observed traces (Figure 18); 0 for
+        plain trace selectors."""
+        return 0

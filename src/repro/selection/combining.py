@@ -1,0 +1,222 @@
+"""Trace combination (Section 4.2, Figure 13) over NET and LEI.
+
+Trace combination lowers the base algorithm's start threshold to
+``T_start`` and then *observes* the traces the base algorithm would
+have formed on each of the next ``T_prof`` executions of the target,
+storing each in the Figure 14 compact form.  On the last observation
+the traces are combined into an observed CFG (Section 4.2.2), blocks
+occurring in at least ``T_min`` traces are marked, rejoining paths are
+marked (Figure 15), unmarked blocks are pruned, exits that target
+in-region blocks become internal edges (handled by
+:class:`~repro.cache.region.CFGRegion`), and the resulting multi-path
+region is installed.
+
+Threshold bookkeeping follows Section 4.3: with ``T_prof = 15``,
+combined NET uses ``T_start = 35`` (region complete after the same 50
+interpreted executions as NET) and combined LEI uses ``T_start = 20``
+(complete after 35, like LEI).
+
+Profiling memory: the peak total byte size of stored compact traces is
+tracked for the Figure 18 measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cache.codecache import CodeCache
+from repro.cache.region import CFGRegion, Region
+from repro.program.cfg import BasicBlock
+from repro.program.program import Program
+from repro.selection.compact import CompactTrace
+from repro.selection.history import HistoryEntry
+from repro.selection.lei import LEISelector, form_trace
+from repro.selection.marking import mark_rejoining_paths
+from repro.selection.net import NETSelector, TraceRecorder
+from repro.selection.region_cfg import build_observed_cfg
+from repro.config import SystemConfig
+
+
+class _ObservedTraceStore:
+    """Per-target compact trace storage with peak-memory accounting."""
+
+    def __init__(self) -> None:
+        self._by_target: Dict[BasicBlock, List[CompactTrace]] = {}
+        self.current_bytes = 0
+        self.peak_bytes = 0
+        self.traces_stored = 0
+
+    def add(self, target: BasicBlock, trace: CompactTrace) -> int:
+        traces = self._by_target.setdefault(target, [])
+        traces.append(trace)
+        self.traces_stored += 1
+        self.current_bytes += trace.byte_size
+        if self.current_bytes > self.peak_bytes:
+            self.peak_bytes = self.current_bytes
+        return len(traces)
+
+    def count(self, target: BasicBlock) -> int:
+        return len(self._by_target.get(target, ()))
+
+    def pop_all(self, target: BasicBlock) -> List[CompactTrace]:
+        traces = self._by_target.pop(target, [])
+        self.current_bytes -= sum(t.byte_size for t in traces)
+        return traces
+
+    @property
+    def targets_in_flight(self) -> int:
+        return len(self._by_target)
+
+
+class _CombinationMixin:
+    """Shared combination machinery for the two combined selectors.
+
+    Requires the host selector to provide ``cache``, ``config`` and a
+    ``program`` attribute.
+    """
+
+    cache: CodeCache
+    config: SystemConfig
+    program: Program
+
+    def _init_combination(self, program: Program) -> None:
+        self.program = program
+        self.store = _ObservedTraceStore()
+        self.regions_combined = 0
+        self.marking_extra_sweeps = 0
+        self.combinations_abandoned = 0
+
+    def _combine_and_install(self, target: BasicBlock) -> Optional[Region]:
+        """Figure 13 lines 12-17: combine observed traces into a region."""
+        compact_traces = self.store.pop_all(target)
+        if not compact_traces or self.cache.contains_entry(target):
+            self.combinations_abandoned += 1
+            return None
+        decoded = [trace.decode(self.program) for trace in compact_traces]
+        cfg = build_observed_cfg(target, decoded)
+        marked = cfg.blocks_with_count_at_least(self.config.combine_t_min)
+        marking = mark_rejoining_paths(cfg, marked)
+        self.marking_extra_sweeps += marking.extra_marking_sweeps
+        kept = marking.marked
+        edges = {
+            (src, dst)
+            for src, dst in cfg.edges
+            if src in kept and dst in kept
+        }
+        region = CFGRegion(target, kept, edges)
+        self.cache.insert(region)
+        self.regions_combined += 1
+        return region
+
+    @property
+    def peak_observed_trace_bytes(self) -> int:
+        return self.store.peak_bytes
+
+    def _combination_diagnostics(self) -> dict:
+        return {
+            "regions_combined": self.regions_combined,
+            "traces_observed": self.store.traces_stored,
+            "combinations_abandoned": self.combinations_abandoned,
+            "marking_extra_sweeps": self.marking_extra_sweeps,
+        }
+
+
+class CombinedNETSelector(_CombinationMixin, NETSelector):
+    """Trace combination over NET observed traces.
+
+    Observation recorders reuse NET's next-executing-tail recorder;
+    because a recorder follows the live interpreted stream, the final
+    (``T_prof``-th) observation completes slightly after the triggering
+    execution, and the region is installed the moment it does.
+    """
+
+    name = "combined-net"
+
+    def __init__(
+        self, cache: CodeCache, config: SystemConfig, program: Program
+    ) -> None:
+        NETSelector.__init__(self, cache, config)
+        self._init_combination(program)
+
+    @property
+    def threshold(self) -> int:
+        # The NET counter machinery fires _start_recording at T_start.
+        return self.config.combined_net_t_start
+
+    def _bump(self, target: BasicBlock) -> None:
+        # Unlike plain NET the counter is NOT released at the start
+        # threshold: it keeps counting through the profiling window and
+        # is recycled when the region is formed (Figure 13 line 11).
+        count = self.counters.increment(target)
+        if count > self.threshold:
+            self._start_recording(target)
+
+    def _install_trace(self, recorder: TraceRecorder) -> None:
+        """An observation completed: store it; combine on the last one."""
+        stored = self.store.add(recorder.head, CompactTrace.encode(recorder.blocks))
+        if stored >= self.config.combine_t_prof:
+            self.counters.release(recorder.head)
+            self._eligible.discard(recorder.head)
+            self._combine_and_install(recorder.head)
+
+    def finish(self) -> None:
+        NETSelector.finish(self)
+        # Targets still profiling when the stream ends never form a
+        # region, exactly like a counter that never reached threshold.
+
+    def diagnostics(self) -> dict:
+        data = NETSelector.diagnostics(self)
+        data.update(self._combination_diagnostics())
+        return data
+
+
+class CombinedLEISelector(_CombinationMixin, LEISelector):
+    """Trace combination over LEI observed traces.
+
+    LEI forms a trace instantaneously from the history buffer, so each
+    qualifying cycle completion in the profiling window stores one
+    observed trace, and the ``T_prof``-th completion combines and jumps
+    straight into the new region — preserving LEI's ``jump newT``
+    behaviour for the combined region.
+    """
+
+    name = "combined-lei"
+
+    def __init__(
+        self, cache: CodeCache, config: SystemConfig, program: Program
+    ) -> None:
+        LEISelector.__init__(self, cache, config)
+        self._init_combination(program)
+
+    @property
+    def threshold(self) -> int:
+        return self.config.combined_lei_t_start
+
+    @property
+    def trigger_count(self) -> int:
+        # Figure 13 line 7: observe on every execution with c > T_start.
+        return self.threshold + 1
+
+    def _select_at_threshold(
+        self, target: BasicBlock, old: HistoryEntry
+    ) -> Optional[Region]:
+        # Counter value is > T_start here (the LEI machinery calls this
+        # once the counter reaches `threshold`, and we keep counting).
+        formed = form_trace(self.buffer, target, old.seq, self.cache, self.config)
+        if formed is None:
+            self.formations_abandoned += 1
+            return None
+        stored = self.store.add(target, CompactTrace.encode(formed.blocks))
+        if stored < self.config.combine_t_prof:
+            # Keep observing: the buffer is left intact so later cycles
+            # at this target keep completing against fresh occurrences.
+            return None
+        # Final observation: form the region and jump into it.
+        self.buffer.truncate_after(old.seq)
+        self.counters.release(target)
+        return self._combine_and_install(target)
+
+    def diagnostics(self) -> dict:
+        data = LEISelector.diagnostics(self)
+        data.update(self._combination_diagnostics())
+        return data

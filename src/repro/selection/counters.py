@@ -1,0 +1,58 @@
+"""Profiling counter table with recycling and high-water tracking.
+
+Counter memory is a first-class cost in the paper: NET's strength is
+needing counters only for a subset of branch targets, and Figure 10
+shows LEI needs only about two-thirds of NET's peak counter count
+because it is more restrictive still.  The table therefore tracks the
+maximum number of counters simultaneously live (``peak``), and exposes
+``release`` for the threshold-reached recycling both algorithms do
+("once a counter reaches the threshold value it can be reused for
+another branch target", Section 3.2.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class CounterTable(Generic[K]):
+    """Map of live profiling counters keyed by branch target."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[K, int] = {}
+        #: Highest number of simultaneously live counters ever observed.
+        self.peak = 0
+        #: Total counters ever allocated (diagnostic).
+        self.allocations = 0
+
+    def increment(self, key: K) -> int:
+        """Bump (allocating if needed) and return the counter for ``key``."""
+        value = self._counters.get(key)
+        if value is None:
+            self.allocations += 1
+            value = 0
+            self._counters[key] = 0
+            live = len(self._counters)
+            if live > self.peak:
+                self.peak = live
+        value += 1
+        self._counters[key] = value
+        return value
+
+    def get(self, key: K) -> int:
+        """Current value for ``key`` (0 when no counter is live)."""
+        return self._counters.get(key, 0)
+
+    def is_live(self, key: K) -> bool:
+        return key in self._counters
+
+    def release(self, key: K) -> None:
+        """Recycle the counter for ``key`` (idempotent)."""
+        self._counters.pop(key, None)
+
+    @property
+    def live(self) -> int:
+        """Number of currently live counters."""
+        return len(self._counters)

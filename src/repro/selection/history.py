@@ -1,0 +1,131 @@
+"""LEI's branch history buffer (the substrate of Figure 5).
+
+A fixed-capacity circular buffer of the most recently interpreted taken
+branches, with a hash table over branch *targets* so that "has this
+target executed recently?" — the cycle test — is O(1) per branch
+(Section 3.1: "LEI adds only one buffer insertion and one hash table
+lookup").
+
+Entries carry monotonically increasing sequence numbers.  The hash maps
+each target to the sequence number of its most recent occurrence; a
+hash hit is validated against the ring (the slot may have been
+overwritten or truncated since), which makes eviction and the Figure 5
+line 13 truncation ("remove all elements of Buf after old") cheap —
+stale hash entries are simply ignored and overwritten later.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, NamedTuple, Optional
+
+from repro.errors import SelectionError
+from repro.program.cfg import BasicBlock
+
+
+class HistoryEntry(NamedTuple):
+    """One taken branch in the history buffer."""
+
+    seq: int
+    src: BasicBlock
+    target: BasicBlock
+    #: True when this branch was (or immediately followed) an exit from
+    #: the code cache — the "old follows exit from code cache" start
+    #: condition of Figure 5 line 9.
+    follows_exit: bool
+
+
+class BranchHistoryBuffer:
+    """Circular buffer of taken branches with a target hash."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 2:
+            raise SelectionError(
+                f"history buffer needs capacity >= 2, got {capacity}"
+            )
+        self.capacity = capacity
+        self._ring: List[Optional[HistoryEntry]] = [None] * capacity
+        self._next_seq = 0
+        #: Sequence number below which entries are dead (truncation floor).
+        self._floor = 0
+        # Buf.hash of Figure 5: target block -> seq of latest occurrence.
+        self._target_hash: Dict[BasicBlock, int] = {}
+
+    # ------------------------------------------------------------------
+    def insert(
+        self, src: BasicBlock, target: BasicBlock, follows_exit: bool = False
+    ) -> HistoryEntry:
+        """CIRCULAR-BUFFER-INSERT (Figure 5 line 5)."""
+        entry = HistoryEntry(self._next_seq, src, target, follows_exit)
+        self._ring[entry.seq % self.capacity] = entry
+        self._next_seq += 1
+        if self._next_seq - self._floor > self.capacity:
+            self._floor = self._next_seq - self.capacity
+        return entry
+
+    def latest_seq(self) -> int:
+        """Sequence number of the newest entry."""
+        if self._next_seq == 0:
+            raise SelectionError("history buffer is empty")
+        return self._next_seq - 1
+
+    def _entry_at(self, seq: int) -> Optional[HistoryEntry]:
+        if seq < self._floor or seq >= self._next_seq:
+            return None
+        entry = self._ring[seq % self.capacity]
+        if entry is None or entry.seq != seq:
+            return None
+        return entry
+
+    # -- target hash (Buf.hash) ----------------------------------------
+    def hash_lookup(self, target: BasicBlock) -> Optional[HistoryEntry]:
+        """Most recent live occurrence of ``target``, if any.
+
+        Stale hash entries (evicted or truncated occurrences) read as
+        misses and are dropped.
+        """
+        seq = self._target_hash.get(target)
+        if seq is None:
+            return None
+        entry = self._entry_at(seq)
+        if entry is None or entry.target is not target:
+            del self._target_hash[target]
+            return None
+        return entry
+
+    def hash_update(self, target: BasicBlock, seq: int) -> None:
+        """Point the hash at a (new) occurrence of ``target``."""
+        self._target_hash[target] = seq
+
+    # ------------------------------------------------------------------
+    def entries_after(self, seq: int) -> Iterator[HistoryEntry]:
+        """Yield live entries with sequence numbers strictly above ``seq``.
+
+        This is the branch walk of FORM-TRACE (Figure 6 line 3): the
+        branches completing the current cycle, oldest first.
+        """
+        start = max(seq + 1, self._floor)
+        for s in range(start, self._next_seq):
+            entry = self._entry_at(s)
+            if entry is not None:
+                yield entry
+
+    def truncate_after(self, seq: int) -> None:
+        """Remove all entries strictly newer than ``seq`` (Fig. 5 line 13)."""
+        if seq >= self._next_seq - 1:
+            return
+        for s in range(max(seq + 1, self._floor), self._next_seq):
+            self._ring[s % self.capacity] = None
+        self._next_seq = seq + 1
+        if self._floor > self._next_seq:
+            self._floor = self._next_seq
+
+    # ------------------------------------------------------------------
+    @property
+    def live_entries(self) -> int:
+        """Number of live entries (diagnostic / tests)."""
+        return sum(
+            1 for s in range(self._floor, self._next_seq) if self._entry_at(s)
+        )
+
+    def __contains__(self, target: BasicBlock) -> bool:
+        return self.hash_lookup(target) is not None

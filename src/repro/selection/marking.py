@@ -1,0 +1,96 @@
+"""MARK-REJOINING-PATHS (Figure 15): include paths that rejoin the region.
+
+After trace combination marks the blocks that occur in at least
+``T_min`` observed traces, any observed path that leaves those blocks
+and later *rejoins* them must also be selected — excluding it would
+re-create exactly the exit-dominated duplication the combination is
+meant to remove (Section 4.2's footnote 6).
+
+A block lies on a rejoining path precisely when a marked block is
+reachable from it in the observed CFG, so the pass propagates marks
+backwards: sweep the blocks in post-order (successors before
+predecessors, back edges aside), mark any block with a marked
+successor, and repeat until a sweep changes nothing.  Post-order lets a
+mark flow through a whole forward chain in one sweep; the paper reports
+only ~0.1% of regions need a second marking sweep, a statistic the
+returned :class:`MarkingResult` lets callers reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+from repro.program.cfg import BasicBlock
+from repro.selection.region_cfg import ObservedCFG
+
+
+@dataclass
+class MarkingResult:
+    """Outcome of the marking pass."""
+
+    marked: Set[BasicBlock]
+    #: Number of full sweeps executed (at least 1).
+    sweeps: int
+    #: Number of sweeps after the first that marked at least one block;
+    #: the paper observes this is almost always zero.
+    extra_marking_sweeps: int
+
+
+def _post_order(cfg: ObservedCFG) -> List[BasicBlock]:
+    """Blocks of the observed CFG in post-order from the entrance."""
+    order: List[BasicBlock] = []
+    visited: Set[BasicBlock] = set()
+    # Iterative DFS with an explicit stack (observed CFGs are small but
+    # recursion limits are not worth risking).
+    stack: List[tuple] = [(cfg.entrance, iter(sorted(
+        cfg.successors.get(cfg.entrance, ()),
+        key=lambda b: b.require_address(),
+    )))]
+    visited.add(cfg.entrance)
+    while stack:
+        block, children = stack[-1]
+        advanced = False
+        for child in children:
+            if child not in visited:
+                visited.add(child)
+                stack.append((child, iter(sorted(
+                    cfg.successors.get(child, ()),
+                    key=lambda b: b.require_address(),
+                ))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(block)
+            stack.pop()
+    return order
+
+
+def mark_rejoining_paths(cfg: ObservedCFG, marked: Set[BasicBlock]) -> MarkingResult:
+    """Figure 15: extend ``marked`` with all blocks that can reach a mark.
+
+    The input set is not mutated.  Termination: each sweep either marks
+    a block or ends the loop, and marks are never erased, so there are
+    at most O(n) sweeps; in practice post-order makes one sweep (plus
+    the terminating no-change sweep) almost always enough.
+    """
+    result: Set[BasicBlock] = set(marked)
+    order = _post_order(cfg)
+    sweeps = 0
+    extra_marking_sweeps = 0
+    changed = True
+    while changed:
+        changed = False
+        sweeps += 1
+        newly_marked = 0
+        for block in order:
+            if block in result:
+                continue
+            successors = cfg.successors.get(block, ())
+            if any(successor in result for successor in successors):
+                result.add(block)
+                newly_marked += 1
+                changed = True
+        if changed and sweeps > 1 and newly_marked:
+            extra_marking_sweeps += 1
+    return MarkingResult(result, sweeps, extra_marking_sweeps)

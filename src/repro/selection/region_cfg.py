@@ -1,0 +1,70 @@
+"""CFG construction from observed traces (Section 4.2.2).
+
+"Rather than representing all possible branches, the CFG for a region
+represents only those branches taken in an observed trace."  Traces are
+added incrementally; every block is annotated with the number of
+observed traces containing it (a block appearing twice in one trace
+still counts once for that trace).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Set, Tuple
+
+from repro.errors import SelectionError
+from repro.program.cfg import BasicBlock
+
+
+class ObservedCFG:
+    """The combined control-flow graph of a target's observed traces."""
+
+    def __init__(self, entrance: BasicBlock) -> None:
+        self.entrance = entrance
+        #: block -> number of observed traces the block appeared in.
+        self.trace_counts: Dict[BasicBlock, int] = {}
+        self.edges: Set[Tuple[BasicBlock, BasicBlock]] = set()
+        self.successors: Dict[BasicBlock, Set[BasicBlock]] = {}
+        self.traces_added = 0
+
+    def add_trace(self, path: Sequence[BasicBlock]) -> None:
+        """Incrementally merge one observed trace into the CFG."""
+        if not path:
+            raise SelectionError("observed trace is empty")
+        if path[0] is not self.entrance:
+            raise SelectionError(
+                f"observed trace starts at {path[0].full_label}, expected "
+                f"{self.entrance.full_label}"
+            )
+        seen: Set[BasicBlock] = set()
+        for block in path:
+            if block not in seen:
+                seen.add(block)
+                self.trace_counts[block] = self.trace_counts.get(block, 0) + 1
+                self.successors.setdefault(block, set())
+        for src, dst in zip(path, path[1:]):
+            if (src, dst) not in self.edges:
+                self.edges.add((src, dst))
+                self.successors[src].add(dst)
+        self.traces_added += 1
+
+    def blocks_with_count_at_least(self, minimum: int) -> Set[BasicBlock]:
+        """Blocks appearing in at least ``minimum`` observed traces."""
+        return {
+            block
+            for block, count in self.trace_counts.items()
+            if count >= minimum
+        }
+
+    @property
+    def block_count(self) -> int:
+        return len(self.trace_counts)
+
+
+def build_observed_cfg(
+    entrance: BasicBlock, paths: Sequence[Sequence[BasicBlock]]
+) -> ObservedCFG:
+    """Build the combined CFG for a set of decoded observed traces."""
+    cfg = ObservedCFG(entrance)
+    for path in paths:
+        cfg.add_trace(path)
+    return cfg

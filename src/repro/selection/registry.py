@@ -1,0 +1,51 @@
+"""Selector registry: the four configurations the paper evaluates."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.cache.codecache import CodeCache
+from repro.errors import SelectionError
+from repro.program.program import Program
+from repro.selection.base import RegionSelector
+from repro.selection.combining import CombinedLEISelector, CombinedNETSelector
+from repro.selection.lei import LEISelector
+from repro.selection.net import NETSelector
+from repro.selection.related import (
+    BOASelector,
+    MojoSelector,
+    WigginsRedstoneSelector,
+)
+from repro.config import SystemConfig
+
+SelectorFactory = Callable[[CodeCache, SystemConfig, Program], RegionSelector]
+
+SELECTOR_FACTORIES: Dict[str, SelectorFactory] = {
+    "net": lambda cache, config, program: NETSelector(cache, config),
+    "lei": lambda cache, config, program: LEISelector(cache, config),
+    "combined-net": CombinedNETSelector,
+    "combined-lei": CombinedLEISelector,
+    # Section 5 related work.
+    "mojo": lambda cache, config, program: MojoSelector(cache, config),
+    "boa": lambda cache, config, program: BOASelector(cache, config),
+    "wiggins": lambda cache, config, program: WigginsRedstoneSelector(cache, config),
+}
+
+#: The paper's four evaluated configurations, in evaluation order.
+SELECTOR_NAMES = ("net", "lei", "combined-net", "combined-lei")
+
+#: Section 5 comparators.
+RELATED_SELECTOR_NAMES = ("mojo", "boa", "wiggins")
+
+
+def make_selector(
+    name: str, cache: CodeCache, config: SystemConfig, program: Program
+) -> RegionSelector:
+    """Construct a selector by registry name."""
+    try:
+        factory = SELECTOR_FACTORIES[name]
+    except KeyError:
+        raise SelectionError(
+            f"unknown selector {name!r}; known: {sorted(SELECTOR_FACTORIES)}"
+        ) from None
+    return factory(cache, config, program)

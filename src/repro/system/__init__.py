@@ -1,0 +1,23 @@
+"""The dynamic optimization system simulator (Figure 1).
+
+:class:`~repro.system.simulator.Simulator` re-creates the paper's
+evaluation framework: it consumes the executed basic-block stream (from
+a live engine or a recorded trace), models the interpreter/code-cache
+dispatch of Section 2.1, drives a pluggable
+:class:`~repro.selection.base.RegionSelector`, and produces a
+:class:`~repro.system.results.RunResult` holding every raw quantity the
+Section 2.3 metrics are computed from.
+"""
+
+from repro.config import SystemConfig
+from repro.system.results import RunResult, RunStats, TimelineSample
+from repro.system.simulator import Simulator, simulate
+
+__all__ = [
+    "SystemConfig",
+    "RunResult",
+    "RunStats",
+    "TimelineSample",
+    "Simulator",
+    "simulate",
+]

@@ -1,0 +1,233 @@
+"""The dynamic-optimization-system simulator (Figure 1, Section 2.1).
+
+The simulator consumes the executed basic-block stream and models the
+two execution contexts of a Dynamo-style system:
+
+* **Interpreting** — every step is shown to the selector (recorders
+  follow the path); at each taken branch the code cache is consulted
+  first, then the selector (Figure 5 / Figure 13's
+  INTERPRETED-BRANCH-TAKEN).  A selector may install a region and hand
+  it back to be entered immediately (LEI's ``jump newT``).
+* **In the cache** — execution walks the current region as long as the
+  stream matches it (trace successor, internal CFG edge, or a taken
+  branch back to the region's own top, which counts as an *executed
+  cycle*).  On divergence the region is exited: straight into another
+  region whose entry the branch targets (a linked stub — one *region
+  transition*), or back to the interpreter (the exit target becomes a
+  start candidate via ``on_cache_exit``).
+
+The cache is unbounded by default (Section 2.3); setting
+``SystemConfig.cache_capacity_bytes`` switches in the bounded cache with
+flush or FIFO eviction (an explicit extension of the paper's setting).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cache.codecache import make_cache
+from repro.cache.icache import InstructionCache
+from repro.cache.region import Region, TraceRegion
+from repro.errors import SelectionError
+from repro.execution.engine import ExecutionEngine
+from repro.execution.events import Step
+from repro.program.cfg import BasicBlock
+from repro.program.program import Program
+from repro.selection.base import RegionSelector
+from repro.selection.registry import make_selector
+from repro.config import SystemConfig
+from repro.system.results import RunResult, RunStats, TimelineSample
+
+
+class Simulator:
+    """Drives one selector over one program's execution stream."""
+
+    def __init__(
+        self,
+        program: Program,
+        selector_name: str,
+        config: Optional[SystemConfig] = None,
+        sample_every: Optional[int] = None,
+        icache: Optional[InstructionCache] = None,
+    ) -> None:
+        self.program = program
+        self.selector_name = selector_name
+        self.config = config if config is not None else SystemConfig()
+        self.cache = make_cache(
+            self.config.cache_capacity_bytes, self.config.cache_eviction_policy
+        )
+        self.selector: RegionSelector = make_selector(
+            selector_name, self.cache, self.config, program
+        )
+        #: When set, a TimelineSample is recorded every N steps.
+        self.sample_every = sample_every
+        #: Optional instruction-cache model over the code-cache layout;
+        #: fetches of cached instructions are simulated through it.
+        self.icache = icache
+
+    def run(self, steps: Iterable[Step]) -> RunResult:
+        """Consume a step stream and return the measured result."""
+        stats = RunStats()
+        edge_profile: Dict[Tuple[BasicBlock, BasicBlock], int] = {}
+        selector = self.selector
+        cache = self.cache
+        samples: List[TimelineSample] = []
+        sample_every = self.sample_every
+        icache = self.icache
+        step_index = 0
+
+        region: Optional[Region] = None  # None => interpreting
+        trace_position = 0
+        region_is_trace = False
+
+        for step in steps:
+            step_index += 1
+            cache.now = step_index
+            if sample_every is not None and step_index % sample_every == 0:
+                samples.append(TimelineSample(
+                    step=step_index,
+                    interp_instructions=stats.interp_instructions,
+                    cache_instructions=stats.cache_instructions,
+                    regions_selected=len(cache.regions),
+                    region_transitions=stats.region_transitions,
+                ))
+            block = step.block
+            taken = step.taken
+            target = step.target
+
+            if target is not None:
+                edge = (block, target)
+                count = edge_profile.get(edge)
+                edge_profile[edge] = 1 if count is None else count + 1
+
+            if region is None:
+                # ---- interpreting -------------------------------------
+                selector.observe_interpreted(step)
+                stats.interp_steps += 1
+                stats.interp_instructions += block.bundle.count
+                if taken and target is not None:
+                    entered = cache.lookup(target)
+                    if entered is not None:
+                        # The branch entering the cache is a history
+                        # boundary: never profiled (Figure 5 lines 1-3),
+                        # but LEI records it so its buffer has no gaps.
+                        selector.on_cache_enter(step)
+                    else:
+                        entered = selector.on_interpreted_taken(step)
+                        if entered is not None and entered.entry is not target:
+                            raise SelectionError(
+                                f"selector {selector.name} returned a region "
+                                f"entered at {entered.entry.full_label} for a "
+                                f"branch to {target.full_label}"
+                            )
+                    if entered is not None:
+                        region = entered
+                        region_is_trace = isinstance(entered, TraceRegion)
+                        trace_position = 0
+                        region.entry_count += 1
+                        stats.cache_entries += 1
+                continue
+
+            # ---- executing in the cache -------------------------------
+            count = block.bundle.count
+            stats.cache_steps += 1
+            stats.cache_instructions += count
+            region.executed_instructions += count
+            if icache is not None:
+                base = region.cache_address
+                if base is not None:
+                    if region_is_trace:
+                        offset = region.position_offsets[trace_position]
+                    else:
+                        offset = region.block_offsets[block]
+                    icache.touch(base + offset, block.byte_size)
+
+            if region_is_trace:
+                next_position = region.position_after(trace_position, taken, target)
+                if next_position is not None:
+                    if next_position == 0 and taken:
+                        region.cycle_backs += 1
+                    trace_position = next_position
+                    continue
+            else:
+                if region.stays_internal(block, taken, target):
+                    if target is region.entry:
+                        region.cycle_backs += 1
+                    continue
+
+            # The transfer leaves the region.
+            region.exit_count += 1
+            if target is None:
+                region = None
+                continue
+            linked = cache.lookup(target)
+            if linked is not None:
+                # A linked exit stub: direct region-to-region jump.
+                stats.region_transitions += 1
+                region = linked
+                region_is_trace = isinstance(linked, TraceRegion)
+                trace_position = 0
+                region.entry_count += 1
+                continue
+            # Exit to the interpreter; the exit target becomes a start
+            # candidate, and (LEI) may complete a cycle that installs and
+            # immediately enters a new region.
+            stats.cache_exits += 1
+            exited_region = region
+            region = None
+            selector.on_cache_exit(step, exited_region)
+            installed = cache.lookup(target)
+            if installed is not None:
+                region = installed
+                region_is_trace = isinstance(installed, TraceRegion)
+                trace_position = 0
+                region.entry_count += 1
+                stats.cache_entries += 1
+
+        selector.finish()
+        if sample_every is not None:
+            samples.append(TimelineSample(
+                step=step_index,
+                interp_instructions=stats.interp_instructions,
+                cache_instructions=stats.cache_instructions,
+                regions_selected=len(cache.regions),
+                region_transitions=stats.region_transitions,
+            ))
+        diagnostics = getattr(selector, "diagnostics", lambda: {})()
+        return RunResult(
+            program_name=self.program.name,
+            selector_name=self.selector_name,
+            stats=stats,
+            cache=cache,
+            edge_profile=edge_profile,
+            peak_counters=selector.peak_counters,
+            peak_observed_trace_bytes=selector.peak_observed_trace_bytes,
+            selector_diagnostics=diagnostics,
+            stub_bytes=self.config.stub_bytes,
+            samples=samples,
+            icache=icache,
+        )
+
+
+def simulate(
+    program: Program,
+    selector_name: str,
+    config: Optional[SystemConfig] = None,
+    seed: int = 0,
+    max_steps: Optional[int] = None,
+    sample_every: Optional[int] = None,
+    icache: Optional[InstructionCache] = None,
+) -> RunResult:
+    """Convenience: execute ``program`` live and simulate the system.
+
+    ``simulate(program, "net")`` is the one-call entry point used by the
+    examples; experiments that want collect-once/replay-many semantics
+    drive :class:`Simulator` with :func:`repro.tracing.replay_trace`
+    streams instead.
+    """
+    engine = ExecutionEngine(program, seed=seed, max_steps=max_steps)
+    simulator = Simulator(
+        program, selector_name, config,
+        sample_every=sample_every, icache=icache,
+    )
+    return simulator.run(engine.run())

@@ -1,0 +1,46 @@
+"""High-level trace collection and replay helpers."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Union
+
+from repro.execution.engine import ExecutionEngine
+from repro.execution.events import Step
+from repro.program.program import Program
+from repro.tracing.decoder import TraceReader
+from repro.tracing.encoder import TraceWriter
+from repro.tracing.records import TraceHeader
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def collect_trace(engine: ExecutionEngine, path: PathLike) -> int:
+    """Run ``engine`` to completion, recording its steps to ``path``.
+
+    Returns the number of steps written.  This is the analogue of the
+    paper's Pin-based collection pass.
+    """
+    header = TraceHeader(
+        program_name=engine.program.name,
+        block_count=engine.program.block_count,
+        seed=engine.seed,
+    )
+    with open(path, "wb") as fh:
+        with TraceWriter(fh, header) as writer:
+            for step in engine.run():
+                writer.write_step(step)
+            return writer.steps_written
+
+
+def replay_trace(path: PathLike, program: Program) -> Iterator[Step]:
+    """Yield the recorded step stream of ``path`` against ``program``."""
+    with open(path, "rb") as fh:
+        reader = TraceReader(fh, program)
+        yield from reader.steps()
+
+
+def trace_header(path: PathLike) -> TraceHeader:
+    """Read just the header of a trace file (for inventory tooling)."""
+    with open(path, "rb") as fh:
+        return TraceHeader.decode(fh)

@@ -1,0 +1,66 @@
+"""Streaming writer for the binary trace format."""
+
+from __future__ import annotations
+
+from typing import BinaryIO
+
+from repro.errors import TraceFormatError
+from repro.execution.events import Step
+from repro.tracing.records import (
+    FLAG_HAS_TARGET,
+    FLAG_TAKEN,
+    RECORD_HEAD,
+    RECORD_TARGET,
+    TraceHeader,
+)
+
+#: Flush the in-memory buffer once it exceeds this many bytes.
+_FLUSH_THRESHOLD = 1 << 20
+
+
+class TraceWriter:
+    """Writes Steps to a binary stream; use as a context manager.
+
+    >>> with open(path, "wb") as fh:                      # doctest: +SKIP
+    ...     with TraceWriter(fh, header) as writer:
+    ...         for step in engine.run():
+    ...             writer.write_step(step)
+    """
+
+    def __init__(self, stream: BinaryIO, header: TraceHeader) -> None:
+        self._stream = stream
+        self._buffer = bytearray()
+        self._closed = False
+        self.steps_written = 0
+        stream.write(header.encode())
+
+    def write_step(self, step: Step) -> None:
+        if self._closed:
+            raise TraceFormatError("writer already closed")
+        flags = 0
+        if step.taken:
+            flags |= FLAG_TAKEN
+        block_id = step.block.block_id
+        assert block_id is not None
+        self._buffer += RECORD_HEAD.pack(block_id, flags | (FLAG_HAS_TARGET if step.target is not None else 0))
+        if step.target is not None:
+            target_id = step.target.block_id
+            assert target_id is not None
+            self._buffer += RECORD_TARGET.pack(target_id)
+        self.steps_written += 1
+        if len(self._buffer) >= _FLUSH_THRESHOLD:
+            self._stream.write(self._buffer)
+            self._buffer.clear()
+
+    def close(self) -> None:
+        if not self._closed:
+            if self._buffer:
+                self._stream.write(self._buffer)
+                self._buffer.clear()
+            self._closed = True
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,71 @@
+"""On-disk record formats for the binary trace format.
+
+Layout (little-endian throughout):
+
+* header: magic ``b"RTRC"``, version ``u16``, name length ``u16``,
+  UTF-8 program name, block count ``u32``, seed ``u64``.
+* one record per step: block id ``u32``, flags ``u8``
+  (bit 0 = taken, bit 1 = has target), and when bit 1 is set the
+  target block id ``u32``.
+
+Block ids are the dense ids assigned by program finalization, so a
+trace file is only meaningful together with the program that produced
+it; the header's block count is a cheap consistency check for that
+pairing.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import TraceFormatError
+
+MAGIC = b"RTRC"
+VERSION = 1
+
+_HEADER_FIXED = struct.Struct("<4sHH")
+_HEADER_TAIL = struct.Struct("<IQ")
+RECORD_HEAD = struct.Struct("<IB")
+RECORD_TARGET = struct.Struct("<I")
+
+FLAG_TAKEN = 0x01
+FLAG_HAS_TARGET = 0x02
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """Identifies the program a trace belongs to."""
+
+    program_name: str
+    block_count: int
+    seed: int
+
+    def encode(self) -> bytes:
+        name_bytes = self.program_name.encode("utf-8")
+        if len(name_bytes) > 0xFFFF:
+            raise TraceFormatError("program name too long for trace header")
+        return (
+            _HEADER_FIXED.pack(MAGIC, VERSION, len(name_bytes))
+            + name_bytes
+            + _HEADER_TAIL.pack(self.block_count, self.seed)
+        )
+
+    @classmethod
+    def decode(cls, stream) -> "TraceHeader":
+        fixed = stream.read(_HEADER_FIXED.size)
+        if len(fixed) != _HEADER_FIXED.size:
+            raise TraceFormatError("truncated trace header")
+        magic, version, name_length = _HEADER_FIXED.unpack(fixed)
+        if magic != MAGIC:
+            raise TraceFormatError(f"bad trace magic {magic!r}")
+        if version != VERSION:
+            raise TraceFormatError(f"unsupported trace version {version}")
+        name_bytes = stream.read(name_length)
+        if len(name_bytes) != name_length:
+            raise TraceFormatError("truncated program name in trace header")
+        tail = stream.read(_HEADER_TAIL.size)
+        if len(tail) != _HEADER_TAIL.size:
+            raise TraceFormatError("truncated trace header tail")
+        block_count, seed = _HEADER_TAIL.unpack(tail)
+        return cls(name_bytes.decode("utf-8"), block_count, seed)

@@ -1,0 +1,37 @@
+"""Synthetic SPECint2000 workloads.
+
+The paper evaluates on the twelve SPECint2000 benchmarks run to
+completion under Pin.  Real SPEC binaries and inputs are not available
+here, so :mod:`repro.workloads.spec` provides twelve synthetic programs
+— one per benchmark name — assembled from the control-flow motifs of
+:mod:`repro.workloads.motifs` (loops, nested loops, interprocedural
+cycles, unbiased diamonds, indirect dispatch, recursion, call fan-in,
+phases).  Each program's motif mix mirrors the structural traits the
+paper attributes to its namesake (see DESIGN.md's substitution table);
+all are deterministic given their fixed per-benchmark seeds.
+
+Use :func:`build_benchmark` for one program or :func:`benchmark_names`
+to iterate the suite.
+"""
+
+from repro.workloads.micro import (
+    MICROBENCHMARKS,
+    build_micro,
+    micro_names,
+)
+from repro.workloads.spec import (
+    BENCHMARKS,
+    benchmark_names,
+    build_benchmark,
+    build_suite,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "benchmark_names",
+    "build_benchmark",
+    "build_suite",
+    "MICROBENCHMARKS",
+    "micro_names",
+    "build_micro",
+]

@@ -1,0 +1,136 @@
+"""Named microbenchmarks: the paper's worked examples as ready programs.
+
+Where :mod:`repro.workloads.spec` provides realistic benchmark-scale
+programs, this registry provides the *minimal* programs that isolate a
+single phenomenon — Figures 2-4 plus a few classic shapes.  They are
+ideal for unit tests, demos, and for stepping through an algorithm by
+hand (every one finishes in well under a second).
+
+>>> from repro.workloads.micro import build_micro
+>>> program = build_micro("figure2")           # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.behavior.models import Bernoulli, LoopTrip, Periodic
+from repro.errors import ProgramStructureError
+from repro.program.builder import ProgramBuilder
+from repro.program.program import Program
+
+
+def _figure2(iterations: int) -> Program:
+    """A loop whose dominant path calls a lower-address function.
+
+    NET must split the interprocedural cycle into two traces; LEI spans
+    it (paper Figure 2 / Section 3.1).
+    """
+    pb = ProgramBuilder("micro_figure2", entry="main")
+    helper = pb.procedure("helper")
+    helper.block("E", insts=4)
+    helper.block("F", insts=2).ret()
+    main = pb.procedure("main")
+    main.block("A", insts=3)
+    main.block("B", insts=2).call("helper")
+    main.block("D", insts=2).cond("A", model=LoopTrip(iterations))
+    main.block("done", insts=1).halt()
+    return pb.build()
+
+
+def _figure3(iterations: int) -> Program:
+    """Nested loops: NET duplicates the inner head, LEI does not."""
+    pb = ProgramBuilder("micro_figure3")
+    main = pb.procedure("main")
+    main.block("A", insts=3)
+    main.block("B", insts=5).cond("B", model=LoopTrip(10))
+    main.block("C", insts=2).cond("A", model=LoopTrip(iterations))
+    main.block("done", insts=1).halt()
+    return pb.build()
+
+
+def _figure4(iterations: int) -> Program:
+    """Unbiased branch then biased branch: trace combination's target."""
+    pb = ProgramBuilder("micro_figure4")
+    main = pb.procedure("main")
+    main.block("A", insts=2).cond("B", model=Bernoulli(0.5))
+    main.block("C", insts=3).jump("D")
+    main.block("B", insts=3).jump("D")
+    main.block("D", insts=2).cond("F", model=Bernoulli(0.9))
+    main.block("E", insts=4).jump("latch")
+    main.block("F", insts=4)
+    main.block("latch", insts=1).cond("A", model=LoopTrip(iterations))
+    main.block("done", insts=1).halt()
+    return pb.build()
+
+
+def _self_loop(iterations: int) -> Program:
+    """The smallest possible hot region: a single-block cycle."""
+    pb = ProgramBuilder("micro_self_loop")
+    main = pb.procedure("main")
+    main.block("head", insts=4).cond("head", model=LoopTrip(iterations))
+    main.block("done", insts=1).halt()
+    return pb.build()
+
+
+def _alternating(iterations: int) -> Program:
+    """A perfectly alternating branch: the worst case for any selector
+    that must commit to one direction (NET's next-executing tail is
+    wrong half the time; combination holds both sides)."""
+    pb = ProgramBuilder("micro_alternating")
+    main = pb.procedure("main")
+    main.block("A", insts=2).cond("B", model=Periodic([True, False]))
+    main.block("C", insts=3).jump("J")
+    main.block("B", insts=3).jump("J")
+    main.block("J", insts=2).cond("A", model=LoopTrip(iterations))
+    main.block("done", insts=1).halt()
+    return pb.build()
+
+
+def _recursion(iterations: int) -> Program:
+    """Bounded recursive descent driven from a loop."""
+    pb = ProgramBuilder("micro_recursion", entry="main")
+    rec = pb.procedure("rec")
+    rec.block("entry", insts=3)
+    rec.block("decide", insts=1).cond("go", model=LoopTrip(6))
+    rec.block("base", insts=2).ret()
+    rec.block("go", insts=2).call("rec")
+    rec.block("unwind", insts=2).ret()
+    main = pb.procedure("main")
+    main.block("head", insts=2).call("rec")
+    main.block("latch", insts=1).cond("head", model=LoopTrip(iterations))
+    main.block("done", insts=1).halt()
+    return pb.build()
+
+
+MICROBENCHMARKS: Dict[str, Callable[[int], Program]] = {
+    "figure2": _figure2,
+    "figure3": _figure3,
+    "figure4": _figure4,
+    "self_loop": _self_loop,
+    "alternating": _alternating,
+    "recursion": _recursion,
+}
+
+#: Default driver iteration count (enough to pass every threshold).
+DEFAULT_ITERATIONS = 2000
+
+
+def micro_names() -> Tuple[str, ...]:
+    return tuple(MICROBENCHMARKS)
+
+
+def build_micro(name: str, iterations: int = DEFAULT_ITERATIONS) -> Program:
+    """Build a named microbenchmark program."""
+    if iterations < 1:
+        raise ProgramStructureError(
+            f"iterations must be >= 1, got {iterations}"
+        )
+    try:
+        builder = MICROBENCHMARKS[name]
+    except KeyError:
+        raise ProgramStructureError(
+            f"unknown microbenchmark {name!r}; known: "
+            f"{', '.join(MICROBENCHMARKS)}"
+        ) from None
+    return builder(iterations)

@@ -1,0 +1,419 @@
+"""Reusable control-flow motifs for synthetic workloads.
+
+Every motif appends blocks to a :class:`ProcedureBuilder` following one
+composition convention: control *enters* the motif by falling through
+into its first appended block and *leaves* by falling through out of
+its last appended block.  Loops, calls and jumps inside a motif are
+self-contained, so a benchmark body is just a sequence of motif calls.
+
+The motifs cover exactly the structures the paper's analysis turns on:
+
+* :func:`hot_loop` / :func:`nested_loop` — Section 2.2's loops and
+  nested loops (Figure 3);
+* :func:`call_loop` — Figure 2's loop with a function call on the
+  dominant path (backward when the callee lays out first);
+* :func:`diamond` / :func:`branchy_loop` — Figure 4's unbiased/biased
+  branch combinations;
+* :func:`switch_loop` — indirect dispatch (interpreter/VM style);
+* :func:`recursive_procedure` — bounded recursive descent;
+* :func:`phase_split` — Sherwood-style phase behaviour (Section 4.3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.behavior.models import (
+    Bernoulli,
+    IndirectModel,
+    LoopTrip,
+    PhaseShift,
+    TableIndirect,
+)
+from repro.behavior.rng import SplitMix64
+from repro.program.builder import ProcedureBuilder, ProgramBuilder
+
+#: A motif body: appends blocks to the procedure, fall-through in/out.
+Body = Callable[[], None]
+
+
+class MotifContext:
+    """Shared state for motif construction: label uniquing and RNG.
+
+    The RNG is used only for *structural* variety (trip counts,
+    instruction counts drawn from ranges at build time); run-time branch
+    behaviour comes from the models, driven by the engine's own RNG.
+    """
+
+    def __init__(self, pb: ProgramBuilder, rng: SplitMix64) -> None:
+        self.pb = pb
+        self.rng = rng
+        self._counter = 0
+
+    def fresh(self, stem: str) -> str:
+        self._counter += 1
+        return f"{stem}_{self._counter}"
+
+    def pick(self, low: int, high: int) -> int:
+        """Structural random draw in [low, high]."""
+        return self.rng.randint(low, high)
+
+
+# ---------------------------------------------------------------------------
+# Straight-line and loop motifs
+# ---------------------------------------------------------------------------
+
+def straight_run(
+    proc: ProcedureBuilder, ctx: MotifContext, blocks: int = 2, insts: int = 4
+) -> None:
+    """A run of plain fall-through blocks."""
+    for _ in range(blocks):
+        proc.block(ctx.fresh("run"), insts=insts)
+
+
+def loop(
+    proc: ProcedureBuilder,
+    ctx: MotifContext,
+    trips: int,
+    body: Body,
+    jitter: int = 0,
+    head_insts: int = 2,
+    dual_entry: bool = False,
+) -> str:
+    """Generic counted loop around ``body``; returns the head label.
+
+    Shape: ``head`` falls into the body; a one-instruction ``latch``
+    conditional closes the backward edge to ``head`` and falls through
+    out of the motif when the trip count is exhausted.
+
+    ``dual_entry`` puts a tiny diamond in front of the loop whose two
+    sides both converge on the head.  The head then has two executed
+    outside predecessors, so a region rooted there is *not*
+    exit-dominated (Section 4.1's condition two needs a unique outside
+    predecessor) — the common real-program case where a hot block is
+    reachable from several places.
+    """
+    head = ctx.fresh("loop_head")
+    if dual_entry:
+        proc.block(ctx.fresh("entry_cond"), insts=1).cond(
+            head, model=Bernoulli(0.4)
+        )
+        proc.block(ctx.fresh("entry_alt"), insts=2)
+    proc.block(head, insts=head_insts)
+    body()
+    proc.block(ctx.fresh("loop_latch"), insts=1).cond(
+        head, model=LoopTrip(trips, jitter=jitter)
+    )
+    return head
+
+
+def hot_loop(
+    proc: ProcedureBuilder,
+    ctx: MotifContext,
+    trips: int,
+    body_blocks: int = 2,
+    body_insts: int = 5,
+    jitter: int = 0,
+    dual_entry: bool = False,
+) -> str:
+    """A hot counted loop with a straight-line body."""
+    return loop(
+        proc, ctx, trips,
+        body=lambda: straight_run(proc, ctx, body_blocks, body_insts),
+        jitter=jitter,
+        dual_entry=dual_entry,
+    )
+
+
+def rare_retry(
+    proc: ProcedureBuilder,
+    ctx: MotifContext,
+    retry_probability: float = 0.02,
+    work_insts: int = 4,
+) -> str:
+    """A rarely-taken backward retry branch; returns the retry target.
+
+    The backward branch fires with ``retry_probability`` per pass, so
+    the retry target is a NET start candidate whose counter accumulates
+    far too slowly to ever reach the threshold: the counter stays live
+    for the rest of the run.  LEI allocates nothing — consecutive
+    occurrences of the target are separated by far more taken branches
+    than the history buffer holds, so its cycles are never observed.
+    This motif is why LEI's peak counter memory undercuts NET's
+    (Section 3.2.4, Figure 10): error/retry paths like this pepper real
+    binaries.
+    """
+    target = ctx.fresh("retry_tgt")
+    proc.block(target, insts=2)
+    proc.block(ctx.fresh("retry_work"), insts=work_insts)
+    proc.block(ctx.fresh("retry_check"), insts=1).cond(
+        target, model=Bernoulli(retry_probability)
+    )
+    return target
+
+
+def one_shot_loop(
+    proc: ProcedureBuilder,
+    ctx: MotifContext,
+    body_insts: int = 5,
+) -> str:
+    """A loop that iterates exactly twice; returns its head label.
+
+    Run once (in an init section), its backward branch is taken a
+    single time: NET allocates a counter for the head that never reaches
+    the threshold and is never recycled — a *permanent* counter.  LEI
+    allocates nothing, because a cycle needs the target to already be in
+    the history buffer and the head's one taken occurrence never
+    recurs.  Cold startup code full of such loops is the concrete
+    reason LEI needs only about two-thirds of NET's counter memory
+    (Section 3.2.4, Figure 10).
+    """
+    head = ctx.fresh("once_head")
+    proc.block(head, insts=3)
+    proc.block(ctx.fresh("once_body"), insts=body_insts)
+    proc.block(ctx.fresh("once_latch"), insts=1).cond(head, model=LoopTrip(2))
+    return head
+
+
+def cold_tight_loop(
+    proc: ProcedureBuilder,
+    ctx: MotifContext,
+    trips: int = 10,
+    body_insts: int = 5,
+) -> str:
+    """A short cold loop whose counter never reaches either threshold.
+
+    Run once with ``trips`` below both selection thresholds, its head
+    costs a permanent counter under NET *and* LEI (its tight cycles sit
+    comfortably inside the history buffer) — cold code that is equally
+    expensive for both algorithms, balancing :func:`one_shot_loop`.
+    """
+    return hot_loop(proc, ctx, trips=trips, body_blocks=1,
+                    body_insts=body_insts)
+
+
+def cold_init_section(
+    proc: ProcedureBuilder,
+    ctx: MotifContext,
+    one_shot: int = 5,
+    tight: int = 2,
+) -> None:
+    """Startup-only code: a mix of one-shot and cold tight loops."""
+    for _ in range(one_shot):
+        one_shot_loop(proc, ctx, body_insts=ctx.pick(3, 7))
+    for _ in range(tight):
+        cold_tight_loop(proc, ctx, trips=ctx.pick(6, 14),
+                        body_insts=ctx.pick(3, 6))
+
+
+def nested_loop(
+    proc: ProcedureBuilder,
+    ctx: MotifContext,
+    trip_counts: Sequence[int],
+    body_blocks: int = 1,
+    body_insts: int = 5,
+    dual_entry: bool = False,
+) -> None:
+    """Nested counted loops, outermost first (Figure 3 when len == 2)."""
+    if not trip_counts:
+        straight_run(proc, ctx, body_blocks, body_insts)
+        return
+    outer, *inner = trip_counts
+    loop(
+        proc, ctx, outer,
+        body=lambda: nested_loop(proc, ctx, inner, body_blocks, body_insts),
+        dual_entry=dual_entry,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Branch motifs
+# ---------------------------------------------------------------------------
+
+def diamond(
+    proc: ProcedureBuilder,
+    ctx: MotifContext,
+    bias: float,
+    then_insts: int = 4,
+    else_insts: int = 4,
+    join_insts: int = 2,
+) -> None:
+    """An if/else that rejoins: taken side probability ``bias``.
+
+    ``bias = 0.5`` is the paper's unbiased branch (Figure 4).
+    """
+    then_label = ctx.fresh("dia_then")
+    join_label = ctx.fresh("dia_join")
+    proc.block(ctx.fresh("dia_cond"), insts=2).cond(
+        then_label, model=Bernoulli(bias)
+    )
+    proc.block(ctx.fresh("dia_else"), insts=else_insts).jump(join_label)
+    proc.block(then_label, insts=then_insts)
+    proc.block(join_label, insts=join_insts)
+
+
+def diamond_chain(
+    proc: ProcedureBuilder, ctx: MotifContext, biases: Sequence[float]
+) -> None:
+    """Consecutive diamonds — many statically-possible paths."""
+    for bias in biases:
+        diamond(proc, ctx, bias)
+
+
+def branchy_loop(
+    proc: ProcedureBuilder,
+    ctx: MotifContext,
+    trips: int,
+    biases: Sequence[float],
+    jitter: int = 0,
+    dual_entry: bool = False,
+) -> str:
+    """A loop whose body is a chain of diamonds (Figure 4 in a loop)."""
+    return loop(
+        proc, ctx, trips,
+        body=lambda: diamond_chain(proc, ctx, biases),
+        jitter=jitter,
+        dual_entry=dual_entry,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Procedure motifs
+# ---------------------------------------------------------------------------
+
+def leaf_procedure(
+    ctx: MotifContext, name: str, blocks: int = 2, insts: int = 4
+) -> str:
+    """A straight-line procedure ending in a return; returns its name.
+
+    Declare *before* the callers that should reach it with a backward
+    call (Figure 2), after them for a forward call.
+    """
+    proc = ctx.pb.procedure(name)
+    for _ in range(max(1, blocks - 1)):
+        proc.block(ctx.fresh("leaf"), insts=insts)
+    proc.block(ctx.fresh("leaf_ret"), insts=insts).ret()
+    return name
+
+
+def call_stage(
+    proc: ProcedureBuilder,
+    ctx: MotifContext,
+    callee: str,
+    pre_insts: int = 2,
+    post_insts: int = 2,
+) -> None:
+    """Call ``callee`` once; the next block is the return site."""
+    proc.block(ctx.fresh("call"), insts=pre_insts).call(callee)
+    proc.block(ctx.fresh("ret_site"), insts=post_insts)
+
+
+def call_loop(
+    proc: ProcedureBuilder,
+    ctx: MotifContext,
+    callee: str,
+    trips: int,
+    body_insts: int = 3,
+    jitter: int = 0,
+    dual_entry: bool = False,
+) -> str:
+    """Figure 2's motif: a loop whose dominant path calls ``callee``.
+
+    When ``callee`` was declared before the calling procedure the call
+    is a backward branch, the cycle is interprocedural, and NET must
+    split it into two traces while LEI can span it.
+    """
+    return loop(
+        proc, ctx, trips,
+        body=lambda: call_stage(proc, ctx, callee, pre_insts=body_insts),
+        jitter=jitter,
+        dual_entry=dual_entry,
+    )
+
+
+def recursive_procedure(
+    ctx: MotifContext, name: str, depth: int, body_insts: int = 4
+) -> str:
+    """A self-recursive procedure with a deterministic depth.
+
+    The recursion branch uses :class:`LoopTrip`: each activation from
+    the top recurses ``depth - 1`` times before taking the base case,
+    exercising call-stack cycles (parser-style recursive descent).
+    """
+    proc = ctx.pb.procedure(name)
+    rec_label = ctx.fresh("rec")
+    proc.block(ctx.fresh("rec_entry"), insts=body_insts)
+    proc.block(ctx.fresh("rec_decide"), insts=1).cond(
+        rec_label, model=LoopTrip(depth)
+    )
+    proc.block(ctx.fresh("rec_base"), insts=body_insts).ret()
+    proc.block(rec_label, insts=2).call(name)
+    proc.block(ctx.fresh("rec_unwind"), insts=2).ret()
+    return name
+
+
+# ---------------------------------------------------------------------------
+# Indirect dispatch and phases
+# ---------------------------------------------------------------------------
+
+def switch_loop(
+    proc: ProcedureBuilder,
+    ctx: MotifContext,
+    trips: int,
+    case_insts: Sequence[int],
+    weights: Optional[Sequence[float]] = None,
+    model: Optional[IndirectModel] = None,
+    jitter: int = 0,
+) -> str:
+    """A dispatch loop: indirect jump over cases, all rejoining a latch.
+
+    Models interpreter main loops (perlbmk/gcc style).  Pass ``weights``
+    for a fixed target distribution or a custom ``model`` (for example
+    :class:`~repro.behavior.models.PhaseIndirect`).
+    """
+    head = ctx.fresh("sw_head")
+    latch = ctx.fresh("sw_latch")
+    case_labels = [ctx.fresh("sw_case") for _ in case_insts]
+
+    proc.block(head, insts=2)
+    if model is None:
+        weights = weights if weights is not None else [1.0] * len(case_insts)
+        model = TableIndirect(weights)
+    proc.block(ctx.fresh("sw_dispatch"), insts=1).indirect(case_labels, model=model)
+    last_index = len(case_labels) - 1
+    for index, (label, insts) in enumerate(zip(case_labels, case_insts)):
+        handle = proc.block(label, insts=insts)
+        if index == last_index:
+            handle.jump(latch)
+        else:
+            # Mostly back to the latch, occasionally falling through
+            # into the next case (fused-op style): case entrances get a
+            # second executed predecessor, as in real interpreters.
+            handle.cond(latch, model=Bernoulli(0.85))
+    proc.block(latch, insts=1).cond(head, model=LoopTrip(trips, jitter=jitter))
+    return head
+
+
+def phase_split(
+    proc: ProcedureBuilder,
+    ctx: MotifContext,
+    period: int,
+    body_a: Body,
+    body_b: Body,
+) -> None:
+    """Alternate between two bodies by program phase.
+
+    For ``period`` engine steps control prefers body A, then body B,
+    cycling — the phase behaviour that limits trace combination's
+    observation window (Section 4.3.1).
+    """
+    b_label = ctx.fresh("phase_b")
+    join_label = ctx.fresh("phase_join")
+    proc.block(ctx.fresh("phase_cond"), insts=1).cond(
+        b_label, model=PhaseShift([(period, 0.0), (period, 1.0)])
+    )
+    body_a()
+    proc.block(ctx.fresh("phase_a_end"), insts=1).jump(join_label)
+    proc.block(b_label, insts=2)
+    body_b()
+    proc.block(join_label, insts=1)

@@ -1,0 +1,93 @@
+"""Workload perturbation: robustness checks for the synthetic suite.
+
+A synthetic reproduction is only credible if its conclusions do not
+hinge on the particular constants baked into the workloads.  This
+module rebuilds a benchmark with its *dynamic behaviour* perturbed —
+branch biases nudged, trip counts scaled, phase lengths stretched —
+while leaving the static structure untouched, so the headline ratios
+can be re-measured across a family of neighbouring workloads
+(`benchmarks/test_perturbation_robustness.py`).
+
+Perturbation happens post-build by rewriting the model objects on the
+finalized program's terminators; models are per-site in this library,
+so the rewrite cannot leak across programs.
+"""
+
+from __future__ import annotations
+
+from repro.behavior.models import Bernoulli, LoopTrip
+from repro.behavior.rng import SplitMix64
+from repro.errors import ConfigError
+from repro.isa.opcodes import BranchKind
+from repro.program.program import Program
+from repro.workloads.spec import build_benchmark
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    return max(low, min(high, value))
+
+
+def perturb_program(
+    program: Program,
+    seed: int,
+    bias_jitter: float = 0.08,
+    trip_scale_range: float = 0.3,
+) -> int:
+    """Perturb a finalized program's branch models in place.
+
+    * every :class:`Bernoulli` bias moves by uniform(-bias_jitter,
+      +bias_jitter), clamped to [0.02, 0.98] so no branch becomes
+      degenerate;
+    * every :class:`LoopTrip` count scales by uniform(1 - range,
+      1 + range), floored at 2 so loops stay loops.
+
+    Returns the number of model sites rewritten.  Deterministic in
+    ``seed``.
+    """
+    if not 0.0 <= bias_jitter < 0.5:
+        raise ConfigError(f"bias_jitter must be in [0, 0.5), got {bias_jitter}")
+    if not 0.0 <= trip_scale_range < 1.0:
+        raise ConfigError(
+            f"trip_scale_range must be in [0, 1), got {trip_scale_range}"
+        )
+    rng = SplitMix64(seed)
+    rewritten = 0
+    for block in program.blocks:
+        term = block.terminator
+        if term.kind is not BranchKind.COND or term.model is None:
+            continue
+        model = term.model
+        if isinstance(model, Bernoulli):
+            delta = (rng.random() * 2 - 1) * bias_jitter
+            term.model = Bernoulli(_clamp(model.probability + delta, 0.02, 0.98))
+            rewritten += 1
+        elif isinstance(model, LoopTrip):
+            factor = 1.0 + (rng.random() * 2 - 1) * trip_scale_range
+            trips = max(2, round(model.trips * factor))
+            jitter = min(model.jitter, trips - 1)
+            term.model = LoopTrip(trips, jitter=jitter)
+            rewritten += 1
+        # Other models (Periodic, PhaseShift, Markov) are left alone:
+        # their shapes are the point of the sites using them.
+    return rewritten
+
+
+def build_perturbed_benchmark(
+    name: str,
+    perturbation_seed: int,
+    scale: float = 1.0,
+    bias_jitter: float = 0.08,
+    trip_scale_range: float = 0.3,
+) -> Program:
+    """Build a benchmark and perturb its dynamic behaviour.
+
+    ``perturbation_seed = 0`` is reserved for "no perturbation" so
+    sweeps can include the baseline naturally.
+    """
+    program = build_benchmark(name, scale=scale)
+    if perturbation_seed != 0:
+        perturb_program(
+            program, perturbation_seed,
+            bias_jitter=bias_jitter, trip_scale_range=trip_scale_range,
+        )
+    return program

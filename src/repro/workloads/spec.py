@@ -1,0 +1,393 @@
+"""The twelve synthetic SPECint2000 stand-ins.
+
+Each builder mirrors the structural traits the paper attributes to its
+namesake benchmark — the traits the region-selection results hinge on:
+
+============  ==============================================================
+benchmark     dominant control-flow character modelled
+============  ==============================================================
+gzip          few very hot, strongly biased compression loops (tiny cover
+              set; Figure 17 shows almost nothing left to combine)
+vpr           placement loops: nested loops plus moderately biased diamonds
+gcc           very many warm paths: stacks of mixed-bias diamonds, indirect
+              dispatch, many helpers (largest cover set, lowest hit rate)
+mcf           pointer-chasing: long interprocedural cycles (backward calls
+              on the dominant loop path) with an unbiased branch inside
+crafty        large *intra*-procedural search loops; its hot cycles are
+              spannable by NET already, so LEI gains least (Figures 7-8)
+parser        recursive descent plus dictionary loops with unbiased splits
+eon           C++ style: several tiny shared constructors called from many
+              hot sites — the Figure 12 exit-domination outlier
+perlbmk       interpreter: phase-shifting indirect opcode dispatch
+gap           computer algebra: mixture of nested loops, recursion, calls
+vortex        OO database: chains of small procedure calls, biased branches
+bzip2         sorting: deep nested loops with an unbiased comparison branch
+twolf         annealing: nested loops whose inner bodies split unbiased
+============  ==============================================================
+
+All builders are deterministic (fixed seeds); ``scale`` multiplies the
+driver iteration count only, so structure is scale-invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.behavior.models import PhaseIndirect
+from repro.errors import ProgramStructureError
+from repro.program.program import Program
+from repro.workloads import motifs
+from repro.workloads.motifs import MotifContext
+from repro.workloads.synth import Stage, assemble
+
+
+def _gzip(scale: float) -> Program:
+    def declarations(ctx: MotifContext) -> None:
+        motifs.leaf_procedure(ctx, "crc_update", blocks=2, insts=5)
+
+    stages: List[Stage] = [
+        lambda p, c: motifs.hot_loop(p, c, trips=26, body_blocks=3, body_insts=6,
+                                     jitter=4, dual_entry=True),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.015),
+        lambda p, c: motifs.nested_loop(p, c, [6, 9], body_insts=6, dual_entry=True),
+        lambda p, c: motifs.branchy_loop(p, c, trips=8, biases=(0.92, 0.88)),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.02),
+        lambda p, c: motifs.call_stage(p, c, "crc_update"),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.01),
+    ]
+    init = [lambda p, c: motifs.cold_init_section(p, c, one_shot=5, tight=2)]
+    return assemble("gzip", seed=101, driver_iterations=1500,
+                    stages=stages, init_stages=init, declarations=declarations, scale=scale)
+
+
+def _vpr(scale: float) -> Program:
+    def declarations(ctx: MotifContext) -> None:
+        motifs.leaf_procedure(ctx, "get_cost", blocks=3, insts=4)
+
+    stages: List[Stage] = [
+        lambda p, c: motifs.nested_loop(p, c, [7, 11], body_insts=5, dual_entry=True),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.02),
+        lambda p, c: motifs.branchy_loop(p, c, trips=9, biases=(0.75, 0.6), dual_entry=True),
+        lambda p, c: motifs.call_loop(p, c, "get_cost", trips=12, jitter=3),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.015),
+        lambda p, c: motifs.hot_loop(p, c, trips=14, body_blocks=2, body_insts=5),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.01),
+    ]
+    init = [lambda p, c: motifs.cold_init_section(p, c, one_shot=5, tight=2)]
+    return assemble("vpr", seed=102, driver_iterations=1100,
+                    stages=stages, init_stages=init, declarations=declarations, scale=scale)
+
+
+def _gcc(scale: float) -> Program:
+    def declarations(ctx: MotifContext) -> None:
+        for index in range(6):
+            motifs.leaf_procedure(ctx, f"fold_{index}",
+                                  blocks=ctx.pick(2, 4), insts=ctx.pick(3, 6))
+        motifs.recursive_procedure(ctx, "walk_tree", depth=6, body_insts=4)
+
+    def dispatch_stage(p, c):
+        motifs.switch_loop(
+            p, c, trips=10,
+            case_insts=[c.pick(3, 8) for _ in range(12)],
+            weights=[5, 4, 4, 3, 3, 2, 2, 2, 1, 1, 1, 1],
+        )
+
+    def warm_paths(p, c):
+        # Stacks of mixed-bias diamonds: a combinatorial number of warm
+        # paths, few of them dominant — gcc's signature.
+        motifs.branchy_loop(p, c, trips=6,
+                            biases=(0.55, 0.5, 0.65, 0.5, 0.7, 0.45))
+
+    stages: List[Stage] = [
+        dispatch_stage,
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.03),
+        warm_paths,
+        lambda p, c: motifs.call_stage(p, c, "walk_tree"),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.02),
+        lambda p, c: motifs.call_loop(p, c, "fold_0", trips=7, dual_entry=True),
+        lambda p, c: motifs.diamond_chain(p, c, (0.6, 0.5, 0.55)),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.05),
+        lambda p, c: motifs.call_loop(p, c, "fold_1", trips=5),
+        lambda p, c: motifs.branchy_loop(p, c, trips=5, biases=(0.5, 0.6, 0.5),
+                                         dual_entry=True),
+        lambda p, c: motifs.call_stage(p, c, "fold_2"),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.04),
+        lambda p, c: motifs.call_stage(p, c, "fold_3"),
+        lambda p, c: motifs.nested_loop(p, c, [4, 6], body_insts=4, dual_entry=True),
+        lambda p, c: motifs.call_stage(p, c, "fold_4"),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.03),
+        lambda p, c: motifs.call_stage(p, c, "fold_5"),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.02),
+    ]
+    init = [lambda p, c: motifs.cold_init_section(p, c, one_shot=10, tight=4)]
+    return assemble("gcc", seed=103, driver_iterations=420,
+                    stages=stages, init_stages=init, declarations=declarations, scale=scale,
+                    driver_jitter=0)
+
+
+def _mcf(scale: float) -> Program:
+    def declarations(ctx: MotifContext) -> None:
+        motifs.leaf_procedure(ctx, "refresh_potential", blocks=3, insts=6)
+        motifs.leaf_procedure(ctx, "price_out", blocks=2, insts=5)
+
+    def arc_scan(p, c):
+        # The signature mcf shape: a long loop whose dominant path calls
+        # a lower-address function, with an unbiased feasibility branch.
+        motifs.loop(
+            p, c, trips=34,
+            body=lambda: (
+                motifs.diamond(p, c, bias=0.5, then_insts=5, else_insts=5),
+                motifs.call_stage(p, c, "refresh_potential"),
+            ) and None,
+            jitter=6,
+        )
+
+    stages: List[Stage] = [
+        arc_scan,
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.02),
+        lambda p, c: motifs.call_loop(p, c, "price_out", trips=18, jitter=4,
+                                      dual_entry=True),
+        lambda p, c: motifs.hot_loop(p, c, trips=12, body_blocks=2, body_insts=7),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.015),
+    ]
+    init = [lambda p, c: motifs.cold_init_section(p, c, one_shot=4, tight=2)]
+    return assemble("mcf", seed=104, driver_iterations=900,
+                    stages=stages, init_stages=init, declarations=declarations, scale=scale)
+
+
+def _crafty(scale: float) -> Program:
+    # Self-contained flat search loops: every hot cycle is a simple
+    # backward branch NET spans on its own, so LEI's extra generality
+    # buys little here — and its willingness to grow traces across
+    # stage boundaries costs it code expansion (the paper's crafty is
+    # the one benchmark where LEI expands *more* code than NET).
+    stages: List[Stage] = [
+        lambda p, c: motifs.hot_loop(p, c, trips=24, body_blocks=4, body_insts=7,
+                                     jitter=5, dual_entry=True),
+        lambda p, c: motifs.hot_loop(p, c, trips=16, body_blocks=3, body_insts=6,
+                                     dual_entry=True),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.02),
+        lambda p, c: motifs.branchy_loop(p, c, trips=11, biases=(0.85, 0.8),
+                                         dual_entry=True),
+        lambda p, c: motifs.hot_loop(p, c, trips=12, body_blocks=5, body_insts=6,
+                                     jitter=3, dual_entry=True),
+        lambda p, c: motifs.diamond_chain(p, c, (0.9, 0.85)),
+    ]
+    init = [lambda p, c: motifs.cold_init_section(p, c, one_shot=5, tight=2)]
+    return assemble("crafty", seed=105, driver_iterations=900,
+                    stages=stages, init_stages=init, scale=scale)
+
+
+def _parser(scale: float) -> Program:
+    def declarations(ctx: MotifContext) -> None:
+        motifs.leaf_procedure(ctx, "dict_lookup", blocks=2, insts=5)
+        motifs.recursive_procedure(ctx, "parse_expr", depth=8, body_insts=5)
+
+    stages: List[Stage] = [
+        lambda p, c: motifs.call_stage(p, c, "parse_expr"),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.03),
+        lambda p, c: motifs.call_loop(p, c, "dict_lookup", trips=16, jitter=4),
+        lambda p, c: motifs.branchy_loop(p, c, trips=8, biases=(0.5, 0.7),
+                                         dual_entry=True),
+        lambda p, c: motifs.hot_loop(p, c, trips=10, body_blocks=2, body_insts=4),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.02),
+    ]
+    init = [lambda p, c: motifs.cold_init_section(p, c, one_shot=5, tight=2)]
+    return assemble("parser", seed=106, driver_iterations=950,
+                    stages=stages, init_stages=init, declarations=declarations, scale=scale)
+
+
+def _eon(scale: float) -> Program:
+    def declarations(ctx: MotifContext) -> None:
+        # The ggPoint3-style shared constructors: tiny, shared, hot.
+        for index in range(3):
+            motifs.leaf_procedure(ctx, f"ctor_{index}", blocks=1, insts=4)
+
+    # Many distinct hot sites each call the shared constructors: once a
+    # constructor owns a region, every caller's region is entered only
+    # through that region's exit — eon's exit-domination explosion.
+    def ctor_site(p, c, first: str, second: str) -> None:
+        # A hot site constructing two objects back to back: once the
+        # shared constructors own regions, both return-site regions of
+        # this loop can only be entered through a constructor's exit.
+        motifs.loop(
+            p, c, trips=5,
+            body=lambda: (
+                motifs.call_stage(p, c, first),
+                motifs.call_stage(p, c, second),
+            ) and None,
+        )
+
+    stages: List[Stage] = []
+    for site in range(11):
+        # ctor_2 is the ggPoint3 analogue: constructed at every site, so
+        # its region ends up exit-dominating a large number of traces.
+        first = f"ctor_{site % 2}"
+        stages.append(
+            lambda p, c, a=first: ctor_site(p, c, a, "ctor_2")
+        )
+    stages.append(lambda p, c: motifs.rare_retry(p, c, retry_probability=0.02))
+    init = [lambda p, c: motifs.cold_init_section(p, c, one_shot=7, tight=3)]
+    return assemble("eon", seed=107, driver_iterations=600,
+                    stages=stages, init_stages=init, declarations=declarations, scale=scale)
+
+
+def _perlbmk(scale: float) -> Program:
+    def declarations(ctx: MotifContext) -> None:
+        motifs.leaf_procedure(ctx, "hash_get", blocks=2, insts=5)
+
+    def opcode_dispatch(p, c):
+        # Phase-shifting opcode mix: the dominant cases swap between
+        # program phases, stressing the observation window.
+        hot_a = [8.0, 6.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.5, 0.25, 0.25]
+        hot_b = list(reversed(hot_a))
+        motifs.switch_loop(
+            p, c, trips=22,
+            case_insts=[c.pick(3, 7) for _ in range(10)],
+            model=PhaseIndirect([(40_000, hot_a), (40_000, hot_b)]),
+        )
+
+    stages: List[Stage] = [
+        opcode_dispatch,
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.03),
+        lambda p, c: motifs.call_loop(p, c, "hash_get", trips=9, dual_entry=True),
+        lambda p, c: motifs.branchy_loop(p, c, trips=7, biases=(0.65, 0.5)),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.02),
+    ]
+    init = [lambda p, c: motifs.cold_init_section(p, c, one_shot=6, tight=2)]
+    return assemble("perlbmk", seed=108, driver_iterations=900,
+                    stages=stages, init_stages=init, declarations=declarations, scale=scale)
+
+
+def _gap(scale: float) -> Program:
+    def declarations(ctx: MotifContext) -> None:
+        motifs.leaf_procedure(ctx, "gc_mark", blocks=3, insts=4)
+        motifs.recursive_procedure(ctx, "eval_rec", depth=5, body_insts=4)
+
+    stages: List[Stage] = [
+        lambda p, c: motifs.nested_loop(p, c, [6, 10], body_insts=5, dual_entry=True),
+        lambda p, c: motifs.call_stage(p, c, "eval_rec"),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.025),
+        lambda p, c: motifs.call_loop(p, c, "gc_mark", trips=11, jitter=3),
+        lambda p, c: motifs.branchy_loop(p, c, trips=9, biases=(0.7, 0.5, 0.8),
+                                         dual_entry=True),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.015),
+    ]
+    init = [lambda p, c: motifs.cold_init_section(p, c, one_shot=5, tight=2)]
+    return assemble("gap", seed=109, driver_iterations=800,
+                    stages=stages, init_stages=init, declarations=declarations, scale=scale)
+
+
+def _vortex(scale: float) -> Program:
+    def declarations(ctx: MotifContext) -> None:
+        for index in range(5):
+            motifs.leaf_procedure(ctx, f"mem_{index}",
+                                  blocks=ctx.pick(1, 3), insts=ctx.pick(3, 5))
+
+    def call_chain(p, c):
+        for index in range(5):
+            motifs.call_stage(p, c, f"mem_{index}")
+
+    stages: List[Stage] = [
+        call_chain,
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.03),
+        lambda p, c: motifs.branchy_loop(p, c, trips=13, biases=(0.9, 0.85, 0.95),
+                                         dual_entry=True),
+        lambda p, c: motifs.call_loop(p, c, "mem_0", trips=8),
+        lambda p, c: motifs.hot_loop(p, c, trips=10, body_blocks=2, body_insts=4,
+                                     dual_entry=True),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.02),
+    ]
+    init = [lambda p, c: motifs.cold_init_section(p, c, one_shot=6, tight=3)]
+    return assemble("vortex", seed=110, driver_iterations=900,
+                    stages=stages, init_stages=init, declarations=declarations, scale=scale)
+
+
+def _bzip2(scale: float) -> Program:
+    def sort_loops(p, c):
+        # Deep nested sorting loops with an unbiased comparison branch in
+        # the innermost body.
+        motifs.loop(
+            p, c, trips=9,
+            body=lambda: motifs.loop(
+                p, c, trips=8,
+                body=lambda: motifs.diamond(p, c, bias=0.5,
+                                            then_insts=4, else_insts=4),
+            ) and None,
+        )
+
+    stages: List[Stage] = [
+        sort_loops,
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.02),
+        lambda p, c: motifs.hot_loop(p, c, trips=28, body_blocks=3, body_insts=6,
+                                     jitter=6, dual_entry=True),
+        lambda p, c: motifs.nested_loop(p, c, [5, 12], body_insts=5),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.015),
+    ]
+    init = [lambda p, c: motifs.cold_init_section(p, c, one_shot=4, tight=2)]
+    return assemble("bzip2", seed=111, driver_iterations=950,
+                    stages=stages, init_stages=init, scale=scale)
+
+
+def _twolf(scale: float) -> Program:
+    def declarations(ctx: MotifContext) -> None:
+        motifs.leaf_procedure(ctx, "wire_est", blocks=2, insts=5)
+
+    def anneal(p, c):
+        motifs.loop(
+            p, c, trips=12,
+            body=lambda: (
+                motifs.diamond(p, c, bias=0.5, then_insts=6, else_insts=3),
+                motifs.diamond(p, c, bias=0.45, then_insts=3, else_insts=5),
+            ) and None,
+            jitter=3,
+        )
+
+    stages: List[Stage] = [
+        anneal,
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.025),
+        lambda p, c: motifs.nested_loop(p, c, [8, 9], body_insts=5, dual_entry=True),
+        lambda p, c: motifs.call_loop(p, c, "wire_est", trips=10, jitter=2),
+        lambda p, c: motifs.rare_retry(p, c, retry_probability=0.015),
+    ]
+    init = [lambda p, c: motifs.cold_init_section(p, c, one_shot=4, tight=2)]
+    return assemble("twolf", seed=112, driver_iterations=850,
+                    stages=stages, init_stages=init, declarations=declarations, scale=scale)
+
+
+#: Benchmark registry in the paper's customary listing order.
+BENCHMARKS: Dict[str, Callable[[float], Program]] = {
+    "gzip": _gzip,
+    "vpr": _vpr,
+    "gcc": _gcc,
+    "mcf": _mcf,
+    "crafty": _crafty,
+    "parser": _parser,
+    "eon": _eon,
+    "perlbmk": _perlbmk,
+    "gap": _gap,
+    "vortex": _vortex,
+    "bzip2": _bzip2,
+    "twolf": _twolf,
+}
+
+
+def benchmark_names() -> Tuple[str, ...]:
+    """The twelve benchmark names, in suite order."""
+    return tuple(BENCHMARKS)
+
+
+def build_benchmark(name: str, scale: float = 1.0) -> Program:
+    """Build one synthetic benchmark program by name."""
+    try:
+        builder = BENCHMARKS[name]
+    except KeyError:
+        raise ProgramStructureError(
+            f"unknown benchmark {name!r}; known: {', '.join(BENCHMARKS)}"
+        ) from None
+    return builder(scale)
+
+
+def build_suite(scale: float = 1.0) -> Dict[str, Program]:
+    """Build all twelve benchmarks."""
+    return {name: build_benchmark(name, scale) for name in BENCHMARKS}

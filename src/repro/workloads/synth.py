@@ -1,0 +1,61 @@
+"""Workload assembly: driver skeletons around motif stage lists."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.behavior.models import LoopTrip
+from repro.behavior.rng import SplitMix64
+from repro.program.builder import ProcedureBuilder, ProgramBuilder
+from repro.program.program import Program
+from repro.workloads.motifs import MotifContext
+
+#: A stage takes (main procedure, context) and appends one motif.
+Stage = Callable[[ProcedureBuilder, MotifContext], None]
+#: A declaration hook runs before main is built (for low-address callees).
+Declarations = Callable[[MotifContext], None]
+
+
+def scaled(iterations: int, scale: float) -> int:
+    """Scale a driver trip count, staying at least 10 iterations."""
+    return max(10, round(iterations * scale))
+
+
+def assemble(
+    name: str,
+    seed: int,
+    driver_iterations: int,
+    stages: Sequence[Stage],
+    declarations: Declarations = lambda ctx: None,
+    init_stages: Sequence[Stage] = (),
+    scale: float = 1.0,
+    driver_jitter: int = 0,
+) -> Program:
+    """Build a benchmark program.
+
+    Layout/execution split: ``declarations`` runs first so helper
+    procedures land at *lower* addresses than ``main`` (calls to them
+    are backward branches — Figure 2's interprocedural-cycle shape);
+    ``main`` is nonetheless the entry procedure.  ``init_stages`` run
+    once before the driver loop (cold startup code); the driver loop
+    then walks all ``stages`` each iteration and halts after
+    ``driver_iterations`` (times ``scale``) trips.
+    """
+    pb = ProgramBuilder(name, entry="main")
+    ctx = MotifContext(pb, SplitMix64(seed))
+    declarations(ctx)
+
+    main = pb.procedure("main")
+    main.block("start", insts=2)
+    for stage in init_stages:
+        stage(main, ctx)
+    head = ctx.fresh("driver_head")
+    main.block(head, insts=2)
+    for stage in stages:
+        stage(main, ctx)
+    main.block(ctx.fresh("driver_latch"), insts=1).cond(
+        head,
+        model=LoopTrip(scaled(driver_iterations, scale), jitter=driver_jitter),
+    )
+    main.block("finish", insts=1).halt()
+    return pb.build()

@@ -1,0 +1,192 @@
+"""Tests for branch decision models."""
+
+import pytest
+
+from repro.behavior.models import (
+    AlwaysTaken,
+    Bernoulli,
+    DecisionContext,
+    LoopTrip,
+    MarkovBiased,
+    NeverTaken,
+    Periodic,
+    PhaseIndirect,
+    PhaseShift,
+    RoundRobinIndirect,
+    TableIndirect,
+)
+from repro.behavior.rng import SplitMix64
+from repro.errors import ProgramStructureError
+
+
+def make_ctx(seed=0, step=0):
+    return DecisionContext(rng=SplitMix64(seed), site_state={}, step=step)
+
+
+class TestFixedModels:
+    def test_always_taken(self):
+        ctx = make_ctx()
+        assert all(AlwaysTaken().next_taken(ctx) for _ in range(10))
+
+    def test_never_taken(self):
+        ctx = make_ctx()
+        assert not any(NeverTaken().next_taken(ctx) for _ in range(10))
+
+
+class TestBernoulli:
+    def test_rate(self):
+        ctx = make_ctx(seed=5)
+        model = Bernoulli(0.8)
+        hits = sum(model.next_taken(ctx) for _ in range(10000))
+        assert 0.77 < hits / 10000 < 0.83
+
+    def test_unbiased_is_half(self):
+        ctx = make_ctx(seed=6)
+        model = Bernoulli(0.5)
+        hits = sum(model.next_taken(ctx) for _ in range(10000))
+        assert 0.47 < hits / 10000 < 0.53
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ProgramStructureError):
+            Bernoulli(bad)
+
+
+class TestLoopTrip:
+    def test_taken_trips_minus_one_times_per_activation(self):
+        ctx = make_ctx()
+        model = LoopTrip(5)
+        outcomes = [model.next_taken(ctx) for _ in range(10)]
+        # Two activations of a 5-trip loop: T T T T F, T T T T F.
+        assert outcomes == [True] * 4 + [False] + [True] * 4 + [False]
+
+    def test_single_trip_never_taken(self):
+        ctx = make_ctx()
+        model = LoopTrip(1)
+        assert [model.next_taken(ctx) for _ in range(3)] == [False] * 3
+
+    def test_jitter_varies_activation_lengths(self):
+        ctx = make_ctx(seed=3)
+        model = LoopTrip(10, jitter=5)
+        lengths = []
+        run = 0
+        for _ in range(2000):
+            if model.next_taken(ctx):
+                run += 1
+            else:
+                lengths.append(run + 1)
+                run = 0
+        assert min(lengths) < 10 < max(lengths)
+        assert all(5 <= n <= 15 for n in lengths)
+
+    def test_state_is_per_site_not_per_model(self):
+        model = LoopTrip(3)
+        ctx_a = make_ctx()
+        ctx_b = make_ctx()
+        assert model.next_taken(ctx_a)
+        assert model.next_taken(ctx_b)  # fresh site: starts its own count
+        assert model.next_taken(ctx_a)
+        assert not model.next_taken(ctx_a)  # site A exits after 3 trips
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ProgramStructureError):
+            LoopTrip(0)
+        with pytest.raises(ProgramStructureError):
+            LoopTrip(5, jitter=5)
+
+
+class TestPeriodic:
+    def test_pattern_repeats(self):
+        ctx = make_ctx()
+        model = Periodic([True, True, False])
+        assert [model.next_taken(ctx) for _ in range(6)] == [
+            True, True, False, True, True, False,
+        ]
+
+    def test_rejects_empty_pattern(self):
+        with pytest.raises(ProgramStructureError):
+            Periodic([])
+
+
+class TestPhaseShift:
+    def test_probability_tracks_phase(self):
+        model = PhaseShift([(100, 1.0), (100, 0.0)])
+        assert model.probability_at(0) == 1.0
+        assert model.probability_at(99) == 1.0
+        assert model.probability_at(100) == 0.0
+        assert model.probability_at(199) == 0.0
+        assert model.probability_at(200) == 1.0  # cycles
+
+    def test_decisions_follow_step(self):
+        model = PhaseShift([(10, 1.0), (10, 0.0)])
+        ctx = make_ctx()
+        ctx.step = 5
+        assert model.next_taken(ctx)
+        ctx.step = 15
+        assert not model.next_taken(ctx)
+
+    def test_rejects_bad_phases(self):
+        with pytest.raises(ProgramStructureError):
+            PhaseShift([])
+        with pytest.raises(ProgramStructureError):
+            PhaseShift([(0, 0.5)])
+        with pytest.raises(ProgramStructureError):
+            PhaseShift([(10, 1.5)])
+
+
+class TestMarkovBiased:
+    def test_fully_sticky_never_switches(self):
+        ctx = make_ctx()
+        model = MarkovBiased(1.0, 1.0, initial_taken=True)
+        assert all(model.next_taken(ctx) for _ in range(50))
+
+    def test_fully_antisticky_alternates(self):
+        ctx = make_ctx()
+        model = MarkovBiased(0.0, 0.0, initial_taken=True)
+        outcomes = [model.next_taken(ctx) for _ in range(6)]
+        assert outcomes == [True, False, True, False, True, False]
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ProgramStructureError):
+            MarkovBiased(1.2, 0.5)
+
+
+class TestIndirectModels:
+    def test_table_indirect_distribution(self):
+        ctx = make_ctx(seed=8)
+        model = TableIndirect([3.0, 1.0])
+        counts = [0, 0]
+        for _ in range(8000):
+            counts[model.next_target_index(ctx, 2)] += 1
+        assert 0.70 < counts[0] / 8000 < 0.80
+
+    def test_table_indirect_target_count_mismatch(self):
+        model = TableIndirect([1.0, 1.0])
+        with pytest.raises(ProgramStructureError):
+            model.next_target_index(make_ctx(), 3)
+
+    def test_table_indirect_rejects_bad_weights(self):
+        with pytest.raises(ProgramStructureError):
+            TableIndirect([])
+        with pytest.raises(ProgramStructureError):
+            TableIndirect([0.0, 0.0])
+        with pytest.raises(ProgramStructureError):
+            TableIndirect([-1.0, 2.0])
+
+    def test_round_robin_cycles(self):
+        ctx = make_ctx()
+        model = RoundRobinIndirect()
+        picks = [model.next_target_index(ctx, 3) for _ in range(7)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_phase_indirect_switches_tables(self):
+        model = PhaseIndirect([(10, [1.0, 0.0]), (10, [0.0, 1.0])])
+        ctx = make_ctx()
+        ctx.step = 0
+        assert model.next_target_index(ctx, 2) == 0
+        ctx.step = 10
+        assert model.next_target_index(ctx, 2) == 1
+
+    def test_phase_indirect_rejects_empty(self):
+        with pytest.raises(ProgramStructureError):
+            PhaseIndirect([])

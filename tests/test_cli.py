@@ -1,0 +1,88 @@
+"""Tests for the top-level CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_benchmarks_and_selectors(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "twolf" in out
+        assert "net" in out and "combined-lei" in out and "wiggins" in out
+
+
+class TestRun:
+    def test_run_prints_metrics(self, capsys):
+        assert main(["run", "gzip", "lei", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "region transitions" in out
+
+    def test_run_with_bounded_cache_reports_evictions(self, capsys):
+        code = main([
+            "run", "eon", "net", "--scale", "0.2",
+            "--cache-capacity", "600", "--eviction", "fifo",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cache evictions" in out
+
+    def test_unknown_benchmark_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "spice", "net"])
+
+    def test_unknown_selector_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "gzip", "hotpath3000"])
+
+
+class TestRegionsAndDot:
+    def test_regions_dump(self, capsys):
+        assert main(["regions", "mcf", "lei", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "regions selected" in out
+        assert "#0" in out
+
+    def test_layout_map(self, capsys):
+        assert main(["layout", "mcf", "net", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "code cache layout" in out
+        assert "page" in out
+
+    def test_dot_export(self, capsys):
+        assert main(["dot", "gzip"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "main" in out
+
+
+class TestCompareAndTimeline:
+    def test_compare_prints_ratios(self, capsys):
+        assert main(["compare", "mcf", "lei", "net", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "lei relative to net" in out
+        assert "region_transitions" in out
+
+    def test_timeline_prints_windows_and_warmup(self, capsys):
+        assert main(["timeline", "gzip", "lei", "--scale", "0.05",
+                     "--window", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "windowed hit rates" in out
+        assert "warm" in out
+
+
+class TestCollectReplay:
+    def test_collect_then_replay(self, tmp_path, capsys):
+        trace = tmp_path / "bzip2.rtrc"
+        assert main(["collect", "bzip2", "--scale", "0.05",
+                     "-o", str(trace)]) == 0
+        assert trace.exists()
+        capsys.readouterr()
+
+        assert main(["replay", str(trace), "combined-lei",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 'bzip2'" in out
+        assert "hit rate" in out

@@ -1,0 +1,166 @@
+"""Behavioural tests for trace combination (Section 4), incl. Figure 4."""
+
+import pytest
+
+from repro.cache.region import CFGRegion, TraceRegion
+from repro.config import SystemConfig
+from repro.system.simulator import simulate
+
+
+def region_labels(region):
+    return sorted(block.label for block in region.block_list)
+
+
+@pytest.fixture
+def fast_config():
+    """Scaled-down thresholds preserving the paper's relationships:
+    T_start + T_prof equals the base selector's threshold."""
+    return SystemConfig(
+        net_threshold=10,
+        lei_threshold=8,
+        combine_t_prof=6,
+        combine_t_min=3,
+        combined_net_t_start=4,
+        combined_lei_t_start=2,
+    )
+
+
+class TestFigure4UnbiasedBranch:
+    """Figure 4: an unbiased branch splits NET into two traces with a
+    duplicated tail; combination selects one region with both paths."""
+
+    def test_plain_net_duplicates_the_join_tail(self, diamond_program, fast_config):
+        result = simulate(diamond_program, "net", fast_config)
+        d_copies = sum(
+            1 for region in result.regions
+            for block in region.block_list if block.label == "D"
+        )
+        assert d_copies >= 2
+
+    def test_combined_net_selects_multipath_region(self, diamond_program, fast_config):
+        result = simulate(diamond_program, "combined-net", fast_config)
+        cfg_regions = [r for r in result.regions if isinstance(r, CFGRegion)]
+        assert cfg_regions, "combination never formed a CFG region"
+        main = next(r for r in cfg_regions if r.entry.label == "A")
+        labels = region_labels(main)
+        # Both sides of the unbiased branch live in one region...
+        assert "B" in labels and "C" in labels
+        # ...and the join tail D appears exactly once.
+        assert labels.count("D") == 1
+
+    def test_combined_region_contains_biased_side_only_when_executed(
+        self, diamond_program, fast_config
+    ):
+        result = simulate(diamond_program, "combined-net", fast_config)
+        main = next(
+            r for r in result.regions
+            if isinstance(r, CFGRegion) and r.entry.label == "A"
+        )
+        # F (90% side) must be in; E (10%) is on a rejoining path, so it
+        # may be included only if observed at least once.
+        assert "F" in region_labels(main)
+
+    def test_combination_reduces_region_transitions(self, diamond_program, fast_config):
+        plain = simulate(diamond_program, "net", fast_config)
+        combined = simulate(diamond_program, "combined-net", fast_config)
+        assert combined.region_transitions < plain.region_transitions
+
+    def test_combination_reduces_code_duplication(self, diamond_program, fast_config):
+        plain = simulate(diamond_program, "net", fast_config)
+        combined = simulate(diamond_program, "combined-net", fast_config)
+        assert combined.code_expansion <= plain.code_expansion
+        assert combined.exit_stubs < plain.exit_stubs
+
+
+class TestDominantPathStaysATrace:
+    """Section 2.2: with a single dominant path, a combined region must
+    contain just that path — combination must not inflate regions."""
+
+    def test_single_path_region_equals_trace(self, simple_loop_program, fast_config):
+        plain = simulate(simple_loop_program, "lei", fast_config)
+        combined = simulate(simple_loop_program, "combined-lei", fast_config)
+        assert combined.region_count == plain.region_count == 1
+        assert region_labels(combined.regions[0]) == region_labels(plain.regions[0])
+
+    def test_interprocedural_cycle_combined_lei(self, call_loop_program, fast_config):
+        combined = simulate(call_loop_program, "combined-lei", fast_config)
+        assert combined.region_count == 1
+        region = combined.regions[0]
+        assert isinstance(region, CFGRegion)
+        assert region.spans_cycle
+        assert region_labels(region) == ["A", "B", "D", "E", "F"]
+        assert combined.region_transitions == 0
+
+
+class TestProfilingWindow:
+    def test_selection_happens_after_same_total_executions(self, simple_loop_program):
+        """T_start + T_prof executions must match the plain threshold, so
+        combined selectors go hot no later than plain ones (LEI's
+        synchronous observations make the timing exact)."""
+        plain_config = SystemConfig(lei_threshold=8)
+        combined_config = SystemConfig(
+            lei_threshold=8, combined_lei_t_start=2, combine_t_prof=6,
+            combine_t_min=3,
+        )
+        plain = simulate(simple_loop_program, "lei", plain_config)
+        combined = simulate(simple_loop_program, "combined-lei", combined_config)
+        assert plain.stats.interp_instructions == combined.stats.interp_instructions
+
+    def test_observed_trace_memory_tracked(self, diamond_program, fast_config):
+        result = simulate(diamond_program, "combined-net", fast_config)
+        assert result.peak_observed_trace_bytes > 0
+
+    def test_plain_selectors_report_zero_observed_memory(self, diamond_program, fast_config):
+        assert simulate(diamond_program, "net", fast_config).peak_observed_trace_bytes == 0
+        assert simulate(diamond_program, "lei", fast_config).peak_observed_trace_bytes == 0
+
+    def test_observed_memory_freed_after_combination(self, diamond_program, fast_config):
+        from repro.cache.codecache import CodeCache
+        from repro.selection.combining import CombinedNETSelector
+        from repro.execution.engine import ExecutionEngine
+        from repro.system.simulator import Simulator
+
+        simulator = Simulator(diamond_program, "combined-net", fast_config)
+        simulator.run(ExecutionEngine(diamond_program).run())
+        selector = simulator.selector
+        assert isinstance(selector, CombinedNETSelector)
+        # Whatever remains in flight is only for targets that never
+        # finished profiling; completed targets were popped.
+        assert selector.store.current_bytes <= selector.store.peak_bytes
+
+    def test_diagnostics_expose_combination_counts(self, diamond_program, fast_config):
+        result = simulate(diamond_program, "combined-net", fast_config)
+        diag = result.selector_diagnostics
+        assert diag["regions_combined"] >= 1
+        assert diag["traces_observed"] >= fast_config.combine_t_prof
+
+
+class TestTminFiltering:
+    def test_rare_blocks_pruned_without_rejoin(self, fast_config):
+        """A rarely-taken side exit that never rejoins must be pruned
+        from the combined region."""
+        from repro.behavior.models import Bernoulli, LoopTrip
+        from repro.program.builder import ProgramBuilder
+
+        pb = ProgramBuilder("rare_exit")
+        main = pb.procedure("main")
+        main.block("head", insts=2).cond("rare", model=Bernoulli(0.02))
+        main.block("body", insts=4)
+        main.block("latch", insts=1).cond("head", model=LoopTrip(300))
+        main.block("done", insts=1).halt()
+        main.block("rare", insts=6).jump("latch")
+        program = pb.build()
+
+        result = simulate(program, "combined-net", fast_config, seed=5)
+        heads = {r.entry.label: r for r in result.regions}
+        assert "head" in heads
+        # "rare" rejoins at latch, so *if observed* it may be kept; but
+        # with p=0.02 over a 6-trace window it is almost surely absent.
+        labels = region_labels(heads["head"])
+        assert "body" in labels and "latch" in labels
+
+    def test_tmin_greater_than_tprof_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="combine_t_min"):
+            SystemConfig(combine_t_prof=3, combine_t_min=5)

@@ -1,0 +1,111 @@
+"""Tests for the Figure 14 compact trace representation."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.selection.compact import CompactTrace
+
+
+def B(program, label):
+    return program.block_by_full_label(label)
+
+
+class TestRoundTrip:
+    def test_fallthrough_only_path(self, straight_line_program):
+        p = straight_line_program
+        path = [B(p, "main:A"), B(p, "main:B"), B(p, "main:C")]
+        compact = CompactTrace.encode(path)
+        assert compact.decode(p) == path
+
+    def test_taken_conditional_path(self, diamond_program):
+        p = diamond_program
+        path = [B(p, "main:A"), B(p, "main:B"), B(p, "main:D"), B(p, "main:F")]
+        compact = CompactTrace.encode(path)
+        assert compact.decode(p) == path
+
+    def test_not_taken_conditional_path(self, diamond_program):
+        p = diamond_program
+        path = [B(p, "main:A"), B(p, "main:C"), B(p, "main:D"), B(p, "main:E")]
+        compact = CompactTrace.encode(path)
+        assert compact.decode(p) == path
+
+    def test_call_and_return_path(self, call_loop_program):
+        p = call_loop_program
+        # A -> B -(call)-> E -> F -(return: dynamic target)-> D
+        path = [B(p, "main:A"), B(p, "main:B"), B(p, "helper:E"),
+                B(p, "helper:F"), B(p, "main:D")]
+        compact = CompactTrace.encode(path)
+        assert compact.decode(p) == path
+
+    def test_indirect_branch_records_explicit_address(self):
+        from repro.behavior.models import LoopTrip
+        from repro.program.builder import ProgramBuilder
+
+        pb = ProgramBuilder("switchy")
+        main = pb.procedure("main")
+        main.block("top", insts=1).cond("dispatch", model=LoopTrip(10))
+        main.block("exit", insts=1).halt()
+        main.block("dispatch", insts=2).indirect({"case_a": 0.5, "case_b": 0.5})
+        main.block("case_a", insts=3).jump("top")
+        main.block("case_b", insts=4).jump("top")
+        p = pb.build()
+        path = [B(p, "main:dispatch"), B(p, "main:case_b"), B(p, "main:top")]
+        compact = CompactTrace.encode(path)
+        assert compact.decode(p) == path
+
+    def test_single_block_trace(self, simple_loop_program):
+        p = simple_loop_program
+        path = [B(p, "main:head")]
+        compact = CompactTrace.encode(path)
+        assert compact.decode(p) == path
+
+
+class TestSizing:
+    def test_two_bits_per_direct_branch(self, straight_line_program):
+        p = straight_line_program
+        # 2 branch records (2 bits each) + end marker (2) + 64-bit address.
+        compact = CompactTrace.encode(
+            [B(p, "main:A"), B(p, "main:B"), B(p, "main:C")]
+        )
+        assert compact.bit_length == 2 * 2 + 2 + 64
+        assert compact.byte_size == (compact.bit_length + 7) // 8
+
+    def test_dynamic_branch_costs_address(self, call_loop_program):
+        p = call_loop_program
+        with_return = CompactTrace.encode(
+            [B(p, "helper:F"), B(p, "main:D")]  # return: "01" + 64 bits
+        )
+        without = CompactTrace.encode(
+            [B(p, "helper:E"), B(p, "helper:F")]  # fall-through: "10"
+        )
+        assert with_return.bit_length == without.bit_length + 64
+
+    def test_compact_is_much_smaller_than_block_list(self, diamond_program):
+        p = diamond_program
+        path = [B(p, "main:A"), B(p, "main:B"), B(p, "main:D"), B(p, "main:F")]
+        compact = CompactTrace.encode(path)
+        # 3 direct branches -> 6 bits + 66 end bits = 9 bytes, versus
+        # 8 bytes *per pointer* for the naive representation.
+        assert compact.byte_size < len(path) * 8
+
+
+class TestErrors:
+    def test_empty_path_rejected(self):
+        with pytest.raises(TraceFormatError):
+            CompactTrace.encode([])
+
+    def test_truncated_bitstring_rejected(self, straight_line_program):
+        p = straight_line_program
+        compact = CompactTrace.encode([B(p, "main:A"), B(p, "main:B")])
+        broken = CompactTrace(compact.entrance, compact.data, 4)
+        with pytest.raises(TraceFormatError, match="truncated"):
+            broken.decode(p)
+
+    def test_decode_against_wrong_entrance_detected(self, straight_line_program):
+        p = straight_line_program
+        compact = CompactTrace.encode([B(p, "main:A"), B(p, "main:B")])
+        lied = CompactTrace(B(p, "main:B"), compact.data, compact.bit_length)
+        # Walking from B: one fall-through reaches C, whose end address
+        # does not match the recorded end of B.
+        with pytest.raises(TraceFormatError):
+            lied.decode(p)

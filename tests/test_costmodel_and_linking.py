@@ -1,0 +1,111 @@
+"""Tests for the execution-time cost model and the link metric."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.metrics import (
+    CostModel,
+    estimated_speedup,
+    estimated_time,
+    inter_region_links,
+    interpreter_only_time,
+)
+from repro.system.simulator import simulate
+
+
+@pytest.fixture
+def fast_config():
+    return SystemConfig(net_threshold=5, lei_threshold=4)
+
+
+class TestCostModelValidation:
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(region_transition=-1)
+
+    def test_interpretation_cheaper_than_native_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(interpreted_instruction=0.5, cached_instruction=1.0)
+
+    def test_defaults_valid(self):
+        model = CostModel()
+        assert model.interpreted_instruction > model.cached_instruction
+
+
+class TestEstimatedTime:
+    def test_no_selection_equals_interpreter_only(self, straight_line_program, fast_config):
+        result = simulate(straight_line_program, "net", fast_config)
+        assert estimated_time(result) == interpreter_only_time(result)
+        assert estimated_speedup(result) == 1.0
+
+    def test_hot_loop_speeds_up(self, simple_loop_program, fast_config):
+        result = simulate(simple_loop_program, "net", fast_config)
+        assert estimated_speedup(result) > 2.0
+
+    def test_components_priced(self, call_loop_program, fast_config):
+        result = simulate(call_loop_program, "net", fast_config)
+        free_transitions = CostModel(region_transition=0.0)
+        dear_transitions = CostModel(region_transition=100.0)
+        assert (estimated_time(result, dear_transitions)
+                > estimated_time(result, free_transitions))
+
+    def test_lei_estimated_faster_on_cycle_workload(self, call_loop_program, fast_config):
+        """LEI removes two transitions per iteration here; the model
+        must price that as a win."""
+        net = simulate(call_loop_program, "net", fast_config)
+        lei = simulate(call_loop_program, "lei", fast_config)
+        assert estimated_time(lei) < estimated_time(net)
+
+
+class TestCoverSetPredictsTime:
+    def test_cover_set_ordering_matches_time_ordering(self, fast_config):
+        """The paper's core metric argument: 'a smaller 90% cover set
+        implied a smaller execution time' — check it holds inside the
+        cost model across the paper's four selector configurations."""
+        from repro.metrics import cover_set_size
+        from repro.workloads import build_benchmark
+
+        program = build_benchmark("mcf", scale=0.25)
+        config = SystemConfig()
+        runs = {
+            selector: simulate(program, selector, config, seed=1)
+            for selector in ("net", "lei", "combined-net", "combined-lei")
+        }
+        covers = {s: cover_set_size(r) for s, r in runs.items()}
+        times = {s: estimated_time(r) for s, r in runs.items()}
+        assert all(c is not None for c in covers.values())
+        # Pairwise consistency: strictly smaller cover set must not have
+        # strictly larger estimated time by more than 10% (ties and
+        # near-ties are allowed; the claim is monotonicity in the large).
+        for a in runs:
+            for b in runs:
+                if covers[a] < covers[b]:
+                    assert times[a] <= times[b] * 1.10, (a, b)
+
+
+class TestInterRegionLinks:
+    def test_separated_traces_are_linked(self, call_loop_program, fast_config):
+        result = simulate(call_loop_program, "net", fast_config)
+        # Two traces bouncing between each other: at least 2 links.
+        assert inter_region_links(result) >= 2
+
+    def test_single_cycle_trace_needs_no_links(self, call_loop_program, fast_config):
+        result = simulate(call_loop_program, "lei", fast_config)
+        assert result.region_count == 1
+        assert inter_region_links(result) == 0
+
+    def test_no_regions_no_links(self, straight_line_program, fast_config):
+        result = simulate(straight_line_program, "net", fast_config)
+        assert inter_region_links(result) == 0
+
+    def test_combination_reduces_links_footnote9(self):
+        """Footnote 9: 'our algorithms are very likely to reduce the
+        number of such links'."""
+        from repro.workloads import build_benchmark
+
+        program = build_benchmark("eon", scale=0.25)
+        config = SystemConfig()
+        plain = simulate(program, "net", config, seed=1)
+        combined = simulate(program, "combined-net", config, seed=1)
+        assert inter_region_links(combined) <= inter_region_links(plain)

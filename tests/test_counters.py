@@ -1,0 +1,55 @@
+"""Tests for the profiling counter table."""
+
+from repro.selection.counters import CounterTable
+
+
+class TestCounterTable:
+    def test_increment_allocates_and_counts(self):
+        table = CounterTable()
+        assert table.increment("a") == 1
+        assert table.increment("a") == 2
+        assert table.get("a") == 2
+
+    def test_get_without_allocation_is_zero(self):
+        table = CounterTable()
+        assert table.get("missing") == 0
+        assert not table.is_live("missing")
+
+    def test_release_recycles(self):
+        table = CounterTable()
+        table.increment("a")
+        table.release("a")
+        assert not table.is_live("a")
+        assert table.get("a") == 0
+        # Re-allocation starts from scratch.
+        assert table.increment("a") == 1
+
+    def test_release_is_idempotent(self):
+        table = CounterTable()
+        table.release("never-allocated")  # must not raise
+
+    def test_peak_tracks_high_water_not_current(self):
+        table = CounterTable()
+        for key in ("a", "b", "c"):
+            table.increment(key)
+        assert table.peak == 3
+        table.release("a")
+        table.release("b")
+        assert table.live == 1
+        assert table.peak == 3
+
+    def test_peak_after_recycling_and_regrowth(self):
+        table = CounterTable()
+        table.increment("a")
+        table.release("a")
+        table.increment("b")
+        table.increment("c")
+        assert table.peak == 2
+
+    def test_allocations_counts_every_allocation(self):
+        table = CounterTable()
+        table.increment("a")
+        table.increment("a")
+        table.release("a")
+        table.increment("a")
+        assert table.allocations == 2

@@ -1,0 +1,116 @@
+"""Cross-selector invariant matrix: every selector on every micro.
+
+These are the library's broadest integration tests: 7 selectors x 6
+microbenchmarks, checking the invariants that must hold regardless of
+algorithm or workload.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.execution.engine import ExecutionEngine
+from repro.metrics import MetricReport
+from repro.selection.registry import SELECTOR_FACTORIES
+from repro.system.simulator import Simulator
+from repro.workloads import build_micro, micro_names
+
+ALL_SELECTORS = tuple(sorted(SELECTOR_FACTORIES))
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """Every (micro, selector) run at a small but meaningful size."""
+    config = SystemConfig(
+        net_threshold=12, lei_threshold=10,
+        combined_net_t_start=6, combined_lei_t_start=4,
+        combine_t_prof=6, combine_t_min=3,
+        mojo_exit_threshold=6, boa_threshold=8,
+        sampling_period=60, sampling_window=120,
+    )
+    runs = {}
+    for name in micro_names():
+        program = build_micro(name, iterations=400)
+        engine_insts = None
+        for selector in ALL_SELECTORS:
+            engine = ExecutionEngine(program, seed=2)
+            result = Simulator(program, selector, config).run(engine.run())
+            if engine_insts is None:
+                engine_insts = engine.instructions_executed
+            runs[(name, selector)] = (result, engine_insts)
+    return runs
+
+
+class TestUniversalInvariants:
+    @pytest.mark.parametrize("micro", sorted(micro_names()))
+    @pytest.mark.parametrize("selector", ALL_SELECTORS)
+    def test_instruction_conservation(self, matrix, micro, selector):
+        result, engine_insts = matrix[(micro, selector)]
+        assert result.total_instructions_executed == engine_insts
+
+    @pytest.mark.parametrize("micro", sorted(micro_names()))
+    @pytest.mark.parametrize("selector", ALL_SELECTORS)
+    def test_metric_report_computes(self, matrix, micro, selector):
+        result, _ = matrix[(micro, selector)]
+        report = MetricReport.from_result(result)
+        assert 0.0 <= report.hit_rate <= 1.0
+        assert report.region_count >= 0
+        assert report.exit_stubs >= 0
+        assert 0.0 <= report.spanned_cycle_ratio <= 1.0
+        assert 0.0 <= report.executed_cycle_ratio <= 1.0
+
+    @pytest.mark.parametrize("micro", sorted(micro_names()))
+    @pytest.mark.parametrize("selector", ALL_SELECTORS)
+    def test_single_entry_regions(self, matrix, micro, selector):
+        result, _ = matrix[(micro, selector)]
+        entries = [region.entry for region in result.regions]
+        assert len(entries) == len(set(entries))
+        for region in result.regions:
+            assert region.selection_order is not None
+            assert region.cache_address is not None
+            assert region.instruction_count >= 1
+
+    @pytest.mark.parametrize("micro", sorted(micro_names()))
+    @pytest.mark.parametrize("selector", ALL_SELECTORS)
+    def test_execution_accounting_consistent(self, matrix, micro, selector):
+        result, _ = matrix[(micro, selector)]
+        per_region = sum(r.executed_instructions for r in result.regions)
+        assert per_region == result.stats.cache_instructions
+        entries = sum(r.entry_count for r in result.regions)
+        assert entries == (result.stats.cache_entries
+                           + result.stats.region_transitions)
+
+    @pytest.mark.parametrize("selector", ALL_SELECTORS)
+    def test_every_selector_goes_hot_on_the_self_loop(self, matrix, selector):
+        result, _ = matrix[("self_loop", selector)]
+        assert result.region_count >= 1
+        assert result.hit_rate > 0.5, selector
+
+
+class TestSelectorCharacter:
+    """Differences that must hold whenever the workload allows them."""
+
+    def test_only_lei_family_spans_figure2(self, matrix):
+        for selector in ALL_SELECTORS:
+            result, _ = matrix[("figure2", selector)]
+            spans = any(r.spans_cycle for r in result.regions)
+            if selector in ("lei", "combined-lei"):
+                assert spans, selector
+            elif selector in ("net", "mojo"):
+                assert not spans, selector
+
+    def test_combined_variants_emit_multipath_regions_on_figure4(self, matrix):
+        from repro.cache.region import CFGRegion
+
+        for selector in ("combined-net", "combined-lei"):
+            result, _ = matrix[("figure4", selector)]
+            assert any(isinstance(r, CFGRegion) for r in result.regions), selector
+
+    def test_plain_selectors_emit_only_traces(self, matrix):
+        from repro.cache.region import TraceRegion
+
+        for selector in ("net", "lei", "mojo", "boa", "wiggins"):
+            for micro in micro_names():
+                result, _ = matrix[(micro, selector)]
+                assert all(isinstance(r, TraceRegion) for r in result.regions), (
+                    micro, selector,
+                )

@@ -1,0 +1,71 @@
+"""The example scripts must run and demonstrate what they claim."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout, check=False,
+    )
+
+
+class TestExamplesRun:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py", "gzip", "0.1")
+        assert proc.returncode == 0, proc.stderr
+        for selector in ("net", "lei", "combined-net", "combined-lei"):
+            assert selector in proc.stdout
+
+    def test_quickstart_rejects_unknown_benchmark(self):
+        proc = run_example("quickstart.py", "notabench")
+        assert proc.returncode != 0
+        assert "unknown benchmark" in proc.stderr
+
+    def test_interprocedural_cycle_shows_figure2(self):
+        proc = run_example("interprocedural_cycle.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "digraph" in proc.stdout          # CFG export
+        assert "spans cycle" in proc.stdout      # the LEI ideal trace
+        assert "region transitions: 0" in proc.stdout
+
+    def test_nested_loops_shows_duplication_difference(self):
+        proc = run_example("nested_loops.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "copies of inner-loop head B in the cache: 2" in proc.stdout
+        assert "copies of inner-loop head B in the cache: 1" in proc.stdout
+
+    def test_unbiased_branch_shows_combination(self):
+        proc = run_example("unbiased_branch.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "CFG region" in proc.stdout
+        assert "copies of join block D: 2" in proc.stdout  # plain NET
+        assert "copies of join block D: 1" in proc.stdout  # combined
+
+    def test_trace_collection_round_trips(self):
+        proc = run_example("trace_collection.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "identical" in proc.stdout
+
+    def test_custom_selector_registers_and_runs(self):
+        proc = run_example("custom_selector.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "method" in proc.stdout
+
+    def test_bounded_cache_sweep(self):
+        proc = run_example("bounded_cache.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "evictions" in proc.stdout
+        assert "regenerate" in proc.stdout
+
+    def test_performance_analysis(self):
+        proc = run_example("performance_analysis.py", "0.1")
+        assert proc.returncode == 0, proc.stderr
+        assert "speedup" in proc.stdout
+        assert "combined-lei relative to net" in proc.stdout

@@ -1,0 +1,150 @@
+"""Tests for the experiment runner, figures and rendering."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.experiments.figures import ALL_FIGURES, FigureResult, compute_figure, figure_ids
+from repro.experiments.render import figure_to_markdown, figure_to_text
+from repro.experiments.runner import run_grid
+
+
+@pytest.fixture(scope="module")
+def tiny_grid():
+    """A two-benchmark grid at very small scale (fast, still meaningful)."""
+    return run_grid(
+        scale=0.08,
+        seed=1,
+        benchmarks=("gzip", "mcf"),
+    )
+
+
+class TestRunner:
+    def test_grid_has_all_cells(self, tiny_grid):
+        assert set(tiny_grid.benchmarks) == {"gzip", "mcf"}
+        assert set(tiny_grid.selectors) == {
+            "net", "lei", "combined-net", "combined-lei",
+        }
+        assert len(tiny_grid.reports) == 8
+
+    def test_reports_are_metric_reports(self, tiny_grid):
+        report = tiny_grid.report("gzip", "net")
+        assert report.program == "gzip"
+        assert report.selector == "net"
+        assert report.total_instructions > 0
+
+    def test_selector_subset(self):
+        grid = run_grid(scale=0.05, benchmarks=("bzip2",), selectors=("lei",))
+        assert list(grid.reports) == [("bzip2", "lei")]
+
+    def test_custom_config_respected(self):
+        config = SystemConfig(net_threshold=500_000)  # never reached
+        grid = run_grid(scale=0.05, benchmarks=("gzip",), selectors=("net",),
+                        config=config)
+        assert grid.report("gzip", "net").region_count == 0
+
+
+class TestFigures:
+    def test_registry_covers_every_paper_artefact(self):
+        expected = {"fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
+                    "fig16", "fig17", "fig18", "fig19"}
+        assert expected <= set(figure_ids())
+
+    @pytest.mark.parametrize("figure_id", sorted(ALL_FIGURES))
+    def test_every_figure_computes(self, figure_id, tiny_grid):
+        figure = compute_figure(figure_id, tiny_grid)
+        assert isinstance(figure, FigureResult)
+        assert len(figure.rows) == 2
+        assert all(len(values) == len(figure.columns) for _, values in figure.rows)
+        assert len(figure.means) == len(figure.columns)
+
+    def test_unknown_figure_rejected(self, tiny_grid):
+        with pytest.raises(ConfigError, match="unknown figure"):
+            compute_figure("fig99", tiny_grid)
+
+    def test_column_and_value_accessors(self, tiny_grid):
+        figure = compute_figure("fig09", tiny_grid)
+        assert len(figure.column("net")) == 2
+        value = figure.value("gzip", "net")
+        assert value is None or value >= 1
+        with pytest.raises(ConfigError):
+            figure.value("nonexistent", "net")
+
+    def test_means_skip_undefined_cells(self):
+        figure = FigureResult(
+            "x", "t", ("a",),
+            rows=(("b1", (None,)), ("b2", (2.0,))),
+            paper_note="",
+        )
+        assert figure.means == (2.0,)
+
+    def test_all_none_column_mean_is_none(self):
+        figure = FigureResult(
+            "x", "t", ("a",), rows=(("b1", (None,)),), paper_note="",
+        )
+        assert figure.means == (None,)
+
+
+class TestRendering:
+    def test_text_table_structure(self, tiny_grid):
+        figure = compute_figure("fig08", tiny_grid)
+        text = figure_to_text(figure)
+        lines = text.splitlines()
+        assert lines[0].startswith("Figure 8")
+        assert "benchmark" in lines[1]
+        assert any(line.startswith("gzip") for line in lines)
+        assert any(line.startswith("mean") for line in lines)
+
+    def test_markdown_table_structure(self, tiny_grid):
+        figure = compute_figure("fig08", tiny_grid)
+        md = figure_to_markdown(figure)
+        assert md.startswith("### Figure 8")
+        assert "| benchmark |" in md
+        assert "| **mean** |" in md
+
+    def test_none_rendered_as_dash(self):
+        figure = FigureResult(
+            "x", "Title", ("a",), rows=(("b", (None,)),), paper_note="note",
+        )
+        assert "-" in figure_to_text(figure)
+
+
+class TestCLI:
+    def test_main_single_figure(self, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(["--scale", "0.05", "--figure", "fig09"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 9" in out
+
+    def test_main_writes_markdown(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        target = tmp_path / "figs.md"
+        main(["--scale", "0.05", "--figure", "fig10", "--markdown", str(target)])
+        assert target.exists()
+        assert "Figure 10" in target.read_text()
+
+    def test_main_save_and_load_grid(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        grid_path = tmp_path / "grid.json"
+        main(["--scale", "0.05", "--figure", "fig09",
+              "--save-grid", str(grid_path)])
+        first = capsys.readouterr().out
+        assert grid_path.exists()
+        main(["--load-grid", str(grid_path), "--figure", "fig09"])
+        second = capsys.readouterr().out
+        assert "grid loaded" in second
+        # Same figure content either way.
+        assert first.split("Figure 9")[1] == second.split("Figure 9")[1]
+
+    def test_main_workers_flag_gives_identical_output(self, capsys):
+        from repro.experiments.__main__ import main
+
+        main(["--scale", "0.05", "--figure", "fig09"])
+        serial = capsys.readouterr().out
+        main(["--scale", "0.05", "--figure", "fig09", "--workers", "4"])
+        parallel = capsys.readouterr().out
+        assert serial.split("Figure 9")[1] == parallel.split("Figure 9")[1]

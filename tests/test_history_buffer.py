@@ -1,0 +1,117 @@
+"""Tests for LEI's branch history buffer."""
+
+import pytest
+
+from repro.errors import SelectionError
+from repro.program.builder import ProgramBuilder
+from repro.selection.history import BranchHistoryBuffer
+
+
+@pytest.fixture
+def blocks():
+    """Ten distinct blocks to use as branch sources/targets."""
+    pb = ProgramBuilder("buffered")
+    main = pb.procedure("main")
+    for i in range(10):
+        main.block(f"b{i}", insts=1)
+    main.block("end", insts=1).halt()
+    program = pb.build()
+    return [program.block_by_full_label(f"main:b{i}") for i in range(10)]
+
+
+class TestInsertAndLookup:
+    def test_lookup_finds_most_recent_occurrence(self, blocks):
+        buf = BranchHistoryBuffer(8)
+        first = buf.insert(blocks[0], blocks[1])
+        buf.hash_update(blocks[1], first.seq)
+        second = buf.insert(blocks[2], blocks[1])
+        # The hash is updated by the caller (Figure 5 line 8): until
+        # then lookup still returns the first occurrence.
+        assert buf.hash_lookup(blocks[1]).seq == first.seq
+        buf.hash_update(blocks[1], second.seq)
+        assert buf.hash_lookup(blocks[1]).seq == second.seq
+
+    def test_lookup_miss(self, blocks):
+        buf = BranchHistoryBuffer(8)
+        assert buf.hash_lookup(blocks[3]) is None
+
+    def test_follows_exit_flag_preserved(self, blocks):
+        buf = BranchHistoryBuffer(8)
+        entry = buf.insert(blocks[0], blocks[1], follows_exit=True)
+        buf.hash_update(blocks[1], entry.seq)
+        assert buf.hash_lookup(blocks[1]).follows_exit
+
+    def test_capacity_must_be_sane(self):
+        with pytest.raises(SelectionError):
+            BranchHistoryBuffer(1)
+
+
+class TestEviction:
+    def test_old_entries_evicted_at_capacity(self, blocks):
+        buf = BranchHistoryBuffer(3)
+        first = buf.insert(blocks[0], blocks[1])
+        buf.hash_update(blocks[1], first.seq)
+        for i in range(3):  # fills and wraps, evicting the first entry
+            buf.insert(blocks[2], blocks[3 + i])
+        assert buf.hash_lookup(blocks[1]) is None
+
+    def test_live_entries_bounded_by_capacity(self, blocks):
+        buf = BranchHistoryBuffer(4)
+        for i in range(10):
+            buf.insert(blocks[i % 5], blocks[(i + 1) % 5])
+        assert buf.live_entries == 4
+
+
+class TestEntriesAfterAndTruncate:
+    def test_entries_after_returns_cycle_branches_in_order(self, blocks):
+        buf = BranchHistoryBuffer(8)
+        old = buf.insert(blocks[0], blocks[1])
+        e1 = buf.insert(blocks[1], blocks[2])
+        e2 = buf.insert(blocks[2], blocks[1])
+        seqs = [e.seq for e in buf.entries_after(old.seq)]
+        assert seqs == [e1.seq, e2.seq]
+
+    def test_entries_after_respects_eviction_floor(self, blocks):
+        buf = BranchHistoryBuffer(3)
+        old = buf.insert(blocks[0], blocks[1])
+        for i in range(4):
+            buf.insert(blocks[2], blocks[3 + i])
+        # `old` has been evicted; iteration silently starts at the floor.
+        entries = list(buf.entries_after(old.seq))
+        assert len(entries) == 3
+
+    def test_truncate_removes_newer_entries(self, blocks):
+        buf = BranchHistoryBuffer(8)
+        keep = buf.insert(blocks[0], blocks[1])
+        buf.hash_update(blocks[1], keep.seq)
+        drop = buf.insert(blocks[1], blocks[2])
+        buf.hash_update(blocks[2], drop.seq)
+        buf.truncate_after(keep.seq)
+        assert buf.hash_lookup(blocks[2]) is None
+        assert buf.hash_lookup(blocks[1]).seq == keep.seq
+        assert list(buf.entries_after(keep.seq)) == []
+
+    def test_truncate_then_reinsert_no_ghost_hits(self, blocks):
+        buf = BranchHistoryBuffer(8)
+        base = buf.insert(blocks[0], blocks[1])
+        stale = buf.insert(blocks[1], blocks[2])
+        buf.hash_update(blocks[2], stale.seq)
+        buf.truncate_after(base.seq)
+        # Reuse the truncated sequence number for a different target.
+        fresh = buf.insert(blocks[3], blocks[4])
+        assert fresh.seq == stale.seq
+        # The stale hash entry must not resolve to the new occupant.
+        assert buf.hash_lookup(blocks[2]) is None
+
+    def test_truncate_noop_when_nothing_newer(self, blocks):
+        buf = BranchHistoryBuffer(8)
+        entry = buf.insert(blocks[0], blocks[1])
+        buf.truncate_after(entry.seq)  # must not raise
+        assert buf.live_entries == 1
+
+    def test_latest_seq_requires_nonempty(self, blocks):
+        buf = BranchHistoryBuffer(4)
+        with pytest.raises(SelectionError):
+            buf.latest_seq()
+        entry = buf.insert(blocks[0], blocks[1])
+        assert buf.latest_seq() == entry.seq

@@ -1,0 +1,66 @@
+"""Tests for the instruction-set model."""
+
+import pytest
+
+from repro.errors import ProgramStructureError
+from repro.isa.instruction import DEFAULT_INSTRUCTION_BYTES, InstructionBundle
+from repro.isa.opcodes import BranchKind
+
+
+class TestBranchKind:
+    def test_always_taken_kinds(self):
+        assert BranchKind.JUMP.is_always_taken
+        assert BranchKind.CALL.is_always_taken
+        assert BranchKind.RETURN.is_always_taken
+        assert BranchKind.INDIRECT.is_always_taken
+
+    def test_conditional_is_not_always_taken(self):
+        assert not BranchKind.COND.is_always_taken
+        assert not BranchKind.FALLTHROUGH.is_always_taken
+        assert not BranchKind.HALT.is_always_taken
+
+    def test_fall_through_capability(self):
+        assert BranchKind.COND.may_fall_through
+        assert BranchKind.FALLTHROUGH.may_fall_through
+        assert not BranchKind.JUMP.may_fall_through
+        assert not BranchKind.RETURN.may_fall_through
+
+    def test_dynamic_targets_match_compact_trace_encoding_needs(self):
+        # Figure 14 records explicit addresses exactly for transfers whose
+        # target is not known from the instruction.
+        assert BranchKind.INDIRECT.target_is_dynamic
+        assert BranchKind.RETURN.target_is_dynamic
+        assert not BranchKind.COND.target_is_dynamic
+        assert not BranchKind.CALL.target_is_dynamic
+
+
+class TestInstructionBundle:
+    def test_byte_size_uses_per_instruction_average(self):
+        bundle = InstructionBundle(10, bytes_per_instruction=4.0)
+        assert bundle.byte_size == 40
+
+    def test_default_size_matches_paper_range(self):
+        # The paper: average selected instruction size is 3-4 bytes.
+        assert 3.0 <= DEFAULT_INSTRUCTION_BYTES <= 4.0
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(ProgramStructureError):
+            InstructionBundle(0)
+
+    def test_rejects_nonpositive_bytes(self):
+        with pytest.raises(ProgramStructureError):
+            InstructionBundle(3, bytes_per_instruction=0)
+
+    def test_scaled_rounds_and_clamps(self):
+        bundle = InstructionBundle(10)
+        assert bundle.scaled(0.25).count == 2
+        assert bundle.scaled(0.001).count == 1  # never drops to zero
+        assert bundle.scaled(3.0).count == 30
+
+    def test_byte_size_never_zero(self):
+        assert InstructionBundle(1, bytes_per_instruction=0.2).byte_size >= 1
+
+    def test_frozen(self):
+        bundle = InstructionBundle(5)
+        with pytest.raises(AttributeError):
+            bundle.count = 9  # type: ignore[misc]

@@ -1,0 +1,106 @@
+"""Tests for the JSON-lines trace interchange format."""
+
+import json
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import TraceFormatError
+from repro.execution.engine import ExecutionEngine
+from repro.system.simulator import Simulator
+from repro.tracing import read_jsonl_trace, write_jsonl_trace
+
+
+class TestRoundTrip:
+    def test_identical_steps(self, diamond_program, tmp_path):
+        path = tmp_path / "diamond.jsonl"
+        steps = ExecutionEngine(diamond_program, seed=5).run_to_list()
+        written = write_jsonl_trace(steps, path, diamond_program.name)
+        assert written == len(steps)
+        replayed = list(read_jsonl_trace(path, diamond_program))
+        assert replayed == steps
+
+    def test_simulation_over_jsonl_matches_live(self, diamond_program, tmp_path):
+        path = tmp_path / "diamond.jsonl"
+        write_jsonl_trace(
+            ExecutionEngine(diamond_program, seed=5).run(),
+            path, diamond_program.name,
+        )
+        config = SystemConfig(net_threshold=5)
+        live = Simulator(diamond_program, "net", config).run(
+            ExecutionEngine(diamond_program, seed=5).run()
+        )
+        replayed = Simulator(diamond_program, "net", config).run(
+            read_jsonl_trace(path, diamond_program)
+        )
+        assert live.region_transitions == replayed.region_transitions
+        assert live.hit_rate == replayed.hit_rate
+
+    def test_file_is_plain_json_lines(self, straight_line_program, tmp_path):
+        path = tmp_path / "straight.jsonl"
+        write_jsonl_trace(
+            ExecutionEngine(straight_line_program).run(),
+            path, straight_line_program.name,
+        )
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["program"] == "straight"
+        record = json.loads(lines[1])
+        assert record["b"] == "main:A"
+        assert record["n"] == "main:B"
+
+    def test_handwritten_trace_accepted(self, straight_line_program, tmp_path):
+        """The format's purpose: traces authored without this library."""
+        path = tmp_path / "hand.jsonl"
+        path.write_text(
+            '{"program": "straight", "format": "jsonl-v1"}\n'
+            '{"b": "main:A", "t": false, "n": "main:B"}\n'
+            "\n"  # blank lines are tolerated
+            '{"b": "main:B", "t": false, "n": "main:C"}\n'
+            '{"b": "main:C", "t": false}\n'
+        )
+        steps = list(read_jsonl_trace(path, straight_line_program))
+        assert [s.block.label for s in steps] == ["A", "B", "C"]
+        assert steps[-1].target is None
+
+
+class TestErrors:
+    def test_wrong_program_rejected(self, straight_line_program,
+                                    simple_loop_program, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl_trace(
+            ExecutionEngine(straight_line_program).run(),
+            path, straight_line_program.name,
+        )
+        with pytest.raises(TraceFormatError, match="recorded for program"):
+            list(read_jsonl_trace(path, simple_loop_program))
+
+    def test_unknown_label_rejected(self, straight_line_program, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"program": "straight", "format": "jsonl-v1"}\n'
+            '{"b": "main:GHOST", "t": false}\n'
+        )
+        with pytest.raises(TraceFormatError, match="line 2"):
+            list(read_jsonl_trace(path, straight_line_program))
+
+    def test_bad_format_marker_rejected(self, straight_line_program, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"program": "straight", "format": "csv"}\n')
+        with pytest.raises(TraceFormatError, match="unsupported"):
+            list(read_jsonl_trace(path, straight_line_program))
+
+    def test_empty_file_rejected(self, straight_line_program, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceFormatError, match="empty"):
+            list(read_jsonl_trace(path, straight_line_program))
+
+    def test_garbage_json_rejected(self, straight_line_program, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text(
+            '{"program": "straight", "format": "jsonl-v1"}\n'
+            'not json at all\n'
+        )
+        with pytest.raises(TraceFormatError, match="line 2"):
+            list(read_jsonl_trace(path, straight_line_program))

@@ -1,0 +1,62 @@
+"""Tests for the code-cache layout analysis."""
+
+import pytest
+
+from repro.analysis.layout import (
+    layout_map,
+    page_crossing_fraction,
+    transition_distances,
+)
+from repro.config import SystemConfig
+from repro.system.simulator import simulate
+from repro.workloads import build_micro
+
+
+@pytest.fixture
+def figure2_net():
+    return simulate(build_micro("figure2"), "net", SystemConfig())
+
+
+class TestLayoutMap:
+    def test_map_lists_all_regions_in_address_order(self, figure2_net):
+        text = layout_map(figure2_net)
+        assert "code cache layout" in text
+        body = text.splitlines()[2:]
+        assert len(body) == figure2_net.region_count
+        addresses = [int(line.split()[0]) for line in body]
+        assert addresses == sorted(addresses)
+
+    def test_addresses_match_region_sizes(self, figure2_net):
+        regions = sorted(figure2_net.regions, key=lambda r: r.cache_address)
+        for first, second in zip(regions, regions[1:]):
+            expected = first.cache_address + figure2_net.cache.region_bytes(first)
+            assert second.cache_address == expected
+
+
+class TestTransitionDistances:
+    def test_figure2_traces_are_mutually_linked(self, figure2_net):
+        pairs = transition_distances(figure2_net)
+        # The two NET traces each link to the other.
+        endpoints = {(src.entry.label, dst.entry.label) for src, dst, _ in pairs}
+        assert ("E", "A") in endpoints
+        assert ("A", "E") in endpoints
+        for _, _, distance in pairs:
+            assert distance > 0
+
+    def test_single_region_has_no_pairs(self):
+        result = simulate(build_micro("figure2"), "lei", SystemConfig())
+        assert transition_distances(result) == []
+        assert page_crossing_fraction(result) == 0.0
+
+
+class TestPageCrossing:
+    def test_small_cache_fits_one_page(self, figure2_net):
+        assert page_crossing_fraction(figure2_net) == 0.0
+
+    def test_tiny_pages_force_crossings(self, figure2_net):
+        # With "pages" smaller than the first trace, the two linked
+        # traces cannot share one.
+        first = min(r.cache_address for r in figure2_net.regions)
+        second = sorted(r.cache_address for r in figure2_net.regions)[1]
+        tiny_page = max(1, second - first)
+        assert page_crossing_fraction(figure2_net, page_bytes=tiny_page) > 0.0

@@ -1,0 +1,155 @@
+"""Tests for the metrics package."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.metrics import (
+    MetricReport,
+    analyze_exit_domination,
+    cover_set_size,
+    executed_cycle_ratio,
+    observed_trace_memory_fraction,
+    safe_ratio,
+    spanned_cycle_ratio,
+)
+from repro.system.simulator import simulate
+
+
+@pytest.fixture
+def fast_config():
+    return SystemConfig(net_threshold=5, lei_threshold=4)
+
+
+@pytest.fixture
+def net_call_loop(call_loop_program, fast_config):
+    return simulate(call_loop_program, "net", fast_config)
+
+
+@pytest.fixture
+def lei_call_loop(call_loop_program, fast_config):
+    return simulate(call_loop_program, "lei", fast_config)
+
+
+class TestCoverSet:
+    def test_single_hot_region_covers_alone(self, simple_loop_program, fast_config):
+        result = simulate(simple_loop_program, "net", fast_config)
+        assert cover_set_size(result) == 1
+
+    def test_unreachable_fraction_returns_none(self, straight_line_program, fast_config):
+        result = simulate(straight_line_program, "net", fast_config)
+        # Nothing cached: 90% of execution can never be covered.
+        assert cover_set_size(result) is None
+
+    def test_lower_fraction_needs_fewer_regions(self, nested_loop_program, fast_config):
+        result = simulate(nested_loop_program, "net", fast_config)
+        small = cover_set_size(result, 0.3)
+        large = cover_set_size(result, 0.9)
+        assert small is not None and large is not None
+        assert small <= large
+
+    def test_invalid_fraction_rejected(self, net_call_loop):
+        with pytest.raises(ConfigError):
+            cover_set_size(net_call_loop, 0.0)
+        with pytest.raises(ConfigError):
+            cover_set_size(net_call_loop, 1.5)
+
+    def test_lei_cover_set_not_larger_on_cycle_workload(
+        self, net_call_loop, lei_call_loop
+    ):
+        net_cover = cover_set_size(net_call_loop)
+        lei_cover = cover_set_size(lei_call_loop)
+        assert lei_cover is not None and net_cover is not None
+        assert lei_cover <= net_cover
+
+
+class TestCycleRatios:
+    def test_lei_spans_the_interprocedural_cycle_net_cannot(
+        self, net_call_loop, lei_call_loop
+    ):
+        assert spanned_cycle_ratio(net_call_loop) == 0.0
+        assert spanned_cycle_ratio(lei_call_loop) == 1.0
+
+    def test_executed_cycle_ratio_tracks_spanning(self, net_call_loop, lei_call_loop):
+        assert executed_cycle_ratio(lei_call_loop) > executed_cycle_ratio(net_call_loop)
+        assert executed_cycle_ratio(lei_call_loop) > 0.9
+
+    def test_empty_run_ratios_are_zero(self, straight_line_program, fast_config):
+        result = simulate(straight_line_program, "net", fast_config)
+        assert spanned_cycle_ratio(result) == 0.0
+        assert executed_cycle_ratio(result) == 0.0
+
+
+class TestExitDomination:
+    def test_net_helper_trace_dominates_loop_trace(self, net_call_loop):
+        """In the Figure 2 scenario the trace at A begins at the exit of
+        the trace at E (its only executed outside predecessor is D, the
+        E-trace's last block), so it is exit-dominated."""
+        report = analyze_exit_domination(net_call_loop)
+        assert report.dominated_count == 1
+        dominated = next(iter(report.dominators))
+        assert dominated.entry.label == "A"
+        dominator = next(iter(report.dominators[dominated]))
+        assert dominator.entry.label == "E"
+
+    def test_single_region_cannot_be_dominated(self, lei_call_loop):
+        report = analyze_exit_domination(lei_call_loop)
+        assert report.dominated_count == 0
+        assert report.duplication_fraction == 0.0
+
+    def test_duplication_counts_shared_blocks(self, nested_loop_program, fast_config):
+        result = simulate(nested_loop_program, "net", fast_config)
+        report = analyze_exit_domination(result)
+        # The A-trace duplicates B (owned by the earlier B-trace); if A
+        # is dominated, B's instructions count as duplication.
+        if report.dominated_count:
+            assert report.duplicated_instructions >= 0
+        assert 0.0 <= report.duplication_fraction <= 1.0
+
+    def test_selection_order_matters(self, net_call_loop):
+        report = analyze_exit_domination(net_call_loop)
+        for dominated, dominators in report.dominators.items():
+            for dominator in dominators:
+                assert dominator.selection_order < dominated.selection_order
+
+
+class TestMemoryMetrics:
+    def test_observed_memory_fraction_none_when_cache_empty(
+        self, straight_line_program, fast_config
+    ):
+        result = simulate(straight_line_program, "net", fast_config)
+        assert observed_trace_memory_fraction(result) is None
+
+    def test_observed_memory_fraction_zero_for_plain(self, net_call_loop):
+        assert observed_trace_memory_fraction(net_call_loop) == 0.0
+
+    def test_observed_memory_fraction_positive_for_combined(
+        self, diamond_program
+    ):
+        config = SystemConfig(
+            net_threshold=10, combined_net_t_start=4,
+            combine_t_prof=6, combine_t_min=3,
+        )
+        result = simulate(diamond_program, "combined-net", config)
+        fraction = observed_trace_memory_fraction(result)
+        assert fraction is not None and fraction > 0.0
+
+
+class TestSafeRatioAndReport:
+    def test_safe_ratio(self):
+        assert safe_ratio(1, 2) == 0.5
+        assert safe_ratio(1, 0) is None
+
+    def test_metric_report_fields_consistent(self, net_call_loop):
+        report = MetricReport.from_result(net_call_loop)
+        assert report.program == "call_loop"
+        assert report.selector == "net"
+        assert report.region_count == len(net_call_loop.regions)
+        assert report.code_expansion == net_call_loop.code_expansion
+        assert 0.0 <= report.hit_rate <= 1.0
+        assert report.cover_set_90 is not None
+
+    def test_metric_report_is_frozen(self, net_call_loop):
+        report = MetricReport.from_result(net_call_loop)
+        with pytest.raises(AttributeError):
+            report.hit_rate = 2.0  # type: ignore[misc]

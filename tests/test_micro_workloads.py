@@ -1,0 +1,80 @@
+"""Tests for the microbenchmark registry — and, through it, compact
+end-to-end checks of each phenomenon the micros isolate."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ProgramStructureError
+from repro.execution.engine import ExecutionEngine
+from repro.metrics import spanned_cycle_ratio
+from repro.system.simulator import simulate
+from repro.workloads import build_micro, micro_names
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(micro_names()) == {
+            "figure2", "figure3", "figure4", "self_loop",
+            "alternating", "recursion",
+        }
+
+    @pytest.mark.parametrize("name", sorted(micro_names()))
+    def test_all_build_and_halt(self, name):
+        program = build_micro(name, iterations=50)
+        engine = ExecutionEngine(program, seed=1)
+        steps = sum(1 for _ in engine.run())
+        assert 0 < steps < engine.max_steps
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ProgramStructureError, match="unknown micro"):
+            build_micro("figure99")
+
+    def test_bad_iterations_rejected(self):
+        with pytest.raises(ProgramStructureError):
+            build_micro("figure2", iterations=0)
+
+    def test_iterations_scale_run_length(self):
+        short = sum(1 for _ in ExecutionEngine(build_micro("self_loop", 50)).run())
+        long = sum(1 for _ in ExecutionEngine(build_micro("self_loop", 500)).run())
+        assert long > short * 5
+
+
+class TestPhenomena:
+    """Each micro isolates one paper phenomenon; verify it does."""
+
+    def test_figure2_net_splits_lei_spans(self):
+        program = build_micro("figure2")
+        config = SystemConfig()
+        net = simulate(program, "net", config)
+        lei = simulate(program, "lei", config)
+        assert net.region_count == 2 and spanned_cycle_ratio(net) == 0.0
+        assert lei.region_count == 1 and spanned_cycle_ratio(lei) == 1.0
+
+    def test_figure3_duplication_gap(self):
+        program = build_micro("figure3")
+        config = SystemConfig()
+        net = simulate(program, "net", config)
+        lei = simulate(program, "lei", config)
+        assert lei.code_expansion < net.code_expansion
+
+    def test_figure4_combination_merges(self):
+        program = build_micro("figure4")
+        config = SystemConfig()
+        net = simulate(program, "net", config, seed=3)
+        combined = simulate(program, "combined-net", config, seed=3)
+        assert combined.region_transitions < net.region_transitions
+        assert combined.exit_stubs < net.exit_stubs
+
+    def test_alternating_branch_punishes_single_path_traces(self):
+        program = build_micro("alternating")
+        config = SystemConfig()
+        net = simulate(program, "net", config)
+        combined = simulate(program, "combined-net", config)
+        # NET commits to one side and leaves the region every other
+        # iteration; the combined region holds both sides.
+        assert combined.region_transitions < net.region_transitions / 2
+
+    def test_recursion_runs_hot(self):
+        program = build_micro("recursion")
+        result = simulate(program, "lei", SystemConfig())
+        assert result.hit_rate > 0.9

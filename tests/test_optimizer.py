@@ -1,0 +1,107 @@
+"""Tests for the Section 4.4 optimization-opportunity analysis."""
+
+import pytest
+
+from repro.cache.region import CFGRegion, TraceRegion
+from repro.config import SystemConfig
+from repro.optimizer import OptimizationReport, analyze_region
+from repro.system.simulator import simulate
+
+
+def B(program, label):
+    return program.block_by_full_label(f"main:{label}")
+
+
+class TestTraceAnalysis:
+    def test_straight_trace_has_no_joins_or_cycles(self, diamond_program):
+        trace = TraceRegion([B(diamond_program, "A"), B(diamond_program, "B"),
+                             B(diamond_program, "D")])
+        analysis = analyze_region(trace)
+        assert analysis.internal_joins == 0
+        assert analysis.internal_splits == 0
+        assert not analysis.has_cycle
+        assert not analysis.is_multipath
+
+    def test_jump_inside_trace_counts_as_removed(self, diamond_program):
+        # B ends with `jump D`; placing D right after B deletes the jump.
+        trace = TraceRegion([B(diamond_program, "B"), B(diamond_program, "D")])
+        assert analyze_region(trace).removed_jumps == 1
+
+    def test_cycle_spanning_trace_is_never_licm_ready(self, simple_loop_program):
+        head = simple_loop_program.block_by_full_label("main:head")
+        trace = TraceRegion([head], final_target=head)
+        analysis = analyze_region(trace)
+        assert analysis.has_cycle
+        # "Even a trace that spans a cycle cannot perform this
+        # optimization, because it has nowhere outside the cycle to move
+        # an instruction."
+        assert not analysis.licm_ready
+
+
+class TestCFGAnalysis:
+    def test_diamond_region_has_join_split_and_complete_diamond(self, diamond_program):
+        a, b, c, d = (B(diamond_program, x) for x in "ABCD")
+        region = CFGRegion(a, [a, b, c, d], [(a, b), (a, c), (b, d), (c, d)])
+        analysis = analyze_region(region)
+        assert analysis.internal_splits == 1
+        assert analysis.internal_joins == 1
+        assert analysis.complete_diamonds == 1
+        assert analysis.is_multipath
+
+    def test_loop_with_preheader_is_licm_ready(self, nested_loop_program):
+        p = nested_loop_program
+        a = p.block_by_full_label("main:A")
+        b = p.block_by_full_label("main:B")
+        c = p.block_by_full_label("main:C")
+        # Region: preheader A, loop B<->C via C's backward branch... use
+        # the inner self loop: A (preheader) + B (self-cycle).
+        region = CFGRegion(a, [a, b], [(a, b), (b, b)])
+        analysis = analyze_region(region)
+        assert analysis.has_cycle
+        assert analysis.licm_ready
+
+    def test_pure_cycle_region_not_licm_ready(self, nested_loop_program):
+        b = nested_loop_program.block_by_full_label("main:B")
+        region = CFGRegion(b, [b], [(b, b)])
+        analysis = analyze_region(region)
+        assert analysis.has_cycle
+        assert not analysis.licm_ready
+
+
+class TestReport:
+    @pytest.fixture
+    def fast_config(self):
+        return SystemConfig(
+            net_threshold=10, lei_threshold=8,
+            combined_net_t_start=4, combined_lei_t_start=2,
+            combine_t_prof=6, combine_t_min=3,
+        )
+
+    def test_report_aggregates(self, diamond_program, fast_config):
+        result = simulate(diamond_program, "combined-net", fast_config, seed=7)
+        report = OptimizationReport.from_regions(result.regions)
+        assert report.regions_analyzed == result.region_count
+        assert report.cycles_without_hoist_space >= 0
+        assert report.summary_line().startswith("regions=")
+
+    def test_traces_are_never_multipath(self, diamond_program, fast_config):
+        result = simulate(diamond_program, "net", fast_config, seed=7)
+        report = OptimizationReport.from_regions(result.regions)
+        assert report.multipath_regions == 0
+        assert report.internal_joins == 0
+
+    def test_combination_creates_multipath_context(self, diamond_program, fast_config):
+        plain = OptimizationReport.from_regions(
+            simulate(diamond_program, "net", fast_config, seed=7).regions
+        )
+        combined = OptimizationReport.from_regions(
+            simulate(diamond_program, "combined-net", fast_config, seed=7).regions
+        )
+        assert combined.multipath_regions > plain.multipath_regions
+        assert combined.internal_joins > plain.internal_joins
+        assert combined.complete_diamonds >= 1
+
+    def test_empty_cache_report(self):
+        report = OptimizationReport.from_regions([])
+        assert report.regions_analyzed == 0
+        assert report.licm_ready_regions == 0

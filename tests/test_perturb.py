@@ -1,0 +1,92 @@
+"""Tests for the workload perturbation tools."""
+
+import pytest
+
+from repro.behavior.models import Bernoulli, LoopTrip
+from repro.errors import ConfigError
+from repro.execution.engine import ExecutionEngine
+from repro.isa.opcodes import BranchKind
+from repro.workloads import build_benchmark
+from repro.workloads.perturb import build_perturbed_benchmark, perturb_program
+
+
+def cond_models(program):
+    return [
+        block.terminator.model
+        for block in program.blocks
+        if block.terminator.kind is BranchKind.COND
+    ]
+
+
+class TestPerturbProgram:
+    def test_rewrites_models_in_place(self):
+        program = build_benchmark("gzip", scale=0.05)
+        before = [
+            (m.probability if isinstance(m, Bernoulli) else m.trips)
+            for m in cond_models(program)
+            if isinstance(m, (Bernoulli, LoopTrip))
+        ]
+        rewritten = perturb_program(program, seed=3)
+        after = [
+            (m.probability if isinstance(m, Bernoulli) else m.trips)
+            for m in cond_models(program)
+            if isinstance(m, (Bernoulli, LoopTrip))
+        ]
+        assert rewritten == len(before)
+        assert before != after
+
+    def test_deterministic_in_seed(self):
+        a = build_benchmark("mcf", scale=0.05)
+        b = build_benchmark("mcf", scale=0.05)
+        perturb_program(a, seed=9)
+        perturb_program(b, seed=9)
+        probs_a = [m.probability for m in cond_models(a) if isinstance(m, Bernoulli)]
+        probs_b = [m.probability for m in cond_models(b) if isinstance(m, Bernoulli)]
+        assert probs_a == probs_b
+
+    def test_biases_stay_in_safe_range(self):
+        program = build_benchmark("twolf", scale=0.05)
+        perturb_program(program, seed=1, bias_jitter=0.49)
+        for model in cond_models(program):
+            if isinstance(model, Bernoulli):
+                assert 0.02 <= model.probability <= 0.98
+
+    def test_loops_stay_loops(self):
+        program = build_benchmark("bzip2", scale=0.05)
+        perturb_program(program, seed=2, trip_scale_range=0.9)
+        for model in cond_models(program):
+            if isinstance(model, LoopTrip):
+                assert model.trips >= 2
+                assert model.jitter < model.trips
+
+    def test_parameter_validation(self):
+        program = build_benchmark("gzip", scale=0.05)
+        with pytest.raises(ConfigError):
+            perturb_program(program, seed=1, bias_jitter=0.5)
+        with pytest.raises(ConfigError):
+            perturb_program(program, seed=1, trip_scale_range=1.0)
+
+
+class TestBuildPerturbed:
+    def test_seed_zero_is_the_baseline(self):
+        baseline = build_benchmark("gzip", scale=0.05)
+        unperturbed = build_perturbed_benchmark("gzip", 0, scale=0.05)
+        steps_a = [(s.block.label, s.taken)
+                   for s in ExecutionEngine(baseline, seed=1, max_steps=3000).run()]
+        steps_b = [(s.block.label, s.taken)
+                   for s in ExecutionEngine(unperturbed, seed=1, max_steps=3000).run()]
+        assert steps_a == steps_b
+
+    def test_perturbed_variant_still_runs_to_completion(self):
+        program = build_perturbed_benchmark("eon", 7, scale=0.05)
+        engine = ExecutionEngine(program, seed=1)
+        steps = sum(1 for _ in engine.run())
+        assert 0 < steps < engine.max_steps
+
+    def test_structure_unchanged_by_perturbation(self):
+        baseline = build_benchmark("parser", scale=0.05)
+        perturbed = build_perturbed_benchmark("parser", 5, scale=0.05)
+        assert baseline.block_count == perturbed.block_count
+        assert [b.label for b in baseline.blocks] == [
+            b.label for b in perturbed.blocks
+        ]

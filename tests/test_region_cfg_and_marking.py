@@ -1,0 +1,135 @@
+"""Tests for observed-CFG construction (4.2.2) and MARK-REJOINING-PATHS."""
+
+import pytest
+
+from repro.errors import SelectionError
+from repro.selection.marking import mark_rejoining_paths
+from repro.selection.region_cfg import ObservedCFG, build_observed_cfg
+
+
+def B(program, label):
+    return program.block_by_full_label(label)
+
+
+@pytest.fixture
+def diamond_blocks(diamond_program):
+    p = diamond_program
+    return {
+        label: B(p, f"main:{label}")
+        for label in ("A", "B", "C", "D", "E", "F", "A2")
+    }
+
+
+class TestObservedCFG:
+    def test_counts_blocks_once_per_trace(self, diamond_blocks):
+        b = diamond_blocks
+        cfg = build_observed_cfg(b["A"], [
+            [b["A"], b["B"], b["D"], b["F"]],
+            [b["A"], b["C"], b["D"], b["F"]],
+        ])
+        assert cfg.trace_counts[b["A"]] == 2
+        assert cfg.trace_counts[b["D"]] == 2
+        assert cfg.trace_counts[b["B"]] == 1
+        assert cfg.trace_counts[b["C"]] == 1
+
+    def test_repeated_block_in_one_trace_counts_once(self, diamond_blocks):
+        b = diamond_blocks
+        cfg = build_observed_cfg(b["A"], [
+            [b["A"], b["B"], b["D"], b["A"], b["B"]],
+        ])
+        assert cfg.trace_counts[b["A"]] == 1
+        assert cfg.trace_counts[b["B"]] == 1
+
+    def test_edges_accumulate_across_traces(self, diamond_blocks):
+        b = diamond_blocks
+        cfg = build_observed_cfg(b["A"], [
+            [b["A"], b["B"], b["D"]],
+            [b["A"], b["C"], b["D"]],
+        ])
+        assert (b["A"], b["B"]) in cfg.edges
+        assert (b["A"], b["C"]) in cfg.edges
+        assert (b["C"], b["D"]) in cfg.edges
+        assert cfg.successors[b["A"]] == {b["B"], b["C"]}
+
+    def test_mismatched_entrance_rejected(self, diamond_blocks):
+        b = diamond_blocks
+        cfg = ObservedCFG(b["A"])
+        with pytest.raises(SelectionError, match="starts at"):
+            cfg.add_trace([b["B"], b["D"]])
+
+    def test_empty_trace_rejected(self, diamond_blocks):
+        cfg = ObservedCFG(diamond_blocks["A"])
+        with pytest.raises(SelectionError):
+            cfg.add_trace([])
+
+    def test_threshold_filter(self, diamond_blocks):
+        b = diamond_blocks
+        cfg = build_observed_cfg(b["A"], [
+            [b["A"], b["B"], b["D"]],
+            [b["A"], b["C"], b["D"]],
+            [b["A"], b["B"], b["D"]],
+        ])
+        assert cfg.blocks_with_count_at_least(2) == {b["A"], b["B"], b["D"]}
+        assert cfg.blocks_with_count_at_least(1) == {b["A"], b["B"], b["C"], b["D"]}
+
+
+class TestMarking:
+    def test_rejoining_path_marked(self, diamond_blocks):
+        """The Figure 4 scenario: C is on a path that rejoins D."""
+        b = diamond_blocks
+        cfg = build_observed_cfg(b["A"], [
+            [b["A"], b["B"], b["D"], b["F"]],
+            [b["A"], b["C"], b["D"], b["F"]],
+        ])
+        marked = {b["A"], b["B"], b["D"], b["F"]}  # C too rare to mark
+        result = mark_rejoining_paths(cfg, marked)
+        assert b["C"] in result.marked
+
+    def test_dead_end_path_not_marked(self, diamond_blocks):
+        b = diamond_blocks
+        # E exits and never rejoins in the observed traces.
+        cfg = build_observed_cfg(b["A"], [
+            [b["A"], b["B"], b["D"], b["F"]],
+            [b["A"], b["B"], b["D"], b["E"]],
+        ])
+        marked = {b["A"], b["B"], b["D"], b["F"]}
+        result = mark_rejoining_paths(cfg, marked)
+        assert b["E"] not in result.marked
+
+    def test_multi_hop_rejoin_marked_in_one_sweep(self, diamond_blocks):
+        b = diamond_blocks
+        # A -> C -> D -> E -> A2 -> ... -> F(marked): C,D,E,A2 all rejoin.
+        cfg = build_observed_cfg(b["A"], [
+            [b["A"], b["C"], b["D"], b["E"], b["A2"], b["F"]],
+        ])
+        marked = {b["A"], b["F"]}
+        result = mark_rejoining_paths(cfg, marked)
+        assert {b["C"], b["D"], b["E"], b["A2"]} <= result.marked
+        # Post-order lets every mark land in the first sweep; the second
+        # sweep only confirms the fixpoint.
+        assert result.extra_marking_sweeps == 0
+
+    def test_input_set_not_mutated(self, diamond_blocks):
+        b = diamond_blocks
+        cfg = build_observed_cfg(b["A"], [[b["A"], b["B"], b["D"]]])
+        marked = {b["A"], b["D"]}
+        mark_rejoining_paths(cfg, marked)
+        assert marked == {b["A"], b["D"]}
+
+    def test_marks_never_erased(self, diamond_blocks):
+        b = diamond_blocks
+        cfg = build_observed_cfg(b["A"], [[b["A"], b["B"], b["D"]]])
+        marked = {b["A"], b["B"], b["D"]}
+        result = mark_rejoining_paths(cfg, marked)
+        assert marked <= result.marked
+
+    def test_cycle_in_observed_cfg_terminates(self, diamond_blocks):
+        b = diamond_blocks
+        # A -> B -> D -> A (cycle): marks propagate around the loop
+        # without infinite sweeps.
+        cfg = build_observed_cfg(b["A"], [
+            [b["A"], b["B"], b["D"], b["A"], b["B"]],
+        ])
+        result = mark_rejoining_paths(cfg, {b["D"]})
+        assert result.marked == {b["A"], b["B"], b["D"]}
+        assert result.sweeps <= 3

@@ -1,0 +1,233 @@
+"""Tests for regions, exit stubs, cache sizing and the code cache."""
+
+import pytest
+
+from repro.cache.codecache import CodeCache
+from repro.cache.region import CFGRegion, TraceRegion
+from repro.cache.sizing import STUB_BYTES, estimate_cache_bytes
+from repro.errors import CacheError
+
+
+def B(program, label):
+    return program.block_by_full_label(label)
+
+
+class TestTraceRegion:
+    def test_requires_nonempty_path(self):
+        with pytest.raises(CacheError):
+            TraceRegion([])
+
+    def test_spans_cycle_when_final_target_is_head(self, call_loop_program):
+        p = call_loop_program
+        path = [B(p, "main:A"), B(p, "main:B"), B(p, "helper:E"),
+                B(p, "helper:F"), B(p, "main:D")]
+        cyclic = TraceRegion(path, final_target=path[0])
+        straight = TraceRegion(path, final_target=None)
+        assert cyclic.spans_cycle
+        assert not straight.spans_cycle
+
+    def test_instruction_count_counts_duplicates_per_copy(self, nested_loop_program):
+        p = nested_loop_program
+        a, b = B(p, "main:A"), B(p, "main:B")
+        region = TraceRegion([a, b])
+        assert region.instruction_count == a.instruction_count + b.instruction_count
+
+    def test_position_after_advances_along_path(self, call_loop_program):
+        p = call_loop_program
+        path = [B(p, "main:A"), B(p, "main:B"), B(p, "helper:E")]
+        region = TraceRegion(path, final_target=None)
+        assert region.position_after(0, False, path[1]) == 1
+        assert region.position_after(1, True, path[2]) == 2
+
+    def test_position_after_cycle_back_to_head(self, call_loop_program):
+        p = call_loop_program
+        path = [B(p, "main:A"), B(p, "main:B")]
+        region = TraceRegion(path, final_target=path[0])
+        assert region.position_after(1, True, path[0]) == 0
+
+    def test_position_after_divergence_exits(self, call_loop_program):
+        p = call_loop_program
+        path = [B(p, "main:A"), B(p, "main:B")]
+        region = TraceRegion(path, final_target=None)
+        assert region.position_after(0, True, B(p, "helper:E")) is None
+        assert region.position_after(1, False, B(p, "main:D")) is None
+        assert region.position_after(1, True, None) is None
+
+    def test_internal_edges_of_cyclic_trace(self, simple_loop_program):
+        head = B(simple_loop_program, "main:head")
+        region = TraceRegion([head], final_target=head)
+        assert region.internal_edges() == {(head, head)}
+
+    def test_execution_ends_sums_cycles_and_exits(self, simple_loop_program):
+        head = B(simple_loop_program, "main:head")
+        region = TraceRegion([head], final_target=head)
+        region.cycle_backs = 7
+        region.exit_count = 3
+        assert region.execution_ends == 10
+
+
+class TestTraceStubs:
+    def test_straightline_cond_blocks_one_stub_each(self, diamond_program):
+        p = diamond_program
+        # A (cond) -> B (jump) -> D (cond) -> F: A needs a stub for its
+        # fall-through (C), D for its fall-through (E); B's jump stays
+        # inside; F ends the trace with a fall-through stub.
+        path = [B(p, "main:A"), B(p, "main:B"), B(p, "main:D"), B(p, "main:F")]
+        region = TraceRegion(path, final_target=None)
+        assert region.exit_stub_count == 3
+
+    def test_cycle_spanning_trace_saves_final_stub(self, call_loop_program):
+        p = call_loop_program
+        path = [B(p, "main:A"), B(p, "main:B"), B(p, "helper:E"),
+                B(p, "helper:F"), B(p, "main:D")]
+        cyclic = TraceRegion(path, final_target=path[0])
+        cut = TraceRegion(path, final_target=None)
+        # Same blocks, but the cyclic trace's last conditional keeps its
+        # taken edge inside the region.
+        assert cyclic.exit_stub_count == cut.exit_stub_count - 1
+
+    def test_return_keeps_fallback_stub(self, call_loop_program):
+        p = call_loop_program
+        # E -> F(ret): the return continues nowhere inside, 1 stub; E is
+        # a fall-through block with its successor in-trace, 0 stubs.
+        region = TraceRegion([B(p, "helper:E"), B(p, "helper:F")])
+        assert region.exit_stub_count == 1
+
+    def test_single_block_cyclic_loop_has_one_stub(self, simple_loop_program):
+        head = B(simple_loop_program, "main:head")
+        region = TraceRegion([head], final_target=head)
+        # Taken edge loops to itself; only the fall-through exit remains.
+        assert region.exit_stub_count == 1
+
+
+class TestCFGRegion:
+    def _diamond_region(self, diamond_program):
+        p = diamond_program
+        blocks = [B(p, "main:A"), B(p, "main:B"), B(p, "main:C"),
+                  B(p, "main:D"), B(p, "main:F")]
+        edges = [
+            (blocks[0], blocks[1]),  # A -> B (taken)
+            (blocks[0], blocks[2]),  # A -> C (fall-through)
+            (blocks[1], blocks[3]),  # B -> D
+            (blocks[2], blocks[3]),  # C -> D
+            (blocks[3], blocks[4]),  # D -> F
+        ]
+        return p, blocks, CFGRegion(blocks[0], blocks, edges)
+
+    def test_entry_must_be_member(self, diamond_program):
+        p = diamond_program
+        with pytest.raises(CacheError):
+            CFGRegion(B(p, "main:A"), [B(p, "main:B")], [])
+
+    def test_instruction_count_no_duplication(self, diamond_program):
+        p, blocks, region = self._diamond_region(diamond_program)
+        assert region.instruction_count == sum(b.instruction_count for b in blocks)
+
+    def test_stays_internal_on_edges(self, diamond_program):
+        p, blocks, region = self._diamond_region(diamond_program)
+        a, b, c, d, f = blocks
+        assert region.stays_internal(a, True, b)
+        assert region.stays_internal(a, False, c)
+        assert not region.stays_internal(d, False, B(p, "main:E"))
+
+    def test_direct_exit_to_member_is_rewritten_internal(self, diamond_program):
+        p, blocks, region = self._diamond_region(diamond_program)
+        a, b, c, d, f = blocks
+        # (d, f) was given, but even a direct edge we did NOT pass —
+        # none here — would be folded; verify via internal_edges that
+        # declared direct targets inside the region are edges.
+        assert (d, f) in region.internal_edges()
+
+    def test_spans_cycle_via_edge_to_entry(self, diamond_program):
+        p = diamond_program
+        a, b, d = B(p, "main:A"), B(p, "main:B"), B(p, "main:D")
+        a2 = B(p, "main:A2")
+        region = CFGRegion(a, [a, b, d, a2], [(a, b), (b, d), (d, a2), (a2, a)])
+        assert region.spans_cycle
+
+    def test_no_cycle_without_entry_edge(self, diamond_program):
+        p, blocks, region = self._diamond_region(diamond_program)
+        assert not region.spans_cycle
+
+    def test_block_list_is_address_ordered(self, diamond_program):
+        p, blocks, region = self._diamond_region(diamond_program)
+        addresses = [b.address for b in region.block_list]
+        assert addresses == sorted(addresses)
+
+    def test_edges_outside_block_set_dropped(self, diamond_program):
+        p = diamond_program
+        a, b, e = B(p, "main:A"), B(p, "main:B"), B(p, "main:E")
+        region = CFGRegion(a, [a, b], [(a, b), (b, e)])
+        assert (b, e) not in region.edges
+
+
+class TestCFGStubs:
+    def test_diamond_region_stub_count(self, diamond_program):
+        p = diamond_program
+        a, b, c, d, f = (B(p, "main:A"), B(p, "main:B"), B(p, "main:C"),
+                         B(p, "main:D"), B(p, "main:F"))
+        region = CFGRegion(a, [a, b, c, d, f],
+                           [(a, b), (a, c), (b, d), (c, d), (d, f)])
+        # Exits: D's fall-through to E, and F's fall-through to A2.
+        # A's both sides, B's jump, C's jump and D's taken edge are internal.
+        assert region.exit_stub_count == 2
+
+    def test_combined_region_fewer_stubs_than_split_traces(self, diamond_program):
+        """Figure 4's point: combining removes duplicated stubs."""
+        p = diamond_program
+        a, b, c, d, e, f = (B(p, "main:A"), B(p, "main:B"), B(p, "main:C"),
+                            B(p, "main:D"), B(p, "main:E"), B(p, "main:F"))
+        trace1 = TraceRegion([a, b, d, f])   # taken side
+        trace2 = TraceRegion([c, d, f])      # fall-through side, duplicated tail
+        combined = CFGRegion(a, [a, b, c, d, f],
+                             [(a, b), (a, c), (b, d), (c, d), (d, f)])
+        assert combined.exit_stub_count < trace1.exit_stub_count + trace2.exit_stub_count
+        assert combined.instruction_count < (trace1.instruction_count
+                                             + trace2.instruction_count)
+
+
+class TestCodeCacheAndSizing:
+    def test_insert_and_lookup(self, simple_loop_program):
+        head = B(simple_loop_program, "main:head")
+        cache = CodeCache()
+        region = TraceRegion([head], final_target=head)
+        cache.insert(region)
+        assert cache.lookup(head) is region
+        assert cache.lookup(None) is None
+        assert cache.contains_entry(head)
+
+    def test_selection_order_assigned(self, nested_loop_program):
+        p = nested_loop_program
+        cache = CodeCache()
+        r1 = cache.insert(TraceRegion([B(p, "main:B")]))
+        r2 = cache.insert(TraceRegion([B(p, "main:C")]))
+        assert (r1.selection_order, r2.selection_order) == (0, 1)
+
+    def test_duplicate_entry_rejected(self, simple_loop_program):
+        head = B(simple_loop_program, "main:head")
+        cache = CodeCache()
+        cache.insert(TraceRegion([head]))
+        with pytest.raises(CacheError):
+            cache.insert(TraceRegion([head]))
+
+    def test_totals(self, nested_loop_program):
+        p = nested_loop_program
+        cache = CodeCache()
+        cache.insert(TraceRegion([B(p, "main:B")]))
+        cache.insert(TraceRegion([B(p, "main:C")]))
+        assert cache.total_instructions == (B(p, "main:B").instruction_count
+                                            + B(p, "main:C").instruction_count)
+        assert cache.region_count == 2
+
+    def test_size_estimate_formula(self, simple_loop_program):
+        head = B(simple_loop_program, "main:head")
+        region = TraceRegion([head], final_target=head)
+        expected = head.byte_size + STUB_BYTES * region.exit_stub_count
+        assert estimate_cache_bytes([region]) == expected
+
+    def test_size_estimate_custom_stub_bytes(self, simple_loop_program):
+        head = B(simple_loop_program, "main:head")
+        region = TraceRegion([head], final_target=head)
+        small = estimate_cache_bytes([region], stub_bytes=1)
+        large = estimate_cache_bytes([region], stub_bytes=100)
+        assert large > small

@@ -1,0 +1,127 @@
+"""Tests for the dispatch state machine of the system simulator."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.execution.engine import ExecutionEngine
+from repro.system.simulator import Simulator, simulate
+from repro.tracing.collector import collect_trace, replay_trace
+
+
+@pytest.fixture
+def fast_config():
+    return SystemConfig(net_threshold=5, lei_threshold=4)
+
+
+class TestInstructionAccounting:
+    def test_every_instruction_counted_exactly_once(self, simple_loop_program, fast_config):
+        engine = ExecutionEngine(simple_loop_program)
+        result = Simulator(simple_loop_program, "net", fast_config).run(engine.run())
+        assert result.total_instructions_executed == engine.instructions_executed
+
+    def test_hit_rate_between_zero_and_one(self, diamond_program, fast_config):
+        result = simulate(diamond_program, "net", fast_config)
+        assert 0.0 <= result.hit_rate <= 1.0
+
+    def test_hot_loop_hit_rate_is_high(self, simple_loop_program, fast_config):
+        result = simulate(simple_loop_program, "net", fast_config)
+        # 100 iterations, selected after ~6: the vast majority of the
+        # head block's executions come from the cache.
+        assert result.hit_rate > 0.85
+
+    def test_no_selection_means_all_interpreted(self, straight_line_program, fast_config):
+        result = simulate(straight_line_program, "net", fast_config)
+        assert result.stats.cache_instructions == 0
+        assert result.stats.interp_instructions == 6
+
+    def test_per_region_instructions_sum_to_cache_total(self, nested_loop_program, fast_config):
+        result = simulate(nested_loop_program, "net", fast_config)
+        per_region = sum(r.executed_instructions for r in result.regions)
+        assert per_region == result.stats.cache_instructions
+
+
+class TestDispatchAccounting:
+    def test_entries_exits_transitions_consistent(self, nested_loop_program, fast_config):
+        result = simulate(nested_loop_program, "net", fast_config)
+        stats = result.stats
+        entry_total = sum(r.entry_count for r in result.regions)
+        assert entry_total == stats.cache_entries + stats.region_transitions
+        # Exits to the interpreter can exceed entries by at most the
+        # final in-cache program end.
+        end_total = sum(r.exit_count for r in result.regions)
+        assert end_total >= stats.cache_exits
+
+    def test_cycle_backs_counted_as_internal(self, simple_loop_program, fast_config):
+        result = simulate(simple_loop_program, "net", fast_config)
+        region = result.regions[0]
+        assert region.cycle_backs > 0
+        assert result.region_transitions == 0
+
+    def test_edge_profile_covers_all_transfers(self, simple_loop_program, fast_config):
+        result = simulate(simple_loop_program, "net", fast_config)
+        head = simple_loop_program.block_by_full_label("main:head")
+        done = simple_loop_program.block_by_full_label("main:done")
+        assert result.edge_profile[(head, head)] == 99
+        assert result.edge_profile[(head, done)] == 1
+
+    def test_program_end_inside_cache_counts_exit(self, fast_config):
+        # A loop that runs to max_steps while inside a region: the
+        # stream just ends; no crash, accounting stays consistent.
+        from repro.behavior.models import LoopTrip
+        from repro.program.builder import ProgramBuilder
+
+        pb = ProgramBuilder("endless")
+        main = pb.procedure("main")
+        main.block("head", insts=2).cond("head", model=LoopTrip(10_000))
+        main.block("done", insts=1).halt()
+        program = pb.build()
+        result = simulate(program, "net", fast_config, max_steps=500)
+        assert result.region_count == 1
+        assert result.total_instructions_executed == 1000
+
+
+class TestSelectorEquivalenceAcrossSources:
+    def test_live_and_replayed_streams_give_identical_results(
+        self, diamond_program, fast_config, tmp_path
+    ):
+        path = tmp_path / "diamond.rtrc"
+        collect_trace(ExecutionEngine(diamond_program, seed=11), path)
+
+        live = Simulator(diamond_program, "lei", fast_config).run(
+            ExecutionEngine(diamond_program, seed=11).run()
+        )
+        replayed = Simulator(diamond_program, "lei", fast_config).run(
+            replay_trace(path, diamond_program)
+        )
+        assert live.region_count == replayed.region_count
+        assert live.region_transitions == replayed.region_transitions
+        assert live.hit_rate == replayed.hit_rate
+        assert live.code_expansion == replayed.code_expansion
+
+    def test_simulation_is_deterministic(self, diamond_program, fast_config):
+        a = simulate(diamond_program, "net", fast_config, seed=3)
+        b = simulate(diamond_program, "net", fast_config, seed=3)
+        assert a.region_transitions == b.region_transitions
+        assert a.hit_rate == b.hit_rate
+        assert [r.entry for r in a.regions] == [r.entry for r in b.regions]
+
+
+class TestSelectorRegistry:
+    @pytest.mark.parametrize(
+        "name", ["net", "lei", "combined-net", "combined-lei"]
+    )
+    def test_all_registered_selectors_run(self, name, diamond_program, fast_config):
+        result = simulate(diamond_program, name, fast_config)
+        assert result.selector_name == name
+        assert result.total_instructions_executed > 0
+
+    def test_unknown_selector_rejected(self, diamond_program):
+        from repro.errors import SelectionError
+
+        with pytest.raises(SelectionError, match="unknown selector"):
+            simulate(diamond_program, "hotpath-3000")
+
+    def test_default_config_is_paper_config(self, simple_loop_program):
+        result = simulate(simple_loop_program, "net")
+        # Threshold 50 against 100 iterations: selected, exactly one region.
+        assert result.region_count == 1

@@ -1,0 +1,113 @@
+"""Structural trait tests: each SPEC stand-in has the shape it claims.
+
+docs/workloads.md documents a signature structure for every benchmark;
+these tests pin those claims so future workload edits cannot silently
+break the phenomena the figures depend on.
+"""
+
+import pytest
+
+from repro.behavior.models import PhaseIndirect
+from repro.isa.opcodes import BranchKind
+from repro.workloads import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return {
+        name: build_benchmark(name)
+        for name in ("gzip", "gcc", "mcf", "crafty", "parser", "eon",
+                     "perlbmk", "vortex")
+    }
+
+
+def backward_calls(program):
+    return [
+        block for block in program.blocks
+        if block.terminator.kind is BranchKind.CALL
+        and block.is_backward_transfer_to(block.terminator.taken_target)
+    ]
+
+
+def call_targets(program):
+    return [
+        block.terminator.taken_target.procedure.name
+        for block in program.blocks
+        if block.terminator.kind is BranchKind.CALL
+    ]
+
+
+class TestStructuralTraits:
+    def test_mcf_has_backward_calls_on_hot_paths(self, programs):
+        """mcf's signature: interprocedural cycles via backward calls."""
+        assert len(backward_calls(programs["mcf"])) >= 2
+
+    def test_crafty_has_no_calls_at_all(self, programs):
+        """crafty's hot cycles are all intra-procedural."""
+        assert not any(
+            block.terminator.kind is BranchKind.CALL
+            for block in programs["crafty"].blocks
+        )
+
+    def test_eon_shares_a_constructor_across_many_sites(self, programs):
+        targets = call_targets(programs["eon"])
+        # ctor_2 is constructed at every one of the 11 sites.
+        assert targets.count("ctor_2") >= 10
+
+    def test_gcc_has_the_most_blocks(self, programs):
+        gcc_blocks = programs["gcc"].block_count
+        assert all(
+            gcc_blocks > program.block_count
+            for name, program in programs.items() if name != "gcc"
+        )
+
+    def test_perlbmk_dispatch_is_phase_shifting(self, programs):
+        models = [
+            block.terminator.indirect_model
+            for block in programs["perlbmk"].blocks
+            if block.terminator.kind is BranchKind.INDIRECT
+        ]
+        assert any(isinstance(model, PhaseIndirect) for model in models)
+
+    def test_parser_has_recursion(self, programs):
+        recursive = [
+            block for block in programs["parser"].blocks
+            if block.terminator.kind is BranchKind.CALL
+            and block.procedure is block.terminator.taken_target.procedure
+        ]
+        assert recursive, "parse_expr must call itself"
+
+    def test_vortex_has_many_small_procedures(self, programs):
+        procs = programs["vortex"].procedures
+        leaves = [p for p in procs if p.name.startswith("mem_")]
+        assert len(leaves) == 5
+
+    def test_every_program_has_cold_init_one_shots(self, programs):
+        for name, program in programs.items():
+            once_heads = [
+                b for b in program.blocks if b.label.startswith("once_head")
+            ]
+            assert once_heads, name
+
+    def test_every_program_has_rare_retries(self, programs):
+        for name in ("gzip", "gcc", "mcf", "parser", "eon", "vortex"):
+            retries = [
+                b for b in programs[name].blocks
+                if b.label.startswith("retry_tgt")
+            ]
+            assert retries, name
+
+    def test_gzip_branches_are_biased(self, programs):
+        """gzip models strongly biased compression loops: its diamonds
+        use probabilities far from 0.5."""
+        from repro.behavior.models import Bernoulli
+
+        biases = [
+            block.terminator.model.probability
+            for block in programs["gzip"].blocks
+            if block.terminator.kind is BranchKind.COND
+            and isinstance(block.terminator.model, Bernoulli)
+            and block.label.startswith("dia_cond")
+        ]
+        assert biases
+        assert all(b >= 0.8 or b <= 0.2 for b in biases)

@@ -1,0 +1,46 @@
+"""Tests for the seed-stability analysis."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.stability import StabilityReport, seed_stability
+
+
+class TestSeedStability:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return seed_stability(
+            "lei", "net", "region_transitions",
+            seeds=(1, 2), scale=0.1, benchmarks=("gzip", "mcf"),
+        )
+
+    def test_one_value_per_seed(self, report):
+        assert set(report.per_seed) == {1, 2}
+
+    def test_statistics_consistent(self, report):
+        values = list(report.per_seed.values())
+        assert report.mean == pytest.approx(sum(values) / len(values))
+        assert report.spread == pytest.approx(max(values) - min(values))
+        assert report.stdev >= 0.0
+
+    def test_summary_line_mentions_everything(self, report):
+        line = report.summary_line()
+        assert "lei/net" in line
+        assert "region_transitions" in line
+        assert "mean=" in line
+
+    def test_direction_holds_for_each_seed(self, report):
+        # LEI beats NET on transitions regardless of seed.
+        assert all(value < 1.0 for value in report.per_seed.values())
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigError):
+            seed_stability("lei", "net", "region_transitions", seeds=())
+
+    def test_single_benchmark_single_seed(self):
+        report = seed_stability(
+            "lei", "net", "code_expansion",
+            seeds=(5,), scale=0.05, benchmarks=("bzip2",),
+        )
+        assert isinstance(report, StabilityReport)
+        assert report.spread == 0.0

@@ -1,0 +1,78 @@
+"""Tests for the workload assembler (driver skeleton, init stages)."""
+
+import pytest
+
+from repro.execution.engine import ExecutionEngine
+from repro.workloads import motifs
+from repro.workloads.synth import assemble, scaled
+
+
+def count_labels(program, prefix, seed=0):
+    counts = {}
+    for step in ExecutionEngine(program, seed=seed).run():
+        if step.block.label.startswith(prefix):
+            counts[step.block.label] = counts.get(step.block.label, 0) + 1
+    return counts
+
+
+class TestAssemble:
+    def test_driver_iterates_requested_times(self):
+        program = assemble(
+            "asm_test", seed=1, driver_iterations=37,
+            stages=[lambda p, c: motifs.straight_run(p, c, 1, 2)],
+        )
+        counts = count_labels(program, "driver_head")
+        assert list(counts.values()) == [37]
+
+    def test_init_stages_run_exactly_once(self):
+        program = assemble(
+            "asm_init", seed=1, driver_iterations=25,
+            stages=[lambda p, c: motifs.straight_run(p, c, 1, 2)],
+            init_stages=[lambda p, c: motifs.straight_run(p, c, 2, 3)],
+        )
+        counts = count_labels(program, "run")
+        # Init runs (2 blocks) execute once; the driver-stage run block
+        # executes 25 times.
+        assert sorted(counts.values()) == [1, 1, 25]
+
+    def test_declarations_lay_out_before_main(self):
+        def declarations(ctx):
+            motifs.leaf_procedure(ctx, "low", blocks=1)
+
+        program = assemble(
+            "asm_decl", seed=1, driver_iterations=5,
+            stages=[lambda p, c: motifs.call_stage(p, c, "low")],
+            declarations=declarations,
+        )
+        low_entry = program.procedure("low").entry
+        main_entry = program.procedure("main").entry
+        assert low_entry.address < main_entry.address
+        assert program.entry is main_entry
+
+    def test_scale_multiplies_driver_iterations(self):
+        stages = [lambda p, c: motifs.straight_run(p, c, 1, 2)]
+        small = assemble("asm_s", seed=1, driver_iterations=40,
+                         stages=stages, scale=0.5)
+        large = assemble("asm_l", seed=1, driver_iterations=40,
+                         stages=stages, scale=2.0)
+        assert list(count_labels(small, "driver_head").values()) == [20]
+        assert list(count_labels(large, "driver_head").values()) == [80]
+
+    def test_driver_jitter_varies_total(self):
+        stages = [lambda p, c: motifs.straight_run(p, c, 1, 2)]
+        program = assemble("asm_j", seed=1, driver_iterations=100,
+                           stages=stages, driver_jitter=30)
+        runs = {
+            seed: list(count_labels(program, "driver_head", seed=seed).values())[0]
+            for seed in (1, 2)
+        }
+        assert all(70 <= n <= 130 for n in runs.values())
+
+
+class TestScaled:
+    def test_floor_of_ten(self):
+        assert scaled(100, 0.0001) == 10
+
+    def test_rounding(self):
+        assert scaled(100, 0.5) == 50
+        assert scaled(3, 10.0) == 30

@@ -1,0 +1,105 @@
+"""Tests for trace collection and replay (the Pin substitute)."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.execution.engine import ExecutionEngine
+from repro.program.builder import ProgramBuilder
+from repro.tracing.collector import collect_trace, replay_trace, trace_header
+from repro.tracing.decoder import TraceReader
+from repro.tracing.encoder import TraceWriter
+from repro.tracing.records import TraceHeader
+
+
+class TestHeader:
+    def test_round_trip(self):
+        header = TraceHeader("bench.gcc", 1234, 42)
+        decoded = TraceHeader.decode(io.BytesIO(header.encode()))
+        assert decoded == header
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(TraceFormatError, match="magic"):
+            TraceHeader.decode(io.BytesIO(b"XXXX" + b"\x00" * 20))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(TraceFormatError, match="truncated"):
+            TraceHeader.decode(io.BytesIO(b"RT"))
+
+    def test_unicode_name_round_trips(self):
+        header = TraceHeader("bênch-λ", 5, 0)
+        decoded = TraceHeader.decode(io.BytesIO(header.encode()))
+        assert decoded.program_name == "bênch-λ"
+
+
+class TestRoundTrip:
+    def test_collect_then_replay_is_identical(self, diamond_program, tmp_path):
+        path = tmp_path / "diamond.rtrc"
+        engine = ExecutionEngine(diamond_program, seed=7)
+        live = ExecutionEngine(diamond_program, seed=7).run_to_list()
+        written = collect_trace(engine, path)
+        assert written == len(live)
+        replayed = list(replay_trace(path, diamond_program))
+        assert replayed == live
+
+    def test_header_readable_standalone(self, simple_loop_program, tmp_path):
+        path = tmp_path / "loop.rtrc"
+        collect_trace(ExecutionEngine(simple_loop_program, seed=3), path)
+        header = trace_header(path)
+        assert header.program_name == "loop"
+        assert header.seed == 3
+        assert header.block_count == simple_loop_program.block_count
+
+    def test_large_stream_crosses_chunk_boundaries(self, tmp_path):
+        # Enough steps that the reader must refill its chunk buffer.
+        pb = ProgramBuilder("big")
+        main = pb.procedure("main")
+        from repro.behavior.models import LoopTrip
+
+        main.block("head", insts=1).cond("head", model=LoopTrip(300_000))
+        main.block("done", insts=1).halt()
+        program = pb.build()
+        path = tmp_path / "big.rtrc"
+        written = collect_trace(ExecutionEngine(program), path)
+        assert written == 300_001
+        count = sum(1 for _ in replay_trace(path, program))
+        assert count == written
+
+
+class TestMismatchDetection:
+    def test_wrong_program_name_rejected(self, straight_line_program, simple_loop_program, tmp_path):
+        path = tmp_path / "straight.rtrc"
+        collect_trace(ExecutionEngine(straight_line_program), path)
+        with pytest.raises(TraceFormatError, match="recorded for program"):
+            list(replay_trace(path, simple_loop_program))
+
+    def test_wrong_block_count_rejected(self, straight_line_program, tmp_path):
+        path = tmp_path / "straight.rtrc"
+        collect_trace(ExecutionEngine(straight_line_program), path)
+        # Same name, different structure.
+        pb = ProgramBuilder("straight")
+        main = pb.procedure("main")
+        main.block("A").halt()
+        other = pb.build()
+        with pytest.raises(TraceFormatError, match="blocks"):
+            list(replay_trace(path, other))
+
+    def test_trailing_garbage_detected(self, straight_line_program, tmp_path):
+        path = tmp_path / "garbage.rtrc"
+        collect_trace(ExecutionEngine(straight_line_program), path)
+        with open(path, "ab") as fh:
+            fh.write(b"\x01\x02")
+        with pytest.raises(TraceFormatError):
+            list(replay_trace(path, straight_line_program))
+
+    def test_writer_rejects_use_after_close(self, straight_line_program, tmp_path):
+        steps = ExecutionEngine(straight_line_program).run_to_list()
+        path = tmp_path / "closed.rtrc"
+        header = TraceHeader("straight", straight_line_program.block_count, 0)
+        with open(path, "wb") as fh:
+            writer = TraceWriter(fh, header)
+            writer.write_step(steps[0])
+            writer.close()
+            with pytest.raises(TraceFormatError, match="closed"):
+                writer.write_step(steps[1])

@@ -1,0 +1,61 @@
+"""Tests for the machine-checkable paper-claim validator."""
+
+import pytest
+
+from repro.experiments.validation import (
+    CLAIMS,
+    ClaimResult,
+    render_validation,
+    validate_grid,
+)
+
+
+class TestClaimRegistry:
+    def test_covers_every_numbered_figure(self):
+        for figure in ("fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
+                       "fig16", "fig17", "fig18", "fig19"):
+            assert figure in CLAIMS
+
+    def test_claim_subset_selection(self):
+        # A tiny grid: claims may fail, but only the asked-for ones run.
+        from repro.experiments.runner import run_grid
+
+        grid = run_grid(scale=0.05, benchmarks=("gzip",))
+        results = validate_grid(grid, claims=["fig08"])
+        assert len(results) == 1
+        assert results[0].claim_id == "fig08"
+
+    def test_checker_exception_becomes_failed_claim(self):
+        from repro.experiments.runner import run_grid
+
+        # An LEI-only grid cannot compute NET columns: the claim must
+        # fail gracefully, not crash validation.
+        grid = run_grid(scale=0.05, benchmarks=("gzip",), selectors=("lei",))
+        results = validate_grid(grid, claims=["fig08"])
+        assert not results[0].passed
+        assert "raised" in results[0].detail
+
+
+class TestRendering:
+    def test_render_shows_status_and_tally(self):
+        results = [
+            ClaimResult("a", "first", True, "fine"),
+            ClaimResult("b", "second", False, "broken"),
+        ]
+        text = render_validation(results)
+        assert "[PASS] a" in text
+        assert "[FAIL] b" in text
+        assert "1/2 claims hold" in text
+
+
+@pytest.mark.slow
+class TestFullValidation:
+    def test_all_claims_hold_at_reduced_scale(self):
+        """The integration check behind `--validate`: at 40% scale every
+        directional claim must already hold."""
+        from repro.experiments.runner import run_grid
+
+        grid = run_grid(scale=0.4)
+        results = validate_grid(grid)
+        failing = [r for r in results if not r.passed]
+        assert not failing, render_validation(results)
