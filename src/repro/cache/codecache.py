@@ -28,6 +28,7 @@ from typing import Dict, Iterator, List, Optional, Set
 from repro.cache.region import Region
 from repro.cache.sizing import STUB_BYTES
 from repro.errors import CacheError
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.program.cfg import BasicBlock
 
 
@@ -35,6 +36,11 @@ class CodeCache:
     """Unbounded cache of selected regions, addressable by entry block."""
 
     def __init__(self) -> None:
+        #: Observability handle (rebound by the simulator); the cache
+        #: emits ``region_installed`` / ``cache_evicted`` /
+        #: ``cache_flushed`` events and the install-side metrics, so
+        #: every selector is covered from one place.
+        self.observer: Observer = NULL_OBSERVER
         #: Every region ever selected, in selection order.
         self.regions: List[Region] = []
         self._by_entry: Dict[BasicBlock, Region] = {}
@@ -81,6 +87,25 @@ class CodeCache:
         self._next_order += 1
         self.regions.append(region)
         self._by_entry[region.entry] = region
+        observer = self.observer
+        if observer.metrics is not None:
+            observer.count("regions_installed_total", kind=region.kind)
+            observer.metrics.histogram(
+                "region_instructions",
+                "Instructions copied into the cache per installed region.",
+            ).observe(region.instruction_count)
+        if observer.events_enabled:
+            observer.emit(
+                "region_installed",
+                self.now,
+                entry=region.entry.full_label,
+                region_kind=region.kind,
+                order=region.selection_order,
+                blocks=len(region.block_list),
+                instructions=region.instruction_count,
+                stubs=region.exit_stub_count,
+                spans_cycle=region.spans_cycle,
+            )
         return region
 
     def _make_room(self, region: Region) -> None:
@@ -165,6 +190,7 @@ class BoundedCodeCache(CodeCache):
             # once: pure management overhead the paper's algorithms
             # reduce by caching less.
             self.regenerations += 1
+            self.observer.count("cache_regenerations_total")
         return installed
 
     def _make_room(self, region: Region) -> None:
@@ -178,17 +204,48 @@ class BoundedCodeCache(CodeCache):
 
     def _flush(self) -> None:
         self.flushes += 1
-        self.evictions += len(self._by_entry)
+        evicted = len(self._by_entry)
+        self.evictions += evicted
+        observer = self.observer
+        if observer.metrics is not None:
+            observer.count("cache_evictions_total", evicted, policy="flush")
+            observer.count("cache_flushes_total")
+        if observer.events_enabled:
+            freed = self.resident_bytes
+            for victim in self.resident_regions:
+                observer.emit(
+                    "cache_evicted",
+                    self.now,
+                    entry=victim.entry.full_label,
+                    order=victim.selection_order,
+                    bytes=self.region_bytes(victim),
+                    policy="flush",
+                )
+            observer.emit(
+                "cache_flushed", self.now, regions=evicted, bytes=freed
+            )
         self._ever_evicted.update(self._by_entry)
         self._by_entry.clear()
 
     def _evict_fifo(self, needed: int) -> None:
+        observer = self.observer
         for victim in self.resident_regions:
             if self.resident_bytes + needed <= self.capacity_bytes:
                 return
             del self._by_entry[victim.entry]
             self._ever_evicted.add(victim.entry)
             self.evictions += 1
+            if observer.metrics is not None:
+                observer.count("cache_evictions_total", policy="fifo")
+            if observer.events_enabled:
+                observer.emit(
+                    "cache_evicted",
+                    self.now,
+                    entry=victim.entry.full_label,
+                    order=victim.selection_order,
+                    bytes=self.region_bytes(victim),
+                    policy="fifo",
+                )
 
 
 def make_cache(

@@ -7,7 +7,13 @@ Commands:
 * ``regions`` — dump the selected-region inventory of a run;
 * ``dot`` — export a benchmark's CFG as Graphviz DOT;
 * ``collect`` — record a benchmark's execution to a binary trace file;
-* ``replay`` — run a selector over a previously collected trace.
+* ``replay`` — run a selector over a previously collected trace;
+* ``inspect`` — summarize a JSONL event log without re-running.
+
+``run`` and ``replay`` accept the observability flags
+``--trace-events PATH`` (structured JSONL event log),
+``--metrics-out PATH`` (Prometheus text metrics) and ``--profile``
+(per-phase timing table on stderr); see :mod:`repro.obs`.
 
 The figure-regeneration harness lives one level down:
 ``python -m repro.experiments``.
@@ -46,11 +52,61 @@ def _add_common(parser: argparse.ArgumentParser, selector: bool = True) -> None:
                         default="flush", help="bounded-cache policy")
 
 
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-events", metavar="PATH", default=None,
+                        help="write a structured JSONL event log to PATH")
+    parser.add_argument("--events-min-severity", default="debug",
+                        choices=("debug", "info", "warn", "error"),
+                        help="drop events below this severity (default debug)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write Prometheus-format metrics to PATH")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-phase timing table to stderr")
+
+
 def _config_from(args: argparse.Namespace) -> SystemConfig:
     return SystemConfig(
         cache_capacity_bytes=getattr(args, "cache_capacity", None),
         cache_eviction_policy=getattr(args, "eviction", "flush"),
     )
+
+
+def _observer_from(args: argparse.Namespace):
+    """Build an Observer from the observability flags (None when off)."""
+    trace_events = getattr(args, "trace_events", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    profile = getattr(args, "profile", False)
+    if not (trace_events or metrics_out or profile):
+        return None
+    from repro.obs import JsonlSink, MetricsRegistry, Observer, SpanTimer
+
+    sink = None
+    if trace_events:
+        sink = JsonlSink(
+            trace_events,
+            min_severity=getattr(args, "events_min_severity", "debug"),
+        )
+    return Observer(
+        metrics=MetricsRegistry() if metrics_out else None,
+        sink=sink,
+        profiler=SpanTimer() if profile else None,
+    )
+
+
+def _finish_observer(observer, args: argparse.Namespace) -> None:
+    """Write metrics / profile output and close the event sink."""
+    if observer is None:
+        return
+    observer.close()
+    metrics_out = getattr(args, "metrics_out", None)
+    if observer.metrics is not None and metrics_out:
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(observer.metrics.to_prometheus())
+    trace_events = getattr(args, "trace_events", None)
+    if trace_events:
+        print(f"event log written to {trace_events}", file=sys.stderr)
+    if observer.profiler is not None:
+        print(observer.profiler.format_table(), file=sys.stderr)
 
 
 def _print_report(report: MetricReport) -> None:
@@ -81,13 +137,26 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     program = build_benchmark(args.benchmark, scale=args.scale)
-    result = simulate(program, args.selector, _config_from(args), seed=args.seed)
+    observer = _observer_from(args)
+    try:
+        result = simulate(program, args.selector, _config_from(args),
+                          seed=args.seed, observer=observer)
+    finally:
+        _finish_observer(observer, args)
     print(f"{args.benchmark} / {args.selector} (scale {args.scale}, "
           f"seed {args.seed})")
     _print_report(MetricReport.from_result(result))
     if result.cache_evictions:
         print(f"{'cache evictions'.ljust(23)}  {result.cache_evictions}")
         print(f"{'regenerated regions'.ljust(23)}  {result.regenerated_regions}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.obs import format_summary, load_events, summarize_events
+
+    summary = summarize_events(load_events(args.events))
+    print(format_summary(summary))
     return 0
 
 
@@ -172,8 +241,13 @@ def cmd_collect(args: argparse.Namespace) -> int:
 def cmd_replay(args: argparse.Namespace) -> int:
     header = trace_header(args.trace)
     program = build_benchmark(header.program_name, scale=args.scale)
-    simulator = Simulator(program, args.selector, _config_from(args))
-    result = simulator.run(replay_trace(args.trace, program))
+    observer = _observer_from(args)
+    simulator = Simulator(program, args.selector, _config_from(args),
+                          observer=observer)
+    try:
+        result = simulator.run(replay_trace(args.trace, program))
+    finally:
+        _finish_observer(observer, args)
     print(f"replayed {header.program_name!r} through {args.selector}")
     _print_report(MetricReport.from_result(result))
     return 0
@@ -192,7 +266,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="simulate and print metrics")
     _add_common(run)
+    _add_obs(run)
     run.set_defaults(func=cmd_run)
+
+    inspect = sub.add_parser(
+        "inspect", help="summarize a JSONL event log (no simulation)")
+    inspect.add_argument("events",
+                         help="event log written by `repro run --trace-events`")
+    inspect.set_defaults(func=cmd_inspect)
 
     regions = sub.add_parser("regions", help="dump the selected regions")
     _add_common(regions)
@@ -231,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="scale used when the trace was collected")
     replay.add_argument("--cache-capacity", type=int, default=None)
     replay.add_argument("--eviction", choices=("flush", "fifo"), default="flush")
+    _add_obs(replay)
     replay.set_defaults(func=cmd_replay)
     return parser
 

@@ -6,9 +6,39 @@ callers can catch library failures without catching unrelated bugs.
 
 from __future__ import annotations
 
+from typing import Dict
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Carries an optional *context payload* — ``(benchmark, selector,
+    step)`` and whatever else the raise site knew — attached with
+    :meth:`with_context` as the exception propagates.  The payload is
+    rendered into ``str(exc)`` and mirrored into the ``run_failed``
+    observability event, so an aborted run is diagnosable from its
+    event log alone.
+    """
+
+    def __init__(self, *args: object) -> None:
+        super().__init__(*args)
+        self.context: Dict[str, object] = {}
+
+    def with_context(self, **context: object) -> "ReproError":
+        """Attach diagnostic context; existing keys are not overwritten
+        (the innermost frame knew the most)."""
+        for key, value in context.items():
+            self.context.setdefault(key, value)
+        return self
+
+    def __str__(self) -> str:
+        message = super().__str__()
+        if not self.context:
+            return message
+        rendered = ", ".join(
+            f"{key}={value}" for key, value in sorted(self.context.items())
+        )
+        return f"{message} [{rendered}]"
 
 
 class ProgramStructureError(ReproError):
@@ -50,3 +80,12 @@ class SelectionError(ReproError):
 
 class ConfigError(ReproError):
     """A system configuration value is out of its legal range."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer was misused or fed a malformed log.
+
+    Examples: registering the same metric name with a different type,
+    emitting an event kind missing from the taxonomy, or parsing a
+    corrupt JSONL event file.
+    """

@@ -11,6 +11,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -44,9 +45,21 @@ def main(argv=None) -> int:
     parser.add_argument("--load-grid", metavar="PATH",
                         help="skip simulation and compute figures from a "
                              "grid saved with --save-grid")
+    parser.add_argument("--manifest", metavar="DIR", default=None,
+                        help="write a manifest.json provenance record into "
+                             "DIR (default: next to --markdown/--save-grid "
+                             "output when one is given)")
     args = parser.parse_args(argv)
 
     wanted = args.figures if args.figures else list(ALL_FIGURES)
+    # Results land next to whichever artifact the caller asked for; an
+    # explicit --manifest DIR overrides.
+    manifest_dir = args.manifest
+    if manifest_dir is None:
+        for artifact in (args.markdown, args.save_grid):
+            if artifact:
+                manifest_dir = os.path.dirname(artifact) or "."
+                break
     started = time.time()
     if args.load_grid:
         from repro.analysis.serialize import load_grid
@@ -54,10 +67,15 @@ def main(argv=None) -> int:
         grid = load_grid(args.load_grid)
         print(f"grid loaded from {args.load_grid} "
               f"(scale={grid.scale}, seed={grid.seed})\n")
+        manifest_dir = None  # nothing was simulated; keep the original
     else:
         print(grid_banner(args.scale, args.seed))
-        grid = run_grid(scale=args.scale, seed=args.seed, workers=args.workers)
+        grid = run_grid(scale=args.scale, seed=args.seed,
+                        workers=args.workers, manifest_dir=manifest_dir)
         print(f"grid simulated in {time.time() - started:.1f}s\n")
+        if manifest_dir is not None:
+            print(f"manifest written to "
+                  f"{os.path.join(manifest_dir, 'manifest.json')}\n")
     if args.save_grid:
         from repro.analysis.serialize import save_grid
 

@@ -1,0 +1,101 @@
+"""Run manifests: the provenance record written next to results.
+
+Every experiment invocation that produces an artifact also writes a
+``manifest.json`` beside it recording *what produced the numbers*:
+selectors, benchmarks, seed, scale, the full config dict, the git SHA
+of the working tree (when available), the command line, and elapsed
+wall time.  A figure or grid file without its manifest is
+unreproducible; with it, ``python -m repro.experiments`` re-creates the
+artifact bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Dict, Iterable, Optional
+
+from repro.config import SystemConfig
+
+MANIFEST_NAME = "manifest.json"
+#: Schema version, bumped on incompatible manifest changes.
+MANIFEST_VERSION = 1
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """The current git commit SHA, or None outside a repo / without git.
+
+    ``cwd`` defaults to this package's own directory so the manifest
+    records the SHA of the *code that ran*, not of wherever the user
+    happened to invoke it from.
+    """
+    if cwd is None:
+        cwd = os.path.dirname(os.path.abspath(__file__))
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    sha = proc.stdout.strip()
+    return sha or None
+
+
+def build_manifest(
+    *,
+    selectors: Iterable[str],
+    benchmarks: Iterable[str],
+    seed: int,
+    scale: float,
+    config: SystemConfig,
+    elapsed_seconds: Optional[float] = None,
+    command: Optional[Iterable[str]] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the manifest dict (pure; does not touch the filesystem)."""
+    manifest: Dict[str, object] = {
+        "manifest_version": MANIFEST_VERSION,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "selectors": list(selectors),
+        "benchmarks": list(benchmarks),
+        "seed": seed,
+        "scale": scale,
+        "config": dataclasses.asdict(config),
+        "git_sha": git_sha(),
+        "python": sys.version.split()[0],
+        "command": list(command) if command is not None else sys.argv,
+    }
+    if elapsed_seconds is not None:
+        manifest["elapsed_seconds"] = round(elapsed_seconds, 3)
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(directory: str, manifest: Dict[str, object]) -> str:
+    """Write ``manifest.json`` into ``directory``; returns its path."""
+    os.makedirs(directory or ".", exist_ok=True)
+    path = os.path.join(directory or ".", MANIFEST_NAME)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def load_manifest(directory_or_path: str) -> Dict[str, object]:
+    """Read a manifest from a directory or an explicit file path."""
+    path = directory_or_path
+    if os.path.isdir(path):
+        path = os.path.join(path, MANIFEST_NAME)
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

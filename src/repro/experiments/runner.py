@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.config import SystemConfig
+from repro.experiments.manifest import build_manifest, write_manifest
 from repro.metrics.summary import MetricReport
 from repro.selection.registry import SELECTOR_NAMES
 from repro.system.simulator import simulate
@@ -62,6 +64,7 @@ def run_grid(
     benchmarks: Optional[Iterable[str]] = None,
     selectors: Optional[Iterable[str]] = None,
     workers: int = 1,
+    manifest_dir: Optional[str] = None,
 ) -> ExperimentGrid:
     """Simulate every cell and compute its metric report.
 
@@ -71,7 +74,12 @@ def run_grid(
     above 1 fans cells out over processes — results are bit-identical
     to the serial run because every cell is deterministic in
     ``(benchmark, selector, scale, seed, config)``.
+
+    ``manifest_dir`` writes a ``manifest.json`` provenance record
+    (selectors, benchmarks, seed, scale, config, git SHA, elapsed time)
+    into that directory once the grid completes.
     """
+    started = time.monotonic()
     config = config if config is not None else SystemConfig()
     bench_list = tuple(benchmarks) if benchmarks is not None else benchmark_names()
     selector_list = tuple(selectors) if selectors is not None else SELECTOR_NAMES
@@ -85,12 +93,21 @@ def run_grid(
         for task in tasks:
             bench, selector, report = _grid_cell(task)
             grid.reports[(bench, selector)] = report
-        return grid
-
-    context = multiprocessing.get_context("fork")
-    with context.Pool(processes=min(workers, len(tasks))) as pool:
-        for bench, selector, report in pool.map(_grid_cell, tasks):
-            grid.reports[(bench, selector)] = report
-    # pool.map preserves task order, so grid iteration order matches the
-    # serial runner exactly.
+    else:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=min(workers, len(tasks))) as pool:
+            for bench, selector, report in pool.map(_grid_cell, tasks):
+                grid.reports[(bench, selector)] = report
+        # pool.map preserves task order, so grid iteration order matches
+        # the serial runner exactly.
+    if manifest_dir is not None:
+        write_manifest(manifest_dir, build_manifest(
+            selectors=selector_list,
+            benchmarks=bench_list,
+            seed=seed,
+            scale=scale,
+            config=config,
+            elapsed_seconds=time.monotonic() - started,
+            extra={"workers": workers, "cells": len(tasks)},
+        ))
     return grid

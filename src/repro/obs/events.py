@@ -1,0 +1,184 @@
+"""Typed structured events: the qualitative pillar of :mod:`repro.obs`.
+
+An :class:`Event` is one decision or state change inside the simulated
+system, stamped with the simulation step at which it happened.  The
+taxonomy is closed: every kind is declared in :data:`EVENT_KINDS` with
+its category (used for sink filtering) and default severity, so an
+event log is self-describing and ``repro inspect`` can summarize one
+without knowing which selector produced it.
+
+Events serialize to JSON objects with a flat schema::
+
+    {"step": 812, "kind": "region_installed", "category": "region",
+     "severity": "info", "selector": "lei", "entry": "main.L3", ...}
+
+``kind``/``step``/``category``/``severity`` are reserved keys; all
+other keys are event-specific payload fields.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, NamedTuple, TextIO, Tuple, Union
+
+from repro.errors import ObservabilityError
+
+#: Severity levels, in increasing order of importance.
+SEVERITIES: Tuple[str, ...] = ("debug", "info", "warn", "error")
+
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+class EventKind(NamedTuple):
+    """Declaration of one event type in the taxonomy."""
+
+    category: str
+    severity: str
+    doc: str
+
+
+#: The closed event taxonomy: kind name -> (category, severity, doc).
+EVENT_KINDS: Dict[str, EventKind] = {
+    # -- run lifecycle --------------------------------------------------
+    "run_started": EventKind("run", "info", "A simulation began."),
+    "run_finished": EventKind("run", "info", "A simulation completed."),
+    "run_failed": EventKind(
+        "run", "error",
+        "A simulation aborted with an error; payload carries the "
+        "(benchmark, selector, step) context and the message."),
+    # -- region selection ----------------------------------------------
+    "region_installed": EventKind(
+        "region", "info",
+        "A selector installed a region into the code cache."),
+    "region_rejected": EventKind(
+        "region", "debug",
+        "A candidate region was abandoned (reason field says why)."),
+    "trace_truncated": EventKind(
+        "region", "debug",
+        "A trace recording/formation hit a size limit and was cut."),
+    "combine_attempted": EventKind(
+        "region", "debug",
+        "Trace combination ran over a target's observed traces."),
+    "history_cleared": EventKind(
+        "history", "debug",
+        "LEI truncated its branch history buffer after a selection."),
+    # -- cache management ------------------------------------------------
+    "cache_entered": EventKind(
+        "cache", "debug",
+        "Execution entered the code cache from the interpreter."),
+    "cache_exit": EventKind(
+        "cache", "debug",
+        "Execution left the code cache back to the interpreter."),
+    "cache_evicted": EventKind(
+        "cache", "info",
+        "A bounded cache evicted one resident region."),
+    "cache_flushed": EventKind(
+        "cache", "info",
+        "A bounded cache preemptively flushed every resident region."),
+}
+
+_RESERVED = ("kind", "step", "category", "severity")
+
+
+class Event(NamedTuple):
+    """One structured event (immutable once emitted)."""
+
+    kind: str
+    step: int
+    category: str
+    severity: str
+    fields: Tuple[Tuple[str, object], ...]
+
+    @property
+    def payload(self) -> Dict[str, object]:
+        return dict(self.fields)
+
+    def get(self, key: str, default: object = None) -> object:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "step": self.step,
+            "kind": self.kind,
+            "category": self.category,
+            "severity": self.severity,
+        }
+        data.update(self.fields)
+        return data
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=False, default=str)
+
+
+def make_event(kind: str, step: int, **fields: object) -> Event:
+    """Build an :class:`Event`, validating it against the taxonomy."""
+    try:
+        decl = EVENT_KINDS[kind]
+    except KeyError:
+        raise ObservabilityError(
+            f"unknown event kind {kind!r}; known: {sorted(EVENT_KINDS)}"
+        ) from None
+    for reserved in _RESERVED:
+        if reserved in fields:
+            raise ObservabilityError(
+                f"event field {reserved!r} is reserved (kind {kind!r})"
+            )
+    return Event(kind, step, decl.category, decl.severity, tuple(fields.items()))
+
+
+def event_from_dict(data: Dict[str, object]) -> Event:
+    """Rebuild an :class:`Event` from a parsed JSON object.
+
+    Unknown kinds are accepted (logs must outlive taxonomy changes);
+    the recorded category/severity win over the current declaration.
+    """
+    try:
+        kind = str(data["kind"])
+        step = int(data["step"])  # type: ignore[arg-type]
+    except (KeyError, TypeError, ValueError):
+        raise ObservabilityError(f"malformed event object: {data!r}") from None
+    decl = EVENT_KINDS.get(kind)
+    category = str(data.get("category", decl.category if decl else "unknown"))
+    severity = str(data.get("severity", decl.severity if decl else "info"))
+    fields = tuple(
+        (key, value) for key, value in data.items() if key not in _RESERVED
+    )
+    return Event(kind, step, category, severity, fields)
+
+
+def severity_rank(severity: str) -> int:
+    """Numeric rank of a severity (unknown severities rank as info)."""
+    return _SEVERITY_RANK.get(severity, _SEVERITY_RANK["info"])
+
+
+def parse_events(lines: Union[Iterable[str], TextIO]) -> Iterator[Event]:
+    """Parse a JSONL event stream, skipping blank lines.
+
+    Raises :class:`~repro.errors.ObservabilityError` on malformed JSON
+    so callers can report the offending line number.
+    """
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"event log line {lineno} is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(data, dict):
+            raise ObservabilityError(
+                f"event log line {lineno} is not a JSON object"
+            )
+        yield event_from_dict(data)
+
+
+def load_events(path: str) -> Iterator[Event]:
+    """Stream events from a JSONL file written by :class:`JsonlSink`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for event in parse_events(handle):
+            yield event

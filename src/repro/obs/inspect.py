@@ -1,0 +1,159 @@
+"""Summarize an event log without re-running the simulation.
+
+``python -m repro inspect events.jsonl`` feeds a recorded JSONL stream
+through :func:`summarize_events` and prints :func:`format_summary`.
+The summary answers the questions the paper's evaluation keeps asking
+of a run — which targets kept getting rejected, how much eviction
+churn a bounded cache suffered, how each selector's decisions split —
+straight from the log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.events import Event
+
+
+@dataclass
+class InspectSummary:
+    """Aggregates computed from one event stream."""
+
+    total_events: int = 0
+    first_step: Optional[int] = None
+    last_step: Optional[int] = None
+    #: kind -> count.
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    #: category -> count.
+    by_category: Dict[str, int] = field(default_factory=dict)
+    #: selector -> {decision kind -> count} over region-category events.
+    decisions_by_selector: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: entry label -> times a candidate region at that entry was rejected.
+    rejected_entries: Dict[str, int] = field(default_factory=dict)
+    #: rejection reason -> count.
+    rejection_reasons: Dict[str, int] = field(default_factory=dict)
+    #: entry label -> times a region at that entry was evicted.
+    evicted_entries: Dict[str, int] = field(default_factory=dict)
+    evictions: int = 0
+    flushes: int = 0
+    evicted_bytes: int = 0
+    installed: int = 0
+    cache_exits: int = 0
+    truncations: int = 0
+    history_clears: int = 0
+    #: The terminal run_failed event, if the run aborted.
+    failure: Optional[Event] = None
+
+    def top_rejected(self, limit: int = 10) -> List[Tuple[str, int]]:
+        return sorted(
+            self.rejected_entries.items(), key=lambda item: (-item[1], item[0])
+        )[:limit]
+
+    def top_evicted(self, limit: int = 10) -> List[Tuple[str, int]]:
+        return sorted(
+            self.evicted_entries.items(), key=lambda item: (-item[1], item[0])
+        )[:limit]
+
+
+def summarize_events(events: Iterable[Event]) -> InspectSummary:
+    """One pass over an event stream -> :class:`InspectSummary`."""
+    summary = InspectSummary()
+    for event in events:
+        summary.total_events += 1
+        if summary.first_step is None:
+            summary.first_step = event.step
+        summary.last_step = event.step
+        summary.by_kind[event.kind] = summary.by_kind.get(event.kind, 0) + 1
+        summary.by_category[event.category] = (
+            summary.by_category.get(event.category, 0) + 1
+        )
+        kind = event.kind
+        if event.category in ("region", "history"):
+            selector = str(event.get("selector", "?"))
+            decisions = summary.decisions_by_selector.setdefault(selector, {})
+            decisions[kind] = decisions.get(kind, 0) + 1
+        if kind == "region_installed":
+            summary.installed += 1
+        elif kind == "region_rejected":
+            entry = str(event.get("entry", "?"))
+            summary.rejected_entries[entry] = (
+                summary.rejected_entries.get(entry, 0) + 1
+            )
+            reason = str(event.get("reason", "?"))
+            summary.rejection_reasons[reason] = (
+                summary.rejection_reasons.get(reason, 0) + 1
+            )
+        elif kind == "trace_truncated":
+            summary.truncations += 1
+        elif kind == "history_cleared":
+            summary.history_clears += 1
+        elif kind == "cache_exit":
+            summary.cache_exits += 1
+        elif kind == "cache_evicted":
+            summary.evictions += 1
+            entry = str(event.get("entry", "?"))
+            summary.evicted_entries[entry] = (
+                summary.evicted_entries.get(entry, 0) + 1
+            )
+            bytes_freed = event.get("bytes", 0)
+            if isinstance(bytes_freed, (int, float)):
+                summary.evicted_bytes += int(bytes_freed)
+        elif kind == "cache_flushed":
+            summary.flushes += 1
+        elif kind == "run_failed":
+            summary.failure = event
+    return summary
+
+
+def format_summary(summary: InspectSummary) -> str:
+    """Render an :class:`InspectSummary` as the ``inspect`` CLI output."""
+    lines: List[str] = []
+    span = ""
+    if summary.first_step is not None:
+        span = f" (steps {summary.first_step}..{summary.last_step})"
+    lines.append(f"{summary.total_events} events{span}")
+
+    lines.append("")
+    lines.append("events by kind:")
+    for kind, count in sorted(
+        summary.by_kind.items(), key=lambda item: (-item[1], item[0])
+    ):
+        lines.append(f"  {kind:<20s} {count}")
+
+    if summary.decisions_by_selector:
+        lines.append("")
+        lines.append("selection decisions by selector:")
+        for selector in sorted(summary.decisions_by_selector):
+            decisions = summary.decisions_by_selector[selector]
+            parts = " ".join(
+                f"{kind}={count}" for kind, count in sorted(decisions.items())
+            )
+            lines.append(f"  {selector:<14s} {parts}")
+
+    if summary.rejected_entries:
+        lines.append("")
+        lines.append("top rejected region entries:")
+        for entry, count in summary.top_rejected():
+            lines.append(f"  {entry:<30s} x{count}")
+        reasons = " ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(summary.rejection_reasons.items())
+        )
+        lines.append(f"  reasons: {reasons}")
+
+    if summary.evictions or summary.flushes:
+        lines.append("")
+        lines.append(
+            f"eviction churn: {summary.evictions} evictions, "
+            f"{summary.flushes} flushes, {summary.evicted_bytes} bytes freed"
+        )
+        for entry, count in summary.top_evicted(5):
+            lines.append(f"  {entry:<30s} evicted x{count}")
+
+    if summary.failure is not None:
+        lines.append("")
+        payload = summary.failure.payload
+        context = " ".join(f"{k}={v}" for k, v in sorted(payload.items()))
+        lines.append(f"RUN FAILED at step {summary.failure.step}: {context}")
+    return "\n".join(lines)

@@ -1,0 +1,326 @@
+"""Metrics registry: named counters, gauges and fixed-bucket histograms.
+
+The registry is the quantitative pillar of :mod:`repro.obs`.  Metrics
+are created once (``registry.counter("regions_installed_total", ...)``)
+and updated with plain method calls; every metric supports a declared
+set of label names so one instrument can slice by e.g. rejection
+reason.  Two export paths exist:
+
+* :meth:`MetricsRegistry.snapshot` — a plain nested dict, attached to
+  :class:`repro.system.results.RunResult` so analysis code can
+  reconcile instrumentation against the simulator's own aggregates;
+* :meth:`MetricsRegistry.to_prometheus` — the Prometheus text
+  exposition format (``# HELP`` / ``# TYPE`` headers, cumulative
+  histogram buckets), written by ``python -m repro run --metrics-out``.
+
+Everything here is zero-dependency and deliberately boring: dicts keyed
+by label-value tuples, no background threads, no global state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+LabelValues = Tuple[str, ...]
+
+#: Default histogram buckets (upper bounds) for small-count size
+#: distributions such as blocks-per-region.
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class _Metric:
+    """Shared label plumbing for all three instrument types."""
+
+    metric_type = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+
+    def _key(self, labels: Dict[str, object]) -> LabelValues:
+        if len(labels) != len(self.labelnames) or any(
+            name not in labels for name in self.labelnames
+        ):
+            raise ObservabilityError(
+                f"metric {self.name!r} takes labels {list(self.labelnames)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _render_labels(self, values: LabelValues) -> str:
+        if not self.labelnames:
+            return ""
+        pairs = ", ".join(
+            f'{name}="{value}"' for name, value in zip(self.labelnames, values)
+        )
+        return "{" + pairs + "}"
+
+
+class Counter(_Metric):
+    """A monotonically increasing count, optionally labelled."""
+
+    metric_type = "counter"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[LabelValues, float] = {}
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    @property
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return sum(self._values.values())
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "type": self.metric_type,
+            "help": self.help,
+            "values": {
+                "|".join(key) if key else "": value
+                for key, value in sorted(self._values.items())
+            },
+        }
+
+    def render(self, prefix: str) -> List[str]:
+        full = prefix + self.name
+        lines = [f"# HELP {full} {self.help}"] if self.help else []
+        lines.append(f"# TYPE {full} counter")
+        if not self._values and not self.labelnames:
+            lines.append(f"{full} 0")
+        for key, value in sorted(self._values.items()):
+            lines.append(f"{full}{self._render_labels(key)} {_fmt(value)}")
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (e.g. resident cache bytes)."""
+
+    metric_type = "gauge"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[LabelValues, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[self._key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "type": self.metric_type,
+            "help": self.help,
+            "values": {
+                "|".join(key) if key else "": value
+                for key, value in sorted(self._values.items())
+            },
+        }
+
+    def render(self, prefix: str) -> List[str]:
+        full = prefix + self.name
+        lines = [f"# HELP {full} {self.help}"] if self.help else []
+        lines.append(f"# TYPE {full} gauge")
+        if not self._values and not self.labelnames:
+            lines.append(f"{full} 0")
+        for key, value in sorted(self._values.items()):
+            lines.append(f"{full}{self._render_labels(key)} {_fmt(value)}")
+        return lines
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram: per-bucket counts plus sum and count.
+
+    Buckets are upper bounds; an observation lands in the first bucket
+    whose bound is >= the value, mirroring Prometheus's cumulative
+    ``le`` semantics at export time.
+    """
+
+    metric_type = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ObservabilityError(
+                f"histogram {name!r} needs sorted, non-empty buckets"
+            )
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        # Per label-set: bucket counts (len(buckets) + 1 for +Inf), sum, count.
+        self._series: Dict[LabelValues, List[float]] = {}
+        self._sums: Dict[LabelValues, float] = {}
+        self._counts: Dict[LabelValues, int] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = [0] * (len(self.buckets) + 1)
+            self._sums[key] = 0
+            self._counts[key] = 0
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                series[i] += 1
+                break
+        else:
+            series[-1] += 1
+        self._sums[key] += value
+        self._counts[key] += 1
+
+    def count(self, **labels: object) -> int:
+        return self._counts.get(self._key(labels), 0)
+
+    def sum(self, **labels: object) -> float:
+        return self._sums.get(self._key(labels), 0)
+
+    def bucket_counts(self, **labels: object) -> Tuple[int, ...]:
+        """Non-cumulative per-bucket counts (last entry is the overflow)."""
+        key = self._key(labels)
+        return tuple(self._series.get(key, [0] * (len(self.buckets) + 1)))
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "type": self.metric_type,
+            "help": self.help,
+            "buckets": list(self.buckets),
+            "values": {
+                "|".join(key) if key else "": {
+                    "counts": list(self._series[key]),
+                    "sum": self._sums[key],
+                    "count": self._counts[key],
+                }
+                for key in sorted(self._series)
+            },
+        }
+
+    def render(self, prefix: str) -> List[str]:
+        full = prefix + self.name
+        lines = [f"# HELP {full} {self.help}"] if self.help else []
+        lines.append(f"# TYPE {full} histogram")
+        for key in sorted(self._series):
+            series = self._series[key]
+            cumulative = 0
+            for bound, bucket in zip(self.buckets, series):
+                cumulative += bucket
+                lines.append(
+                    f"{full}_bucket{self._bucket_labels(key, _fmt(bound))} "
+                    f"{cumulative}"
+                )
+            cumulative += series[-1]
+            lines.append(
+                f"{full}_bucket{self._bucket_labels(key, '+Inf')} {cumulative}"
+            )
+            lines.append(
+                f"{full}_sum{self._render_labels(key)} {_fmt(self._sums[key])}"
+            )
+            lines.append(
+                f"{full}_count{self._render_labels(key)} {self._counts[key]}"
+            )
+        return lines
+
+    def _bucket_labels(self, values: LabelValues, le: str) -> str:
+        pairs = [
+            f'{name}="{value}"' for name, value in zip(self.labelnames, values)
+        ]
+        pairs.append(f'le="{le}"')
+        return "{" + ", ".join(pairs) + "}"
+
+
+def _fmt(value: float) -> str:
+    """Render a number the way Prometheus expects (ints without .0)."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return str(int(value))
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Create-or-get store for all instruments of one run."""
+
+    def __init__(self, prefix: str = "repro_") -> None:
+        self.prefix = prefix
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.metric_type} with labels "
+                    f"{list(existing.labelnames)}"
+                )
+            return existing
+        metric = cls(name, help, labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict dump of every metric (stable key order)."""
+        return {
+            name: self._metrics[name].snapshot()
+            for name in sorted(self._metrics)
+        }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format, one block per metric."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].render(self.prefix))
+        return "\n".join(lines) + ("\n" if lines else "")

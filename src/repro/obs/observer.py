@@ -1,0 +1,136 @@
+"""The observer: one handle bundling the three observability pillars.
+
+Every instrumented component (simulator, cache, selectors) holds an
+:class:`Observer`.  The default is :data:`NULL_OBSERVER`, whose three
+pillars are all ``None``; instrumentation sites are written so that a
+disabled pillar costs one attribute read on a slow path and *zero*
+work on hot paths — the simulator hoists ``observer.events_enabled``
+and ``observer.profiler`` into locals before its loop and branches on
+them, so a run without observability executes the same per-step
+instructions as the uninstrumented simulator did.
+
+Conventions for emission sites::
+
+    obs = self.obs
+    if obs.events_enabled:
+        obs.emit("region_rejected", step=..., reason="empty_recording")
+
+``emit`` itself re-checks nothing: callers gate on ``events_enabled``
+(or call :meth:`Observer.event`, the self-guarding convenience for
+cold paths).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.events import Event, make_event
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import NULL_SPAN, SpanTimer
+from repro.obs.sink import EventSink
+
+
+class Observer:
+    """Bundle of metrics registry, event sink and span timer."""
+
+    __slots__ = ("metrics", "sink", "profiler", "common")
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        sink: Optional[EventSink] = None,
+        profiler: Optional[SpanTimer] = None,
+    ) -> None:
+        self.metrics = metrics
+        self.sink = sink
+        self.profiler = profiler
+        #: Fields merged into every emitted event (the simulator sets
+        #: ``benchmark`` and ``selector`` here at run start, so every
+        #: component's events identify their run without threading the
+        #: names through each call site).
+        self.common: dict = {}
+
+    # -- state ------------------------------------------------------------
+    @property
+    def events_enabled(self) -> bool:
+        return self.sink is not None
+
+    @property
+    def metrics_enabled(self) -> bool:
+        return self.metrics is not None
+
+    @property
+    def profiling_enabled(self) -> bool:
+        return self.profiler is not None
+
+    @property
+    def enabled(self) -> bool:
+        """True when any pillar is active."""
+        return (
+            self.sink is not None
+            or self.metrics is not None
+            or self.profiler is not None
+        )
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    # -- events -----------------------------------------------------------
+    def emit(self, kind: str, step: int, **fields: object) -> Event:
+        """Build and write an event.  Caller must gate on
+        ``events_enabled``; emitting through a disabled observer is a
+        programming error surfaced as an ``AttributeError``."""
+        if self.common:
+            merged = dict(self.common)
+            merged.update(fields)
+            fields = merged
+        event = make_event(kind, step, **fields)
+        self.sink.write(event)  # type: ignore[union-attr]
+        return event
+
+    def event(self, kind: str, step: int, **fields: object) -> Optional[Event]:
+        """Self-guarding emit for cold paths (no-op when disabled)."""
+        if self.sink is None:
+            return None
+        return self.emit(kind, step, **fields)
+
+    # -- metrics ----------------------------------------------------------
+    def count(self, name: str, amount: float = 1, **labels: object) -> None:
+        """Bump a counter if metrics are enabled (cold paths only).
+
+        The counter is created on first use with the (sorted) label
+        names supplied — call sites for one name must use one label set.
+        """
+        if self.metrics is None:
+            return
+        self.metrics.counter(name, labelnames=sorted(labels)).inc(
+            amount, **labels
+        )
+
+    # -- profiling --------------------------------------------------------
+    def span(self, name: str):
+        """Context manager timing ``name`` (shared no-op when disabled)."""
+        if self.profiler is None:
+            return NULL_SPAN
+        return self.profiler.span(name)
+
+    def close(self) -> None:
+        """Close the sink (flush files); metrics/profiler need no close."""
+        if self.sink is not None:
+            self.sink.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        pillars = [
+            name
+            for name, active in (
+                ("metrics", self.metrics is not None),
+                ("events", self.sink is not None),
+                ("profile", self.profiler is not None),
+            )
+            if active
+        ]
+        return f"<Observer {'+'.join(pillars) if pillars else 'disabled'}>"
+
+
+#: The shared disabled observer: every pillar off, safe to use anywhere.
+NULL_OBSERVER = Observer()

@@ -1,0 +1,183 @@
+"""Profiling hooks: a monotonic-clock span timer with nested scopes.
+
+The simulator's hot loop spends its time in a handful of phases —
+``interpret`` (feeding the selector), ``cache_walk`` (matching the
+stream against the current region), ``selector_decide`` (the per-branch
+selection decision) and ``region_build`` (forming + installing a
+region).  :class:`SpanTimer` attributes wall time to those phases with
+*self-time* semantics: entering a nested span pauses its parent, so the
+per-phase totals sum to (almost exactly) the measured wall time and a
+phase can never be double-counted.
+
+Two usage styles:
+
+* explicit :meth:`~SpanTimer.enter` / :meth:`~SpanTimer.exit` /
+  :meth:`~SpanTimer.switch` calls for the simulator's hot loop, where a
+  context manager per step would dominate the cost being measured;
+* the :meth:`~SpanTimer.span` context manager for coarse scopes
+  (selectors timing ``region_build``).
+
+The timer is opt-in: when profiling is disabled the simulator holds no
+timer at all and executes zero profiling instructions per step.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+
+class _Span:
+    """Context-manager adapter over enter/exit (rare scopes only)."""
+
+    __slots__ = ("_timer", "_name")
+
+    def __init__(self, timer: "SpanTimer", name: str) -> None:
+        self._timer = timer
+        self._name = name
+
+    def __enter__(self) -> "SpanTimer":
+        self._timer.enter(self._name)
+        return self._timer
+
+    def __exit__(self, *exc_info) -> None:
+        self._timer.exit()
+
+
+class _NullSpan:
+    """Shared no-op context manager for disabled profiling."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanTimer:
+    """Accumulates self-time per named scope on a monotonic clock."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        #: Self-time per scope name, seconds.
+        self.totals: Dict[str, float] = {}
+        #: Times each scope was entered.
+        self.counts: Dict[str, int] = {}
+        # Stack of (name, resume_timestamp): the top scope is running,
+        # scopes below are paused with their elapsed time already banked.
+        self._stack: List[Tuple[str, float]] = []
+        #: Steps attributed to the run (for throughput); set by the caller.
+        self.steps = 0
+        self._started_at: Optional[float] = None
+        self._stopped_at: Optional[float] = None
+
+    # -- scope control ---------------------------------------------------
+    def enter(self, name: str) -> None:
+        now = self._clock()
+        if self._started_at is None:
+            self._started_at = now
+        if self._stack:
+            parent, resumed = self._stack[-1]
+            self.totals[parent] = self.totals.get(parent, 0.0) + (now - resumed)
+            self._stack[-1] = (parent, now)
+        self._stack.append((name, now))
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def exit(self) -> None:
+        if not self._stack:
+            raise ObservabilityError("SpanTimer.exit() with no open span")
+        now = self._clock()
+        name, resumed = self._stack.pop()
+        self.totals[name] = self.totals.get(name, 0.0) + (now - resumed)
+        if self._stack:
+            parent, _ = self._stack[-1]
+            self._stack[-1] = (parent, now)
+        else:
+            self._stopped_at = now
+
+    def switch(self, name: str) -> None:
+        """Close the current span and open ``name`` at the same depth.
+
+        Equivalent to ``exit(); enter(name)`` with a single clock read;
+        this is the per-phase transition the simulator uses when
+        execution moves between interpreting and walking the cache.
+        """
+        now = self._clock()
+        if self._stack:
+            current, resumed = self._stack.pop()
+            self.totals[current] = self.totals.get(current, 0.0) + (now - resumed)
+        elif self._started_at is None:
+            self._started_at = now
+        self._stack.append((name, now))
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def stop(self) -> None:
+        """Close every open span (end of run / abnormal exit)."""
+        while self._stack:
+            self.exit()
+
+    def span(self, name: str) -> _Span:
+        """Context manager form, for scopes entered rarely."""
+        return _Span(self, name)
+
+    # -- reporting -------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time between the first enter and the last exit."""
+        if self._started_at is None:
+            return 0.0
+        end = self._stopped_at
+        if self._stack or end is None:
+            end = self._clock()
+        return end - self._started_at
+
+    def throughput(self) -> float:
+        """Steps per second over the measured wall time (0 if unknown)."""
+        wall = self.total_seconds
+        if wall <= 0 or self.steps == 0:
+            return 0.0
+        return self.steps / wall
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "phases": {
+                name: {
+                    "seconds": self.totals[name],
+                    "entries": self.counts.get(name, 0),
+                }
+                for name in sorted(self.totals)
+            },
+            "wall_seconds": self.total_seconds,
+            "steps": self.steps,
+            "steps_per_second": self.throughput(),
+        }
+
+    def format_table(self) -> str:
+        """Human-readable per-phase timing table (for stderr)."""
+        wall = self.total_seconds
+        lines = ["phase             seconds      %    entries"]
+        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+            seconds = self.totals[name]
+            share = (100.0 * seconds / wall) if wall > 0 else 0.0
+            lines.append(
+                f"{name:<16s} {seconds:9.4f} {share:6.1f} "
+                f"{self.counts.get(name, 0):10d}"
+            )
+        lines.append(f"{'wall':<16s} {wall:9.4f} {100.0 if wall else 0.0:6.1f}")
+        if self.steps:
+            lines.append(
+                f"steps: {self.steps}  throughput: {self.throughput():,.0f} "
+                f"steps/s"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Event sinks: where emitted events go.
+
+A sink is anything with ``write(event)`` and ``close()``.  The base
+class adds severity/category filtering so the hot loop can emit
+liberally while a sink keeps only what its consumer wants; filtering
+happens in :meth:`EventSink.accepts`, which the observer checks
+*before* building the event payload would get expensive.
+
+Provided sinks:
+
+* :class:`JsonlSink` — one JSON object per line to a file or file-like;
+  the interchange format consumed by ``python -m repro inspect``.
+* :class:`RingBufferSink` — keeps the last N events in memory (flight
+  recorder); overflow drops the oldest and counts what was dropped.
+* :class:`CollectingSink` — unbounded in-memory list, for tests and
+  programmatic use.
+* :class:`TeeSink` — fan out one emission to several sinks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, IO, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import ObservabilityError
+from repro.obs.events import Event, severity_rank
+
+
+class EventSink:
+    """Base sink: severity/category filter plus the write interface."""
+
+    def __init__(
+        self,
+        min_severity: str = "debug",
+        categories: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._min_rank = severity_rank(min_severity)
+        self._categories = frozenset(categories) if categories is not None else None
+        #: Events accepted (post-filter) over the sink's lifetime.
+        self.accepted = 0
+        #: Events rejected by the filter.
+        self.filtered = 0
+
+    def accepts(self, event: Event) -> bool:
+        if severity_rank(event.severity) < self._min_rank:
+            return False
+        if self._categories is not None and event.category not in self._categories:
+            return False
+        return True
+
+    def write(self, event: Event) -> None:
+        if not self.accepts(event):
+            self.filtered += 1
+            return
+        self.accepted += 1
+        self._write(event)
+
+    def _write(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; further writes are a caller bug."""
+
+
+class CollectingSink(EventSink):
+    """Keep every accepted event in a list (tests, programmatic use)."""
+
+    def __init__(self, **filter_kwargs) -> None:
+        super().__init__(**filter_kwargs)
+        self.events: List[Event] = []
+
+    def _write(self, event: Event) -> None:
+        self.events.append(event)
+
+    def by_kind(self, kind: str) -> List[Event]:
+        return [event for event in self.events if event.kind == kind]
+
+
+class RingBufferSink(EventSink):
+    """Flight recorder: the last ``capacity`` accepted events.
+
+    When full, the oldest event is silently evicted and counted in
+    ``dropped`` — the hot loop never blocks and memory stays bounded.
+    """
+
+    def __init__(self, capacity: int, **filter_kwargs) -> None:
+        super().__init__(**filter_kwargs)
+        if capacity < 1:
+            raise ObservabilityError(
+                f"ring buffer capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._ring: Deque[Event] = deque(maxlen=capacity)
+        #: Accepted events evicted because the ring was full.
+        self.dropped = 0
+
+    def _write(self, event: Event) -> None:
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(event)
+
+    @property
+    def events(self) -> List[Event]:
+        """Buffered events, oldest first."""
+        return list(self._ring)
+
+    def by_kind(self, kind: str) -> List[Event]:
+        return [event for event in self._ring if event.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class JsonlSink(EventSink):
+    """Write events as JSON Lines to a path or an open text stream."""
+
+    def __init__(
+        self,
+        destination: Union[str, IO[str]],
+        **filter_kwargs,
+    ) -> None:
+        super().__init__(**filter_kwargs)
+        if isinstance(destination, str):
+            self._handle: IO[str] = open(destination, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = destination
+            self._owns_handle = False
+
+    def _write(self, event: Event) -> None:
+        self._handle.write(event.to_json())
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+        else:
+            try:
+                self._handle.flush()
+            except ValueError:  # pragma: no cover - already-closed stream
+                pass
+
+
+class TeeSink(EventSink):
+    """Forward each accepted event to every child sink.
+
+    The tee's own filter runs first; children may filter further.
+    """
+
+    def __init__(self, sinks: Iterable[EventSink], **filter_kwargs) -> None:
+        super().__init__(**filter_kwargs)
+        self.sinks: List[EventSink] = list(sinks)
+
+    def _write(self, event: Event) -> None:
+        for sink in self.sinks:
+            sink.write(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

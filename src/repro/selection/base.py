@@ -23,6 +23,7 @@ from typing import Optional, TYPE_CHECKING
 from repro.cache.codecache import CodeCache
 from repro.cache.region import Region
 from repro.execution.events import Step
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.config import SystemConfig
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -38,6 +39,12 @@ class RegionSelector(abc.ABC):
     def __init__(self, cache: CodeCache, config: SystemConfig) -> None:
         self.cache = cache
         self.config = config
+        #: Observability handle; the simulator rebinds it to the run's
+        #: observer.  Selectors gate event emission on
+        #: ``self.obs.events_enabled`` so a disabled observer costs
+        #: nothing on the decision path.  The current simulation step
+        #: for event timestamps is ``self.cache.now``.
+        self.obs: Observer = NULL_OBSERVER
 
     # -- simulator callbacks --------------------------------------------
     def observe_interpreted(self, step: Step) -> None:
@@ -79,6 +86,24 @@ class RegionSelector(abc.ABC):
 
     def finish(self) -> None:
         """The stream ended; abandon any in-flight recording state."""
+
+    # -- observability helpers ------------------------------------------
+    def _reject(self, head, reason: str) -> None:
+        """Account one abandoned region candidate (``region_rejected``).
+
+        ``head`` is the candidate's entry block.  No-op overheadwise
+        when the observer is disabled.
+        """
+        obs = self.obs
+        if obs.metrics is not None:
+            obs.count("regions_rejected_total", reason=reason)
+        if obs.events_enabled:
+            obs.emit(
+                "region_rejected",
+                self.cache.now,
+                entry=head.full_label,
+                reason=reason,
+            )
 
     # -- profiling-memory accounting ------------------------------------
     @property

@@ -88,24 +88,54 @@ class _CombinationMixin:
 
     def _combine_and_install(self, target: BasicBlock) -> Optional[Region]:
         """Figure 13 lines 12-17: combine observed traces into a region."""
+        obs = self.obs
         compact_traces = self.store.pop_all(target)
         if not compact_traces or self.cache.contains_entry(target):
             self.combinations_abandoned += 1
+            reason = (
+                "no_observed_traces" if not compact_traces
+                else "entry_already_cached"
+            )
+            if obs.metrics is not None:
+                obs.count("combine_attempts_total", outcome="abandoned")
+            if obs.events_enabled:
+                obs.emit(
+                    "combine_attempted",
+                    self.cache.now,
+                    target=target.full_label,
+                    traces=len(compact_traces),
+                    outcome=reason,
+                )
+            self._reject(target, reason)
             return None
-        decoded = [trace.decode(self.program) for trace in compact_traces]
-        cfg = build_observed_cfg(target, decoded)
-        marked = cfg.blocks_with_count_at_least(self.config.combine_t_min)
-        marking = mark_rejoining_paths(cfg, marked)
-        self.marking_extra_sweeps += marking.extra_marking_sweeps
-        kept = marking.marked
-        edges = {
-            (src, dst)
-            for src, dst in cfg.edges
-            if src in kept and dst in kept
-        }
-        region = CFGRegion(target, kept, edges)
-        self.cache.insert(region)
+        with obs.span("region_build"):
+            decoded = [trace.decode(self.program) for trace in compact_traces]
+            cfg = build_observed_cfg(target, decoded)
+            marked = cfg.blocks_with_count_at_least(self.config.combine_t_min)
+            marking = mark_rejoining_paths(cfg, marked)
+            self.marking_extra_sweeps += marking.extra_marking_sweeps
+            kept = marking.marked
+            edges = {
+                (src, dst)
+                for src, dst in cfg.edges
+                if src in kept and dst in kept
+            }
+            region = CFGRegion(target, kept, edges)
+            self.cache.insert(region)
         self.regions_combined += 1
+        if obs.metrics is not None:
+            obs.count("combine_attempts_total", outcome="installed")
+        if obs.events_enabled:
+            obs.emit(
+                "combine_attempted",
+                self.cache.now,
+                target=target.full_label,
+                traces=len(compact_traces),
+                outcome="installed",
+                observed_blocks=cfg.block_count,
+                kept_blocks=len(kept),
+                pruned_blocks=cfg.block_count - len(kept),
+            )
         return region
 
     @property
@@ -205,6 +235,7 @@ class CombinedLEISelector(_CombinationMixin, LEISelector):
         formed = form_trace(self.buffer, target, old.seq, self.cache, self.config)
         if formed is None:
             self.formations_abandoned += 1
+            self._reject(target, "inconsistent_history")
             return None
         stored = self.store.add(target, CompactTrace.encode(formed.blocks))
         if stored < self.config.combine_t_prof:
@@ -214,6 +245,13 @@ class CombinedLEISelector(_CombinationMixin, LEISelector):
         # Final observation: form the region and jump into it.
         self.buffer.truncate_after(old.seq)
         self.counters.release(target)
+        if self.obs.events_enabled:
+            self.obs.emit(
+                "history_cleared",
+                self.cache.now,
+                target=target.full_label,
+                kept_seq=old.seq,
+            )
         return self._combine_and_install(target)
 
     def diagnostics(self) -> dict:

@@ -183,11 +183,35 @@ class LEISelector(RegionSelector):
         formed = form_trace(self.buffer, target, old.seq, self.cache, self.config)
         self.buffer.truncate_after(old.seq)  # line 13
         self.counters.release(target)  # line 14
+        obs = self.obs
+        if obs.events_enabled:
+            obs.emit(
+                "history_cleared",
+                self.cache.now,
+                target=target.full_label,
+                kept_seq=old.seq,
+            )
         if formed is None or self.cache.contains_entry(target):
             self.formations_abandoned += 1
+            self._reject(
+                target,
+                "inconsistent_history" if formed is None
+                else "entry_already_cached",
+            )
             return None
-        region = TraceRegion(formed.blocks, formed.final_target)
-        self.cache.insert(region)
+        if formed.final_target is None and obs.events_enabled:
+            # FORM-TRACE only returns a targetless path when a size
+            # limit cut the walk short.
+            obs.emit(
+                "trace_truncated",
+                self.cache.now,
+                entry=target.full_label,
+                blocks=len(formed.blocks),
+                instructions=sum(b.instruction_count for b in formed.blocks),
+            )
+        with obs.span("region_build"):
+            region = TraceRegion(formed.blocks, formed.final_target)
+            self.cache.insert(region)
         self.traces_installed += 1
         return region  # line 15: jump newT
 

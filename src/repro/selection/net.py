@@ -43,7 +43,9 @@ class TraceRecorder:
     whether the trace spans a cycle.
     """
 
-    __slots__ = ("head", "blocks", "instructions", "final_target", "done")
+    __slots__ = (
+        "head", "blocks", "instructions", "final_target", "done", "truncated",
+    )
 
     def __init__(self, head: BasicBlock) -> None:
         self.head = head
@@ -51,6 +53,10 @@ class TraceRecorder:
         self.instructions = 0
         self.final_target: Optional[BasicBlock] = None
         self.done = False
+        #: True when the recording was cut by a size limit rather than
+        #: ended by a trace-ending branch (observability: the
+        #: ``trace_truncated`` event).
+        self.truncated = False
 
     def feed(self, step: Step, cache: CodeCache, config: SystemConfig) -> bool:
         """Consume one interpreted step; return True when recording ends."""
@@ -88,6 +94,7 @@ class TraceRecorder:
         ):
             self.final_target = step.target if step.taken else None
             self.done = True
+            self.truncated = True
             return True
         return False
 
@@ -157,8 +164,22 @@ class NETSelector(RegionSelector):
 
     def _complete_recording(self, recorder: TraceRecorder) -> None:
         self._recording_heads.discard(recorder.head)
+        obs = self.obs
+        if recorder.truncated and obs.events_enabled:
+            obs.emit(
+                "trace_truncated",
+                self.cache.now,
+                entry=recorder.head.full_label,
+                blocks=len(recorder.blocks),
+                instructions=recorder.instructions,
+            )
         if not recorder.blocks or self.cache.contains_entry(recorder.head):
             self.recordings_abandoned += 1
+            self._reject(
+                recorder.head,
+                "stream_diverged" if not recorder.blocks
+                else "entry_already_cached",
+            )
             return
         self._install_trace(recorder)
 
@@ -168,13 +189,18 @@ class NETSelector(RegionSelector):
         Separated so the combining subclass can store an observed trace
         instead of installing it.
         """
-        self.cache.insert(TraceRegion(recorder.blocks, recorder.final_target))
+        with self.obs.span("region_build"):
+            self.cache.insert(
+                TraceRegion(recorder.blocks, recorder.final_target)
+            )
         self.traces_installed += 1
 
     def finish(self) -> None:
         # In-flight recordings die with the stream; install nothing from
         # them (a real system would have kept running).
         self.recordings_abandoned += len(self._recorders)
+        for recorder in self._recorders:
+            self._reject(recorder.head, "stream_ended")
         self._recorders.clear()
         self._recording_heads.clear()
 

@@ -81,6 +81,11 @@ class RunResult:
     samples: List[TimelineSample] = field(default_factory=list)
     #: The I-cache model the run fetched through, if any.
     icache: object = None
+    #: Metrics-registry snapshot (see :mod:`repro.obs.metrics`); empty
+    #: when the run was not observed with metrics enabled.  Instrument
+    #: values reconcile with this result's own aggregates — e.g.
+    #: ``metrics["regions_installed_total"]`` totals ``region_count``.
+    metrics: Dict[str, dict] = field(default_factory=dict)
 
     # -- derived convenience --------------------------------------------
     @property

@@ -19,24 +19,98 @@ two execution contexts of a Dynamo-style system:
 The cache is unbounded by default (Section 2.3); setting
 ``SystemConfig.cache_capacity_bytes`` switches in the bounded cache with
 flush or FIFO eviction (an explicit extension of the paper's setting).
+
+Observability
+-------------
+Passing an :class:`~repro.obs.observer.Observer` threads the run
+through :mod:`repro.obs`: structured events (``cache_exit``,
+``region_installed`` via the cache, ``run_failed`` on abort), a
+metrics snapshot attached to the returned :class:`RunResult`, and —
+when the observer carries a :class:`~repro.obs.profile.SpanTimer` —
+per-phase wall time over the ``interpret`` / ``cache_walk`` /
+``selector_decide`` / ``region_build`` scopes.  All instrumentation is
+gated on booleans hoisted before the loop, so a run with the default
+:data:`~repro.obs.observer.NULL_OBSERVER` executes the same per-step
+work as an uninstrumented simulator; the guard test in
+``tests/test_obs_guard.py`` holds both properties (identical results,
+negligible disabled-mode overhead).
+
+Per-step consumers (timeline sampling, custom probes) register through
+one hook point — :meth:`Simulator.add_step_hook` — so nothing keeps a
+private step counter that could drift from the simulator's own.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Protocol, Tuple
 
 from repro.cache.codecache import make_cache
 from repro.cache.icache import InstructionCache
 from repro.cache.region import Region, TraceRegion
-from repro.errors import SelectionError
+from repro.errors import ReproError, SelectionError
 from repro.execution.engine import ExecutionEngine
 from repro.execution.events import Step
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.program.cfg import BasicBlock
 from repro.program.program import Program
 from repro.selection.base import RegionSelector
 from repro.selection.registry import make_selector
 from repro.config import SystemConfig
 from repro.system.results import RunResult, RunStats, TimelineSample
+
+
+class StepHook(Protocol):
+    """A per-step observer registered via :meth:`Simulator.add_step_hook`.
+
+    ``on_step`` runs once per consumed step with the simulator's own
+    1-based step index (the single source of truth — hooks must not
+    count steps themselves); ``on_finish`` runs once after the stream
+    ends with the final index.
+    """
+
+    def on_step(self, step_index: int) -> None: ...
+
+    def on_finish(self, step_index: int) -> None: ...
+
+
+class _TimelineSampler:
+    """The ``sample_every`` timeline sampler, as a step hook.
+
+    Keeping it behind the shared hook point means its notion of "step"
+    is exactly the simulator's: samplers and any other registered
+    observers can never drift out of sync.
+    """
+
+    def __init__(
+        self,
+        interval: int,
+        stats: RunStats,
+        cache,
+        samples: List[TimelineSample],
+    ) -> None:
+        self.interval = interval
+        self.stats = stats
+        self.cache = cache
+        self.samples = samples
+
+    def _record(self, step_index: int) -> None:
+        self.samples.append(TimelineSample(
+            step=step_index,
+            interp_instructions=self.stats.interp_instructions,
+            cache_instructions=self.stats.cache_instructions,
+            regions_selected=len(self.cache.regions),
+            region_transitions=self.stats.region_transitions,
+        ))
+
+    def on_step(self, step_index: int) -> None:
+        if step_index % self.interval == 0:
+            self._record(step_index)
+
+    def on_finish(self, step_index: int) -> None:
+        # Always close the timeline with a final sample, even when the
+        # stream happens to end on a sampling boundary (analysis relies
+        # on the last sample covering the full run).
+        self._record(step_index)
 
 
 class Simulator:
@@ -49,21 +123,30 @@ class Simulator:
         config: Optional[SystemConfig] = None,
         sample_every: Optional[int] = None,
         icache: Optional[InstructionCache] = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         self.program = program
         self.selector_name = selector_name
         self.config = config if config is not None else SystemConfig()
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self.cache = make_cache(
             self.config.cache_capacity_bytes, self.config.cache_eviction_policy
         )
+        self.cache.observer = self.observer
         self.selector: RegionSelector = make_selector(
             selector_name, self.cache, self.config, program
         )
+        self.selector.obs = self.observer
         #: When set, a TimelineSample is recorded every N steps.
         self.sample_every = sample_every
         #: Optional instruction-cache model over the code-cache layout;
         #: fetches of cached instructions are simulated through it.
         self.icache = icache
+        self._step_hooks: List[StepHook] = []
+
+    def add_step_hook(self, hook: StepHook) -> None:
+        """Register a per-step observer (see :class:`StepHook`)."""
+        self._step_hooks.append(hook)
 
     def run(self, steps: Iterable[Step]) -> RunResult:
         """Consume a step stream and return the measured result."""
@@ -72,25 +155,122 @@ class Simulator:
         selector = self.selector
         cache = self.cache
         samples: List[TimelineSample] = []
-        sample_every = self.sample_every
         icache = self.icache
+        obs = self.observer
+        if obs.enabled:
+            obs.common["benchmark"] = self.program.name
+            obs.common["selector"] = self.selector_name
+        events_on = obs.events_enabled
+        prof = obs.profiler
+        step_index = 0
+
+        # The single per-step hook point: the timeline sampler and any
+        # externally registered hooks all tick off the same step index.
+        step_hooks: Tuple[StepHook, ...] = tuple(
+            ([_TimelineSampler(self.sample_every, stats, cache, samples)]
+             if self.sample_every is not None else [])
+            + self._step_hooks
+        )
+
+        if events_on:
+            obs.emit("run_started", 0, config_cache_capacity=(
+                self.config.cache_capacity_bytes))
+        try:
+            step_index = self._run_loop(
+                steps, stats, edge_profile, step_hooks, events_on, prof
+            )
+            selector.finish()
+        except ReproError as exc:
+            # cache.now is the loop's step index (advanced every step),
+            # so the context is exact even though the loop never
+            # returned.
+            failed_at = cache.now
+            exc.with_context(
+                benchmark=self.program.name,
+                selector=self.selector_name,
+                step=failed_at,
+            )
+            if events_on:
+                obs.emit(
+                    "run_failed",
+                    failed_at,
+                    error=type(exc).__name__,
+                    message=exc.args[0] if exc.args else "",
+                    **{
+                        key: value
+                        for key, value in exc.context.items()
+                        if key not in ("benchmark", "selector", "step")
+                    },
+                )
+                obs.sink.close()
+            if prof is not None:
+                prof.steps = failed_at
+                prof.stop()
+            raise
+        for hook in step_hooks:
+            hook.on_finish(step_index)
+        if prof is not None:
+            prof.steps = step_index
+            prof.stop()
+        diagnostics = getattr(selector, "diagnostics", lambda: {})()
+        if obs.metrics is not None:
+            self._fill_metrics(stats, step_index)
+        if events_on:
+            obs.emit(
+                "run_finished",
+                step_index,
+                steps=step_index,
+                regions=len(cache.regions),
+                cache_exits=stats.cache_exits,
+                region_transitions=stats.region_transitions,
+            )
+        return RunResult(
+            program_name=self.program.name,
+            selector_name=self.selector_name,
+            stats=stats,
+            cache=cache,
+            edge_profile=edge_profile,
+            peak_counters=selector.peak_counters,
+            peak_observed_trace_bytes=selector.peak_observed_trace_bytes,
+            selector_diagnostics=diagnostics,
+            stub_bytes=self.config.stub_bytes,
+            samples=samples,
+            icache=icache,
+            metrics=obs.metrics.snapshot() if obs.metrics is not None else {},
+        )
+
+    def _run_loop(
+        self,
+        steps: Iterable[Step],
+        stats: RunStats,
+        edge_profile: Dict[Tuple[BasicBlock, BasicBlock], int],
+        step_hooks: Tuple[StepHook, ...],
+        events_on: bool,
+        prof,
+    ) -> int:
+        """The hot loop; returns the final step index.
+
+        Instrumentation is branch-gated on ``events_on`` / ``prof`` so
+        the disabled path stays identical to the uninstrumented loop.
+        """
+        selector = self.selector
+        cache = self.cache
+        icache = self.icache
+        obs = self.observer
         step_index = 0
 
         region: Optional[Region] = None  # None => interpreting
         trace_position = 0
         region_is_trace = False
 
+        if prof is not None:
+            prof.enter("interpret")
         for step in steps:
             step_index += 1
             cache.now = step_index
-            if sample_every is not None and step_index % sample_every == 0:
-                samples.append(TimelineSample(
-                    step=step_index,
-                    interp_instructions=stats.interp_instructions,
-                    cache_instructions=stats.cache_instructions,
-                    regions_selected=len(cache.regions),
-                    region_transitions=stats.region_transitions,
-                ))
+            if step_hooks:
+                for hook in step_hooks:
+                    hook.on_step(step_index)
             block = step.block
             taken = step.taken
             target = step.target
@@ -113,7 +293,12 @@ class Simulator:
                         # but LEI records it so its buffer has no gaps.
                         selector.on_cache_enter(step)
                     else:
-                        entered = selector.on_interpreted_taken(step)
+                        if prof is not None:
+                            prof.enter("selector_decide")
+                            entered = selector.on_interpreted_taken(step)
+                            prof.exit()
+                        else:
+                            entered = selector.on_interpreted_taken(step)
                         if entered is not None and entered.entry is not target:
                             raise SelectionError(
                                 f"selector {selector.name} returned a region "
@@ -126,6 +311,15 @@ class Simulator:
                         trace_position = 0
                         region.entry_count += 1
                         stats.cache_entries += 1
+                        if prof is not None:
+                            prof.switch("cache_walk")
+                        if events_on:
+                            obs.emit(
+                                "cache_entered",
+                                step_index,
+                                entry=target.full_label,
+                                order=region.selection_order,
+                            )
                 continue
 
             # ---- executing in the cache -------------------------------
@@ -159,6 +353,8 @@ class Simulator:
             region.exit_count += 1
             if target is None:
                 region = None
+                if prof is not None:
+                    prof.switch("interpret")
                 continue
             linked = cache.lookup(target)
             if linked is not None:
@@ -175,7 +371,22 @@ class Simulator:
             stats.cache_exits += 1
             exited_region = region
             region = None
-            selector.on_cache_exit(step, exited_region)
+            if prof is not None:
+                prof.switch("interpret")
+            if events_on:
+                obs.emit(
+                    "cache_exit",
+                    step_index,
+                    region_entry=exited_region.entry.full_label,
+                    order=exited_region.selection_order,
+                    exit_target=target.full_label,
+                )
+            if prof is not None:
+                prof.enter("selector_decide")
+                selector.on_cache_exit(step, exited_region)
+                prof.exit()
+            else:
+                selector.on_cache_exit(step, exited_region)
             installed = cache.lookup(target)
             if installed is not None:
                 region = installed
@@ -183,30 +394,63 @@ class Simulator:
                 trace_position = 0
                 region.entry_count += 1
                 stats.cache_entries += 1
+                if prof is not None:
+                    prof.switch("cache_walk")
+                if events_on:
+                    obs.emit(
+                        "cache_entered",
+                        step_index,
+                        entry=target.full_label,
+                        order=region.selection_order,
+                    )
+        return step_index
 
-        selector.finish()
-        if sample_every is not None:
-            samples.append(TimelineSample(
-                step=step_index,
-                interp_instructions=stats.interp_instructions,
-                cache_instructions=stats.cache_instructions,
-                regions_selected=len(cache.regions),
-                region_transitions=stats.region_transitions,
-            ))
-        diagnostics = getattr(selector, "diagnostics", lambda: {})()
-        return RunResult(
-            program_name=self.program.name,
-            selector_name=self.selector_name,
-            stats=stats,
-            cache=cache,
-            edge_profile=edge_profile,
-            peak_counters=selector.peak_counters,
-            peak_observed_trace_bytes=selector.peak_observed_trace_bytes,
-            selector_diagnostics=diagnostics,
-            stub_bytes=self.config.stub_bytes,
-            samples=samples,
-            icache=icache,
+    def _fill_metrics(self, stats: RunStats, step_index: int) -> None:
+        """Transfer the run's aggregates into the metrics registry.
+
+        Hot-path counts are kept in :class:`RunStats` exactly as before
+        (instrumentation must never perturb the simulation) and flowed
+        into the registry once at end of run; only rare events (region
+        install/reject, evictions) count live.
+        """
+        registry = self.observer.metrics
+        steps = registry.counter(
+            "steps_total", "Executed basic blocks by context.", ["context"]
         )
+        steps.inc(stats.interp_steps, context="interpret")
+        steps.inc(stats.cache_steps, context="cache")
+        insts = registry.counter(
+            "instructions_total", "Executed instructions by context.",
+            ["context"],
+        )
+        insts.inc(stats.interp_instructions, context="interpret")
+        insts.inc(stats.cache_instructions, context="cache")
+        registry.counter(
+            "cache_entries_total",
+            "Entries into the code cache from the interpreter.",
+        ).inc(stats.cache_entries)
+        registry.counter(
+            "cache_exits_total",
+            "Exits from the code cache back to the interpreter.",
+        ).inc(stats.cache_exits)
+        registry.counter(
+            "region_transitions_total",
+            "Direct region-to-region jumps through linked exit stubs.",
+        ).inc(stats.region_transitions)
+        registry.gauge(
+            "cache_resident_regions", "Resident regions at end of run."
+        ).set(self.cache.resident_count)
+        registry.gauge(
+            "cache_resident_bytes", "Resident cache bytes at end of run."
+        ).set(self.cache.resident_bytes)
+        registry.gauge(
+            "peak_profiling_counters",
+            "Peak live profiling counters (Figure 10).",
+        ).set(self.selector.peak_counters)
+        registry.gauge(
+            "peak_observed_trace_bytes",
+            "Peak observed-trace storage (Figure 18).",
+        ).set(self.selector.peak_observed_trace_bytes)
 
 
 def simulate(
@@ -217,6 +461,7 @@ def simulate(
     max_steps: Optional[int] = None,
     sample_every: Optional[int] = None,
     icache: Optional[InstructionCache] = None,
+    observer: Optional[Observer] = None,
 ) -> RunResult:
     """Convenience: execute ``program`` live and simulate the system.
 
@@ -228,6 +473,6 @@ def simulate(
     engine = ExecutionEngine(program, seed=seed, max_steps=max_steps)
     simulator = Simulator(
         program, selector_name, config,
-        sample_every=sample_every, icache=icache,
+        sample_every=sample_every, icache=icache, observer=observer,
     )
     return simulator.run(engine.run())

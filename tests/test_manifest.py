@@ -1,0 +1,114 @@
+"""Run manifests: provenance records written next to experiment artifacts."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments.__main__ import main as experiments_main
+from repro.experiments.manifest import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    build_manifest,
+    git_sha,
+    load_manifest,
+    write_manifest,
+)
+from repro.experiments.runner import run_grid
+
+
+class TestManifestBuilding:
+    def test_build_manifest_records_invocation(self):
+        config = SystemConfig(net_threshold=64)
+        manifest = build_manifest(
+            selectors=["net", "lei"],
+            benchmarks=["gzip"],
+            seed=7,
+            scale=0.25,
+            config=config,
+            elapsed_seconds=1.23456,
+            command=["python", "-m", "repro.experiments"],
+            extra={"workers": 4},
+        )
+        assert manifest["manifest_version"] == MANIFEST_VERSION
+        assert manifest["selectors"] == ["net", "lei"]
+        assert manifest["benchmarks"] == ["gzip"]
+        assert manifest["seed"] == 7
+        assert manifest["scale"] == 0.25
+        assert manifest["config"]["net_threshold"] == 64
+        assert manifest["elapsed_seconds"] == 1.235
+        assert manifest["command"] == ["python", "-m", "repro.experiments"]
+        assert manifest["workers"] == 4
+        assert manifest["created_at"]
+        assert manifest["python"]
+
+    def test_git_sha_in_this_repo(self):
+        sha = git_sha(cwd=os.path.dirname(os.path.dirname(__file__)))
+        assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+    def test_git_sha_outside_a_repo(self, tmp_path):
+        assert git_sha(cwd=str(tmp_path)) is None
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        manifest = build_manifest(
+            selectors=["net"], benchmarks=["mcf"], seed=1, scale=0.1,
+            config=SystemConfig(),
+        )
+        directory = str(tmp_path / "out")
+        path = write_manifest(directory, manifest)
+        assert os.path.basename(path) == MANIFEST_NAME
+        # Load by directory and by explicit path.
+        assert load_manifest(directory) == manifest
+        assert load_manifest(path) == manifest
+        # The file is plain JSON, one object.
+        with open(path, encoding="utf-8") as handle:
+            assert json.load(handle) == manifest
+
+
+class TestRunnerWritesManifests:
+    def test_run_grid_writes_manifest(self, tmp_path):
+        out = str(tmp_path / "grid")
+        grid = run_grid(
+            scale=0.05, seed=1, benchmarks=["mcf"], selectors=["net"],
+            manifest_dir=out,
+        )
+        assert grid.report("mcf", "net") is not None
+        manifest = load_manifest(out)
+        assert manifest["benchmarks"] == ["mcf"]
+        assert manifest["selectors"] == ["net"]
+        assert manifest["cells"] == 1
+        assert manifest["elapsed_seconds"] >= 0
+
+    def test_run_grid_without_manifest_dir_writes_nothing(self, tmp_path,
+                                                          monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        run_grid(scale=0.05, seed=1, benchmarks=["mcf"], selectors=["net"])
+        assert not os.path.exists(MANIFEST_NAME)
+
+    def test_experiments_cli_writes_manifest_next_to_markdown(self, tmp_path,
+                                                              capsys):
+        report = str(tmp_path / "sub" / "report.md")
+        experiments_main([
+            "--scale", "0.05", "--figure", "fig09", "--markdown", report,
+        ])
+        out = capsys.readouterr().out
+        assert os.path.exists(report)
+        assert "manifest written" in out
+        manifest = load_manifest(str(tmp_path / "sub"))
+        assert manifest["scale"] == 0.05
+        assert "mcf" in manifest["benchmarks"]
+
+    def test_experiments_cli_explicit_manifest_dir(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "prov")
+        experiments_main([
+            "--scale", "0.05", "--figure", "fig09", "--manifest", out_dir,
+        ])
+        capsys.readouterr()
+        manifest = load_manifest(out_dir)
+        assert manifest["seed"] == 1
+        assert manifest["cells"] == len(manifest["benchmarks"]) * len(
+            manifest["selectors"]
+        )

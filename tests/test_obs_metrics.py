@@ -1,0 +1,136 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ticks_total", "ticks")
+        assert counter.value() == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+        assert counter.total == 5
+
+    def test_labelled_series_are_independent(self):
+        counter = Counter("decisions_total", "", ["reason"])
+        counter.inc(reason="a")
+        counter.inc(2, reason="b")
+        assert counter.value(reason="a") == 1
+        assert counter.value(reason="b") == 2
+        assert counter.value(reason="never") == 0
+        assert counter.total == 3
+
+    def test_rejects_decrease(self):
+        counter = Counter("x_total", "", [])
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1)
+
+    def test_rejects_wrong_labels(self):
+        counter = Counter("x_total", "", ["reason"])
+        with pytest.raises(ObservabilityError):
+            counter.inc()  # missing label
+        with pytest.raises(ObservabilityError):
+            counter.inc(reason="a", extra="b")  # unexpected label
+        with pytest.raises(ObservabilityError):
+            counter.value(other="a")  # wrong label name
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth", "", [])
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value() == 12
+
+    def test_labels(self):
+        gauge = Gauge("depth", "", ["pool"])
+        gauge.set(2, pool="a")
+        gauge.inc(pool="b")
+        assert gauge.value(pool="a") == 2
+        assert gauge.value(pool="b") == 1
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self):
+        hist = Histogram("sizes", "", [], buckets=[1, 4, 16])
+        for value in (1, 2, 4, 5, 100):
+            hist.observe(value)
+        # non-cumulative: <=1, <=4, <=16, overflow
+        assert hist.bucket_counts() == (1, 2, 1, 1)
+        assert hist.count() == 5
+        assert hist.sum() == 112
+
+    def test_labelled_histograms(self):
+        hist = Histogram("sizes", "", ["kind"], buckets=[10])
+        hist.observe(3, kind="trace")
+        hist.observe(30, kind="cfg")
+        assert hist.bucket_counts(kind="trace") == (1, 0)
+        assert hist.bucket_counts(kind="cfg") == (0, 1)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", "", [], buckets=[4, 1])
+        with pytest.raises(ObservabilityError):
+            Histogram("h", "", [], buckets=[])
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "help", ["l"])
+        b = registry.counter("x_total", labelnames=["l"])
+        assert a is b
+
+    def test_type_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x", "", [])
+        with pytest.raises(ObservabilityError):
+            registry.gauge("x")
+        with pytest.raises(ObservabilityError):
+            registry.counter("x", labelnames=["other"])
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "a counter", ["k"]).inc(2, k="v")
+        registry.gauge("g").set(7)
+        registry.histogram("h", buckets=[1, 2]).observe(1.5)
+        snap = registry.snapshot()
+        assert snap["c_total"]["type"] == "counter"
+        assert snap["c_total"]["values"] == {"v": 2}
+        assert snap["g"]["values"] == {"": 7}
+        assert snap["h"]["buckets"] == [1, 2]
+        assert snap["h"]["values"][""]["count"] == 1
+        assert snap["h"]["values"][""]["sum"] == 1.5
+
+    def test_prometheus_export_format(self):
+        registry = MetricsRegistry(prefix="repro_")
+        registry.counter("c_total", "things", ["k"]).inc(3, k="v")
+        registry.gauge("g", "level").set(2.5)
+        hist = registry.histogram("h", "sizes", buckets=[1, 2])
+        hist.observe(1)
+        hist.observe(5)
+        text = registry.to_prometheus()
+        assert "# HELP repro_c_total things" in text
+        assert "# TYPE repro_c_total counter" in text
+        assert 'repro_c_total{k="v"} 3' in text
+        assert "repro_g 2.5" in text
+        # Histogram buckets are cumulative and end with +Inf.
+        assert 'repro_h_bucket{le="1"} 1' in text
+        assert 'repro_h_bucket{le="2"} 1' in text
+        assert 'repro_h_bucket{le="+Inf"} 2' in text
+        assert "repro_h_sum 6" in text
+        assert "repro_h_count 2" in text
+        assert text.endswith("\n")
+
+    def test_unlabelled_counter_renders_zero_sample(self):
+        registry = MetricsRegistry()
+        registry.counter("quiet_total", "never incremented")
+        assert "repro_quiet_total 0" in registry.to_prometheus()
