@@ -9,6 +9,12 @@ Environment knobs:
 
 * ``REPRO_BENCH_SCALE`` — workload scale for the main grid (default 1.0).
 * ``REPRO_BENCH_SEED``  — execution seed (default 1).
+* ``REPRO_BENCH_WORKERS`` — processes for the grid (default 1).
+* ``REPRO_BENCH_STORE`` — content-addressed result-store directory
+  (default ``benchmarks/.store``, gitignored; set to ``off`` to
+  disable).  Grid cells already simulated by a previous session — same
+  parameters, same commit — are served from disk, so reruns are
+  near-instant.
 
 Every recorded table is also written to ``benchmarks/results/<id>.txt``
 so the regenerated figures survive the terminal scroll.
@@ -18,12 +24,14 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
+from typing import Optional
 
 import pytest
 
 from repro.config import SystemConfig
 from repro.experiments.render import figure_to_text, grid_banner
 from repro.experiments.runner import run_grid
+from repro.store import ResultStore
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -42,11 +50,20 @@ def bench_workers() -> int:
     return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
+def bench_store() -> Optional[ResultStore]:
+    root = os.environ.get(
+        "REPRO_BENCH_STORE", str(Path(__file__).parent / ".store")
+    )
+    if root.lower() in ("", "0", "off", "none"):
+        return None
+    return ResultStore(root)
+
+
 @pytest.fixture(scope="session")
 def grid():
     """The full-suite grid at the paper's thresholds."""
     return run_grid(scale=bench_scale(), seed=bench_seed(),
-                    workers=bench_workers())
+                    workers=bench_workers(), store=bench_store())
 
 
 @pytest.fixture(scope="session")
@@ -64,9 +81,11 @@ def ablation_config_grid(ablation_scale):
                                               "combined-lei")):
         key = (config, tuple(selectors))
         if key not in cache:
+            # The store key covers the config, so ablation grids share
+            # the same store as the main grid without collisions.
             cache[key] = run_grid(
                 scale=ablation_scale, seed=bench_seed(),
-                config=config, selectors=selectors,
+                config=config, selectors=selectors, store=bench_store(),
             )
         return cache[key]
 

@@ -8,7 +8,10 @@ Commands:
 * ``dot`` — export a benchmark's CFG as Graphviz DOT;
 * ``collect`` — record a benchmark's execution to a binary trace file;
 * ``replay`` — run a selector over a previously collected trace;
-* ``inspect`` — summarize a JSONL event log without re-running.
+* ``inspect`` — summarize a JSONL event log without re-running;
+* ``bench`` — run the pinned perf workloads, compare against the
+  committed baseline and write ``BENCH_run.json`` (see
+  ``docs/experiments.md``).
 
 ``run`` and ``replay`` accept the observability flags
 ``--trace-events PATH`` (structured JSONL event log),
@@ -160,6 +163,45 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        compare_to_baseline,
+        format_bench_table,
+        load_baseline,
+        regression_failures,
+        run_bench,
+        write_baseline,
+        write_bench_run,
+    )
+
+    run = run_bench(quick=args.quick)
+    deltas = None
+    baseline = None if args.no_baseline else load_baseline(
+        args.baseline, quick=args.quick)
+    if baseline is not None:
+        deltas = compare_to_baseline(run, baseline)
+        run["baseline"] = deltas
+    else:
+        run["baseline"] = None
+    print(format_bench_table(run, deltas))
+    path = write_bench_run(run, args.out)
+    print(f"\nbench run written to {path}", file=sys.stderr)
+    if args.update_baseline:
+        # The baseline is a plain run: drop the self-referential deltas.
+        snapshot = {k: v for k, v in run.items() if k != "baseline"}
+        baseline_path = write_baseline(snapshot, args.baseline,
+                                       quick=args.quick)
+        print(f"baseline updated at {baseline_path}", file=sys.stderr)
+    if args.check and deltas is not None:
+        failures = regression_failures(deltas, tolerance=args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print("no throughput regression beyond tolerance", file=sys.stderr)
+    return 0
+
+
 def cmd_regions(args: argparse.Namespace) -> int:
     program = build_benchmark(args.benchmark, scale=args.scale)
     result = simulate(program, args.selector, _config_from(args), seed=args.seed)
@@ -274,6 +316,26 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("events",
                          help="event log written by `repro run --trace-events`")
     inspect.set_defaults(func=cmd_inspect)
+
+    bench = sub.add_parser(
+        "bench", help="run the pinned perf workloads and record the run")
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced-scale smoke variant (CI)")
+    bench.add_argument("--out", metavar="PATH", default="BENCH_run.json",
+                       help="where to write the run (default BENCH_run.json)")
+    bench.add_argument("--baseline", metavar="PATH", default=None,
+                       help="baseline file (default: the committed one)")
+    bench.add_argument("--no-baseline", action="store_true",
+                       help="skip the baseline comparison entirely")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="write this run as the new committed baseline")
+    bench.add_argument("--check", action="store_true",
+                       help="exit nonzero if throughput regressed beyond "
+                            "--tolerance")
+    bench.add_argument("--tolerance", type=float, default=0.35,
+                       help="allowed fractional events/s drop for --check "
+                            "(default 0.35)")
+    bench.set_defaults(func=cmd_bench)
 
     regions = sub.add_parser("regions", help="dump the selected regions")
     _add_common(regions)

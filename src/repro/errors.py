@@ -89,3 +89,23 @@ class ObservabilityError(ReproError):
     emitting an event kind missing from the taxonomy, or parsing a
     corrupt JSONL event file.
     """
+
+
+class StoreError(ReproError):
+    """The content-addressed result store was misused.
+
+    Examples: writing a report whose serialized form does not round-trip,
+    or opening a store root that exists but is not a directory.  Corrupt
+    *entries* are not errors — the store treats them as misses and
+    recomputes (see :mod:`repro.store`).
+    """
+
+
+class JobError(ReproError):
+    """A job failed permanently in the experiment job engine.
+
+    Raised when a grid cell (or any scheduled job) exhausts its retry
+    budget; the context payload carries ``job_id``, ``attempts`` and the
+    final failure ``reason`` so an aborted sweep is diagnosable from the
+    exception alone.
+    """

@@ -37,6 +37,19 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=1,
                         help="processes to fan grid cells over (default 1; "
                              "results are identical at any worker count)")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="content-addressed result store directory: "
+                             "already-computed cells are reused, freshly "
+                             "computed ones persisted as they finish (an "
+                             "interrupted run resumes from its missing "
+                             "cells; see docs/experiments.md)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="retries per cell after a worker crash or "
+                             "timeout (default 2)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill and retry any cell running longer than "
+                             "this (workers > 1 only; default none)")
     parser.add_argument("--validate", action="store_true",
                         help="check every paper claim against the grid and "
                              "exit nonzero if any fails")
@@ -71,7 +84,9 @@ def main(argv=None) -> int:
     else:
         print(grid_banner(args.scale, args.seed))
         grid = run_grid(scale=args.scale, seed=args.seed,
-                        workers=args.workers, manifest_dir=manifest_dir)
+                        workers=args.workers, manifest_dir=manifest_dir,
+                        store=args.store, max_retries=args.max_retries,
+                        job_timeout=args.job_timeout)
         print(f"grid simulated in {time.time() - started:.1f}s\n")
         if manifest_dir is not None:
             print(f"manifest written to "

@@ -1,22 +1,34 @@
-"""Run the (benchmark x selector) grid the figures are computed from."""
+"""Run the (benchmark x selector) grid the figures are computed from.
+
+The grid is the expensive heart of the reproduction — a full-scale run
+simulates roughly twenty million basic-block events — so it executes on
+the fault-tolerant engine in :mod:`repro.jobs` (per-cell retry on
+worker crash, optional timeout, lifecycle events) and can be backed by
+the content-addressed store in :mod:`repro.store` (an already-computed
+cell is a file read; an interrupted grid resumes from whatever cells it
+finished).  See ``docs/experiments.md``.
+"""
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 from repro.config import SystemConfig
 from repro.experiments.manifest import build_manifest, write_manifest
+from repro.jobs.engine import Job, JobEngine
+from repro.jobs.faults import FaultInjector
 from repro.metrics.summary import MetricReport
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.selection.registry import SELECTOR_NAMES
+from repro.store import ResultStore, cell_key
 from repro.system.simulator import simulate
 from repro.workloads import benchmark_names, build_benchmark
 
 
 def _grid_cell(task: Tuple[str, str, float, int, SystemConfig]) -> Tuple[str, str, MetricReport]:
-    """Worker: simulate one cell (used by the parallel grid runner).
+    """Worker: simulate one cell (runs in a job-engine worker process).
 
     Builds the program inside the worker — programs hold plain model
     objects and are cheap to rebuild, while shipping them across
@@ -42,19 +54,11 @@ class ExperimentGrid:
 
     @property
     def benchmarks(self) -> Tuple[str, ...]:
-        seen = []
-        for bench, _ in self.reports:
-            if bench not in seen:
-                seen.append(bench)
-        return tuple(seen)
+        return tuple(dict.fromkeys(bench for bench, _ in self.reports))
 
     @property
     def selectors(self) -> Tuple[str, ...]:
-        seen = []
-        for _, selector in self.reports:
-            if selector not in seen:
-                seen.append(selector)
-        return tuple(seen)
+        return tuple(dict.fromkeys(selector for _, selector in self.reports))
 
 
 def run_grid(
@@ -65,42 +69,97 @@ def run_grid(
     selectors: Optional[Iterable[str]] = None,
     workers: int = 1,
     manifest_dir: Optional[str] = None,
+    store: Optional[Union[ResultStore, str]] = None,
+    observer: Optional[Observer] = None,
+    max_retries: int = 2,
+    job_timeout: Optional[float] = None,
+    backoff: float = 0.05,
+    faults: Optional[FaultInjector] = None,
+    code_version: Optional[str] = None,
 ) -> ExperimentGrid:
     """Simulate every cell and compute its metric report.
 
-    This is the expensive call behind every figure (a full-scale grid
-    simulates roughly twenty million basic-block events); the benchmark
-    harness runs it once per session and shares the grid.  ``workers``
-    above 1 fans cells out over processes — results are bit-identical
-    to the serial run because every cell is deterministic in
-    ``(benchmark, selector, scale, seed, config)``.
+    ``workers`` above 1 fans cells out over worker processes through
+    the job engine — results are bit-identical to the serial run
+    because every cell is deterministic in ``(benchmark, selector,
+    scale, seed, config)``, and a crashed or timed-out worker costs one
+    cell's retry (``max_retries``, ``job_timeout``), not the sweep.
+
+    ``store`` (a :class:`~repro.store.ResultStore` or a directory path)
+    makes the grid restartable and rerunnable: cells already present
+    are served from disk without simulating, and every freshly computed
+    cell is persisted *as it completes*, so a run interrupted anywhere
+    resumes with only its missing cells.  ``code_version`` pins the
+    store address component that normally tracks the git SHA.
 
     ``manifest_dir`` writes a ``manifest.json`` provenance record
     (selectors, benchmarks, seed, scale, config, git SHA, elapsed time)
-    into that directory once the grid completes.
+    into that directory once the grid completes.  ``faults`` injects
+    deterministic worker failures (tests only).
     """
     started = time.monotonic()
     config = config if config is not None else SystemConfig()
     bench_list = tuple(benchmarks) if benchmarks is not None else benchmark_names()
     selector_list = tuple(selectors) if selectors is not None else SELECTOR_NAMES
+    obs = observer if observer is not None else NULL_OBSERVER
+    if isinstance(store, str):
+        store = ResultStore(store, observer=obs)
     grid = ExperimentGrid(scale=scale, seed=seed, config=config)
-    tasks = [
-        (bench, selector, scale, seed, config)
+
+    cells = [
+        (bench, selector)
         for bench in bench_list
         for selector in selector_list
     ]
-    if workers <= 1 or len(tasks) <= 1:
-        for task in tasks:
-            bench, selector, report = _grid_cell(task)
-            grid.reports[(bench, selector)] = report
-    else:
-        context = multiprocessing.get_context("fork")
-        with context.Pool(processes=min(workers, len(tasks))) as pool:
-            for bench, selector, report in pool.map(_grid_cell, tasks):
-                grid.reports[(bench, selector)] = report
-        # pool.map preserves task order, so grid iteration order matches
-        # the serial runner exactly.
+    reports: Dict[Tuple[str, str], MetricReport] = {}
+    keys = {}
+    missing = []
+    for cell in cells:
+        if store is not None:
+            key = cell_key(cell[0], cell[1], scale, seed, config,
+                           code_version=code_version)
+            keys[cell] = key
+            cached = store.get(key)
+            if cached is not None:
+                reports[cell] = cached
+                continue
+        missing.append(cell)
+
+    if missing:
+        jobs = [
+            Job(f"{bench}:{selector}", (bench, selector, scale, seed, config))
+            for bench, selector in missing
+        ]
+        cell_by_job = {job.job_id: cell for job, cell in zip(jobs, missing)}
+
+        def persist(job_id: str, result: Tuple[str, str, MetricReport]) -> None:
+            if store is not None:
+                store.put(keys[cell_by_job[job_id]], result[2])
+
+        engine = JobEngine(
+            _grid_cell,
+            workers=min(workers, len(jobs)),
+            timeout=job_timeout,
+            max_retries=max_retries,
+            backoff=backoff,
+            observer=obs,
+            faults=faults,
+            on_complete=persist,
+        )
+        outcomes = engine.run(jobs)
+        for job in jobs:
+            bench, selector, report = outcomes[job.job_id].result
+            reports[(bench, selector)] = report
+
+    # Fill in cell order, so grid iteration matches the serial runner
+    # exactly no matter which cells were cached or computed first.
+    for cell in cells:
+        grid.reports[cell] = reports[cell]
+
     if manifest_dir is not None:
+        extra = {"workers": workers, "cells": len(cells)}
+        if store is not None:
+            extra["store"] = store.stats.as_dict()
         write_manifest(manifest_dir, build_manifest(
             selectors=selector_list,
             benchmarks=bench_list,
@@ -108,6 +167,6 @@ def run_grid(
             scale=scale,
             config=config,
             elapsed_seconds=time.monotonic() - started,
-            extra={"workers": workers, "cells": len(tasks)},
+            extra=extra,
         ))
     return grid

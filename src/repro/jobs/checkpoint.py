@@ -1,0 +1,88 @@
+"""Append-only checkpoint journal: resume a killed sweep where it died.
+
+The journal is one JSONL file; every completed job appends one line
+``{"job_id": ..., "result": <serialized>}`` and flushes, so at any kill
+point the file holds exactly the finished jobs (the last line may be
+torn — a torn tail is detected and ignored, costing one job's rerun at
+worst).  On the next run the engine loads the journal and satisfies
+journaled jobs without scheduling them.
+
+Results must be JSON-serializable; callers with richer result types
+pass ``serialize``/``deserialize`` hooks (the grid runner round-trips
+``MetricReport`` through :mod:`repro.analysis.serialize`).  Note the
+grid runner itself normally checkpoints through the content-addressed
+store instead — the journal is the engine-level facility for job bags
+that have no store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Dict, Optional
+
+
+class CheckpointJournal:
+    """JSONL record of completed jobs, tolerant of a torn final line."""
+
+    def __init__(
+        self,
+        path: str,
+        serialize: Optional[Callable[[Any], Any]] = None,
+        deserialize: Optional[Callable[[Any], Any]] = None,
+    ) -> None:
+        self.path = path
+        self._serialize = serialize if serialize is not None else (lambda r: r)
+        self._deserialize = (
+            deserialize if deserialize is not None else (lambda r: r)
+        )
+        self._handle = None
+
+    # -- reading ---------------------------------------------------------
+    def load(self) -> Dict[str, Any]:
+        """Completed job results recorded so far (empty if no journal)."""
+        completed: Dict[str, Any] = {}
+        try:
+            handle = open(self.path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            return completed
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    job_id = entry["job_id"]
+                    result = self._deserialize(entry["result"])
+                except (ValueError, KeyError, TypeError):
+                    # A torn tail from a kill mid-write; everything
+                    # before it is intact, so stop rather than fail.
+                    break
+                completed[job_id] = result
+        return completed
+
+    # -- writing ---------------------------------------------------------
+    def record(self, job_id: str, result: Any) -> None:
+        """Append one completed job and flush it to disk."""
+        if self._handle is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        line = json.dumps(
+            {"job_id": job_id, "result": self._serialize(result)}
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,349 @@
+"""The job engine: retries, timeouts and checkpointing over processes.
+
+Design notes.  Each job runs in its **own** worker process (bounded to
+``workers`` concurrent), not in a long-lived pool: a pool shares fate
+across its workers — one hard crash poisons every queued task and the
+recovery semantics of ``multiprocessing.Pool`` around a dead worker are
+murky — while a process-per-job engine makes "this job's worker died"
+a precise, retryable observation and lets a timeout kill exactly one
+job.  The per-process overhead is irrelevant against cells that each
+simulate millions of basic-block events.
+
+``workers <= 1`` executes jobs inline in the parent (no subprocess at
+all): this is the bit-identical serial reference path, where injected
+crashes degrade to exceptions and timeouts cannot be enforced.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import JobError
+from repro.jobs.checkpoint import CheckpointJournal
+from repro.jobs.faults import FaultInjector
+from repro.obs.observer import NULL_OBSERVER, Observer
+
+#: Scheduler poll interval while worker processes run, seconds.
+_POLL_SECONDS = 0.005
+
+
+def pick_mp_context(method: Optional[str] = None):
+    """A spawn-safe multiprocessing context for worker processes.
+
+    ``fork`` is preferred where the platform offers it and the parent
+    is single-threaded (forking a multi-threaded process is undefined
+    behaviour territory and deprecated from Python 3.12); otherwise
+    ``spawn``, which every platform supports.  An explicit ``method``
+    argument or the ``REPRO_MP_START_METHOD`` environment variable
+    overrides the choice.
+    """
+    if method is None:
+        method = os.environ.get("REPRO_MP_START_METHOD") or None
+    if method is not None:
+        return multiprocessing.get_context(method)
+    if ("fork" in multiprocessing.get_all_start_methods()
+            and threading.active_count() == 1):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable unit: an id plus the picklable worker argument."""
+
+    job_id: str
+    payload: Any
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job (result plus execution provenance)."""
+
+    job_id: str
+    result: Any
+    attempts: int
+    elapsed_seconds: float
+    restored: bool = False
+
+
+def _worker_entry(conn, worker, job_id: str, payload, attempt: int,
+                  faults: Optional[FaultInjector]) -> None:
+    """Worker-process body: run one attempt, ship back (status, value).
+
+    An injected hard crash exits here without sending anything — the
+    parent observes a dead process with an empty pipe, exactly the
+    signature of a real worker death.
+    """
+    try:
+        if faults is not None:
+            faults.apply(job_id, attempt, in_process=False)
+        result = worker(payload)
+    except BaseException as exc:  # ship the failure, don't hang the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", result))
+    conn.close()
+
+
+@dataclass
+class _Running:
+    process: Any
+    conn: Any
+    job: Job
+    attempt: int
+    started: float
+    deadline: Optional[float]
+
+
+class JobEngine:
+    """Schedule a bag of independent jobs with fault tolerance.
+
+    ``max_retries`` bounds *re*-executions: a job may run at most
+    ``max_retries + 1`` times before :class:`~repro.errors.JobError`
+    aborts the run.  Retry delays grow geometrically from ``backoff``
+    by ``backoff_factor`` per failed attempt.
+    """
+
+    def __init__(
+        self,
+        worker: Callable[[Any], Any],
+        workers: int = 1,
+        timeout: Optional[float] = None,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+        backoff_factor: float = 2.0,
+        observer: Optional[Observer] = None,
+        faults: Optional[FaultInjector] = None,
+        checkpoint: Optional[CheckpointJournal] = None,
+        mp_context: Optional[Any] = None,
+        on_complete: Optional[Callable[[str, Any], None]] = None,
+    ) -> None:
+        if max_retries < 0:
+            raise JobError(f"max_retries must be >= 0, got {max_retries}")
+        self.worker = worker
+        self.workers = max(1, workers)
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.obs = observer if observer is not None else NULL_OBSERVER
+        self.faults = faults
+        self.checkpoint = checkpoint
+        self._mp_context = mp_context
+        #: Called in the parent as each job completes — the hook that
+        #: lets callers persist results incrementally, so an aborted
+        #: run keeps everything finished before the abort.
+        self.on_complete = on_complete
+
+    # -- public ----------------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> Dict[str, JobOutcome]:
+        """Execute every job; outcomes keyed by id, in input order."""
+        jobs = list(jobs)
+        seen = set()
+        for job in jobs:
+            if job.job_id in seen:
+                raise JobError(
+                    f"duplicate job id {job.job_id!r}"
+                ).with_context(job_id=job.job_id)
+            seen.add(job.job_id)
+
+        outcomes: Dict[str, JobOutcome] = {}
+        todo: List[Job] = []
+        restored = self.checkpoint.load() if self.checkpoint else {}
+        for job in jobs:
+            if job.job_id in restored:
+                outcomes[job.job_id] = JobOutcome(
+                    job.job_id, restored[job.job_id],
+                    attempts=0, elapsed_seconds=0.0, restored=True,
+                )
+                self.obs.event("job_restored", 0, job_id=job.job_id)
+            else:
+                todo.append(job)
+                self.obs.event("job_submitted", 0, job_id=job.job_id)
+
+        if self.workers <= 1 or len(todo) <= 1:
+            computed = self._run_serial(todo)
+        else:
+            computed = self._run_parallel(todo)
+        outcomes.update(computed)
+        # Input order, so downstream iteration matches the job list.
+        return {job.job_id: outcomes[job.job_id] for job in jobs}
+
+    # -- shared helpers --------------------------------------------------
+    def _retry_delay(self, attempt: int) -> float:
+        return self.backoff * (self.backoff_factor ** (attempt - 1))
+
+    def _complete(self, job: Job, result: Any, attempt: int,
+                  elapsed: float) -> JobOutcome:
+        if self.checkpoint is not None:
+            self.checkpoint.record(job.job_id, result)
+        if self.on_complete is not None:
+            self.on_complete(job.job_id, result)
+        self.obs.event("job_completed", 0, job_id=job.job_id,
+                       attempt=attempt, elapsed=round(elapsed, 6))
+        return JobOutcome(job.job_id, result, attempts=attempt,
+                          elapsed_seconds=elapsed)
+
+    def _fail(self, job: Job, attempt: int, reason: str) -> JobError:
+        self.obs.event("job_failed", 0, job_id=job.job_id,
+                       attempts=attempt, reason=reason)
+        return JobError(
+            f"job {job.job_id!r} failed after {attempt} attempt(s): {reason}"
+        ).with_context(job_id=job.job_id, attempts=attempt, reason=reason)
+
+    def _note_retry(self, job: Job, attempt: int, reason: str,
+                    delay: float) -> None:
+        self.obs.event("job_retried", 0, job_id=job.job_id,
+                       attempt=attempt, reason=reason,
+                       delay=round(delay, 6))
+
+    # -- serial (in-process) ---------------------------------------------
+    def _run_serial(self, jobs: Sequence[Job]) -> Dict[str, JobOutcome]:
+        outcomes: Dict[str, JobOutcome] = {}
+        for job in jobs:
+            attempt = 0
+            started = time.monotonic()
+            while True:
+                attempt += 1
+                try:
+                    if self.faults is not None:
+                        self.faults.apply(job.job_id, attempt,
+                                          in_process=True)
+                    result = self.worker(job.payload)
+                except Exception as exc:
+                    reason = f"{type(exc).__name__}: {exc}"
+                    if attempt > self.max_retries:
+                        raise self._fail(job, attempt, reason) from exc
+                    delay = self._retry_delay(attempt)
+                    self._note_retry(job, attempt, reason, delay)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                outcomes[job.job_id] = self._complete(
+                    job, result, attempt, time.monotonic() - started
+                )
+                break
+        return outcomes
+
+    # -- parallel (process-per-job) --------------------------------------
+    def _spawn(self, context, job: Job, attempt: int) -> _Running:
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_worker_entry,
+            args=(child_conn, self.worker, job.job_id, job.payload,
+                  attempt, self.faults),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        now = time.monotonic()
+        deadline = now + self.timeout if self.timeout is not None else None
+        return _Running(process, parent_conn, job, attempt, now, deadline)
+
+    def _run_parallel(self, jobs: Sequence[Job]) -> Dict[str, JobOutcome]:
+        context = self._mp_context or pick_mp_context()
+        outcomes: Dict[str, JobOutcome] = {}
+        # (job, next_attempt, eligible_at): retries wait out their
+        # backoff here without stalling the scheduler.
+        queue: List[tuple] = [(job, 1, 0.0) for job in jobs]
+        running: List[_Running] = []
+        failure: Optional[JobError] = None
+        try:
+            while queue or running:
+                now = time.monotonic()
+                # Launch whatever fits and is past its backoff window.
+                launchable = [entry for entry in queue if entry[2] <= now]
+                while launchable and len(running) < self.workers:
+                    entry = launchable.pop(0)
+                    queue.remove(entry)
+                    job, attempt, _ = entry
+                    running.append(self._spawn(context, job, attempt))
+
+                finished: List[_Running] = []
+                for item in running:
+                    # Liveness BEFORE poll: a worker that sends its result
+                    # and exits between the two checks must not read as a
+                    # crash.  Writes happen before exit, so once a process
+                    # is observed dead, anything it sent is already in the
+                    # pipe — dead + empty pipe is a true crash signature.
+                    dead = not item.process.is_alive()
+                    message = None
+                    if item.conn.poll():
+                        try:
+                            message = item.conn.recv()
+                        except (EOFError, OSError):
+                            message = None
+                    if message is not None:
+                        status, value = message
+                        item.process.join()
+                        item.conn.close()
+                        finished.append(item)
+                        elapsed = now - item.started
+                        if status == "ok":
+                            outcomes[item.job.job_id] = self._complete(
+                                item.job, value, item.attempt, elapsed
+                            )
+                        else:
+                            failure = self._handle_failure(
+                                item, str(value), queue
+                            )
+                    elif dead:
+                        item.process.join()
+                        item.conn.close()
+                        finished.append(item)
+                        failure = self._handle_failure(
+                            item,
+                            "worker crashed "
+                            f"(exit code {item.process.exitcode})", queue
+                        )
+                    elif item.deadline is not None and now > item.deadline:
+                        item.process.terminate()
+                        item.process.join()
+                        item.conn.close()
+                        finished.append(item)
+                        failure = self._handle_failure(
+                            item,
+                            f"timeout after {self.timeout:.3f}s", queue
+                        )
+                    if failure is not None:
+                        raise failure
+                for item in finished:
+                    running.remove(item)
+                if running and not finished:
+                    # Block until any worker pipe is readable (or a
+                    # short tick elapses so timeouts stay responsive).
+                    multiprocessing.connection.wait(
+                        [item.conn for item in running],
+                        timeout=_POLL_SECONDS,
+                    )
+                elif queue and not running:
+                    soonest = min(entry[2] for entry in queue)
+                    wait = soonest - time.monotonic()
+                    if wait > 0:
+                        time.sleep(min(wait, 0.05))
+        finally:
+            for item in running:
+                if item.process.is_alive():
+                    item.process.terminate()
+                item.process.join()
+        return outcomes
+
+    def _handle_failure(self, item: _Running, reason: str,
+                        queue: List[tuple]) -> Optional[JobError]:
+        """Requeue a failed attempt, or return the terminal JobError."""
+        if item.attempt > self.max_retries:
+            return self._fail(item.job, item.attempt, reason)
+        delay = self._retry_delay(item.attempt)
+        self._note_retry(item.job, item.attempt, reason, delay)
+        queue.append((item.job, item.attempt + 1,
+                      time.monotonic() + delay))
+        return None

@@ -1,0 +1,76 @@
+"""Deterministic fault injection for the job engine's failure paths.
+
+A retry path that only fires when real hardware misbehaves is untested
+code; the injector makes worker failure a first-class, reproducible
+input.  Plans are keyed by ``(job_id, attempt)`` with attempt numbers
+starting at 1, so "crash the first two attempts of cell gcc:lei" is
+``FaultInjector(crashes={"gcc:lei": 2})`` — attempt 3 then succeeds and
+the run completes through the retry machinery.
+
+The injector is immutable and picklable: it ships to worker processes
+by value, and its decisions depend only on the attempt number the
+parent passes in, never on shared state.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+#: Exit code used by injected hard crashes, chosen to be recognizable
+#: in engine diagnostics (and unlikely to collide with real failures).
+CRASH_EXIT_CODE = 87
+
+
+class InjectedFault(Exception):
+    """A deliberate failure raised by the fault-injection hooks.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: injected
+    faults simulate infrastructure crashes (a worker dying mid-cell),
+    which the job engine must survive, not a library bug that callers
+    should catch — so it lives here rather than in the error hierarchy.
+    """
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Crash, hang or error chosen attempts of chosen jobs.
+
+    * ``crashes[job_id] = n`` — attempts 1..n die hard (``os._exit`` in
+      a worker process, :class:`~repro.errors.InjectedFault` in-process);
+    * ``hangs[job_id] = (n, seconds)`` — attempts 1..n sleep for
+      ``seconds`` before doing any work (exercises the timeout path);
+    * ``errors[job_id] = n`` — attempts 1..n raise
+      :class:`~repro.errors.InjectedFault` (the clean-exception path).
+    """
+
+    crashes: Mapping[str, int] = field(default_factory=dict)
+    hangs: Mapping[str, object] = field(default_factory=dict)
+    errors: Mapping[str, int] = field(default_factory=dict)
+
+    def apply(self, job_id: str, attempt: int, in_process: bool) -> None:
+        """Run the planned fault for this attempt, if any.
+
+        Called at the top of every attempt, in the worker process (where
+        a crash is a real ``os._exit``) or inline for serial execution
+        (where a crash degrades to an exception — there is no way to
+        kill "the worker" without killing the run).
+        """
+        hang = self.hangs.get(job_id)
+        if hang is not None:
+            hang_attempts, seconds = hang
+            if attempt <= hang_attempts:
+                time.sleep(seconds)
+        if attempt <= self.crashes.get(job_id, 0):
+            if in_process:
+                raise InjectedFault(
+                    f"injected crash of {job_id!r} attempt {attempt}"
+                )
+            os._exit(CRASH_EXIT_CODE)
+        if attempt <= self.errors.get(job_id, 0):
+            raise InjectedFault(
+                f"injected error in {job_id!r} attempt {attempt}"
+            )

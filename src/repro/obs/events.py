@@ -75,6 +75,30 @@ EVENT_KINDS: Dict[str, EventKind] = {
     "cache_flushed": EventKind(
         "cache", "info",
         "A bounded cache preemptively flushed every resident region."),
+    # -- job engine (experiment scheduling; step is always 0) -----------
+    "job_submitted": EventKind(
+        "job", "debug",
+        "A job was handed to the engine for execution."),
+    "job_completed": EventKind(
+        "job", "debug",
+        "A job finished; payload carries attempt count and elapsed time."),
+    "job_retried": EventKind(
+        "job", "warn",
+        "A job attempt crashed, timed out or errored and was rescheduled "
+        "with backoff (reason field says which)."),
+    "job_failed": EventKind(
+        "job", "error",
+        "A job exhausted its retry budget and the run aborted."),
+    "job_restored": EventKind(
+        "job", "debug",
+        "A job was satisfied from a checkpoint journal without running."),
+    # -- result store ----------------------------------------------------
+    "store_hit": EventKind(
+        "store", "debug",
+        "A result was served from the content-addressed store."),
+    "store_put": EventKind(
+        "store", "debug",
+        "A freshly computed result was persisted into the store."),
 }
 
 _RESERVED = ("kind", "step", "category", "severity")

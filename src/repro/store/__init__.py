@@ -1,0 +1,26 @@
+"""Content-addressed result store for experiment grid cells.
+
+Every grid cell is deterministic in ``(benchmark, selector, scale,
+seed, config, code-version)``; :mod:`repro.store` turns that fact into
+reuse.  :func:`cell_key` hashes the full parameter tuple into a stable
+content address and :class:`ResultStore` persists the cell's
+:class:`~repro.metrics.summary.MetricReport` under it as JSON, so a
+rerun of an already-simulated cell is a file read instead of millions
+of simulated basic-block events.
+
+Invalidation is purely key-driven: change any parameter — including the
+code version, which defaults to the working tree's git SHA — and the
+address changes, leaving stale entries unreferenced rather than wrong.
+See ``docs/experiments.md`` for the on-disk layout and semantics.
+"""
+
+from repro.store.keys import CellKey, cell_key, default_code_version
+from repro.store.resultstore import ResultStore, StoreStats
+
+__all__ = [
+    "CellKey",
+    "cell_key",
+    "default_code_version",
+    "ResultStore",
+    "StoreStats",
+]

@@ -1,0 +1,102 @@
+"""Content addresses for grid cells.
+
+A cell's address must change whenever anything that could change its
+report changes, and must *not* change otherwise — reuse depends on the
+first property for correctness and on the second for usefulness.  The
+key therefore covers the full simulation input (benchmark, selector,
+scale, seed, every config field) plus a *code version*, because the
+simulator itself is an input: the same parameters under different code
+may legitimately produce different numbers.
+
+The code version defaults to the git SHA of the installed package's
+working tree (falling back to a static marker outside a repo), so every
+commit naturally starts from a cold store rather than serving results
+computed by older code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import SystemConfig
+
+#: Bumped when the key schema itself changes (field added/renamed), so
+#: addresses minted by older code can never collide with new ones.
+KEY_SCHEMA_VERSION = 1
+
+#: Code version recorded when no git SHA is available (e.g. an
+#: installed package outside a checkout).  Entries written under it are
+#: only reusable on the exact same build, which is the safest claim we
+#: can make without version control.
+UNVERSIONED = "unversioned"
+
+_cached_code_version: Optional[str] = None
+
+
+def default_code_version() -> str:
+    """Git SHA of the code that is running (cached per process)."""
+    global _cached_code_version
+    if _cached_code_version is None:
+        # Imported here: repro.experiments imports the grid runner,
+        # which imports this module.
+        from repro.experiments.manifest import git_sha
+
+        _cached_code_version = git_sha() or UNVERSIONED
+    return _cached_code_version
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """The full identity of one grid cell, ready to hash."""
+
+    benchmark: str
+    selector: str
+    scale: float
+    seed: int
+    config: SystemConfig
+    code_version: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible form; also stored beside the report so an
+        entry is self-describing (the hash alone is one-way)."""
+        return {
+            "key_schema": KEY_SCHEMA_VERSION,
+            "benchmark": self.benchmark,
+            "selector": self.selector,
+            "scale": self.scale,
+            "seed": self.seed,
+            "config": dataclasses.asdict(self.config),
+            "code_version": self.code_version,
+        }
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON encoding of the key."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def cell_key(
+    benchmark: str,
+    selector: str,
+    scale: float,
+    seed: int,
+    config: SystemConfig,
+    code_version: Optional[str] = None,
+) -> CellKey:
+    """Build the content address of one ``(benchmark, selector)`` cell."""
+    if code_version is None:
+        code_version = default_code_version()
+    return CellKey(
+        benchmark=benchmark,
+        selector=selector,
+        scale=scale,
+        seed=seed,
+        config=config,
+        code_version=code_version,
+    )

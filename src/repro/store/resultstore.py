@@ -1,0 +1,153 @@
+"""The on-disk store: one JSON file per content address.
+
+Layout (two-character fan-out keeps directories small at scale)::
+
+    <root>/
+      ab/
+        ab3f...e2.json      # {"store_version": 1, "key": {...}, "report": {...}}
+
+Entries are written atomically (temp file + ``os.replace``) so a killed
+run can never leave a half-written report behind; a corrupt or
+unreadable entry is treated as a miss and silently recomputed, because
+the store is a cache, not a source of truth.  Reports round-trip
+through :mod:`repro.analysis.serialize`, whose schema check makes an
+entry written by an incompatible producer read as corrupt (hence a
+miss) instead of as wrong numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import ReproError, StoreError
+from repro.metrics.summary import MetricReport
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.store.keys import CellKey
+
+#: Bumped on incompatible changes to the entry payload format.
+STORE_VERSION = 1
+
+
+@dataclass
+class StoreStats:
+    """Per-instance traffic counters (hits/misses/puts/corrupt)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts, "corrupt": self.corrupt}
+
+
+@dataclass
+class ResultStore:
+    """Content-addressed persistence for grid-cell metric reports."""
+
+    root: str
+    observer: Observer = field(default=NULL_OBSERVER, repr=False)
+    stats: StoreStats = field(default_factory=StoreStats, init=False)
+
+    def __post_init__(self) -> None:
+        if os.path.exists(self.root) and not os.path.isdir(self.root):
+            raise StoreError(
+                f"store root exists and is not a directory: {self.root!r}"
+            )
+
+    # -- addressing ------------------------------------------------------
+    def path_for(self, key: CellKey) -> str:
+        digest = key.digest
+        return os.path.join(self.root, digest[:2], f"{digest}.json")
+
+    # -- traffic ---------------------------------------------------------
+    def get(self, key: CellKey) -> Optional[MetricReport]:
+        """The stored report for ``key``, or ``None`` on a miss.
+
+        A present-but-unreadable entry (truncated JSON, foreign schema)
+        counts as a miss: the caller recomputes and overwrites it.
+        """
+        # Imported here: repro.analysis pulls in the figure registry,
+        # which imports the grid runner, which needs this module.
+        from repro.analysis.serialize import report_from_dict
+
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("store_version") != STORE_VERSION:
+                raise StoreError(
+                    f"entry version {payload.get('store_version')!r}"
+                )
+            report = report_from_dict(payload["report"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError, ReproError):
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            return None
+        self.stats.hits += 1
+        self.observer.event("store_hit", 0, benchmark=key.benchmark,
+                            selector=key.selector, digest=key.digest[:12])
+        return report
+
+    def put(self, key: CellKey, report: MetricReport) -> str:
+        """Persist ``report`` under ``key`` atomically; returns the path."""
+        from repro.analysis.serialize import report_to_dict
+
+        path = self.path_for(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        payload = {
+            "store_version": STORE_VERSION,
+            "key": key.to_dict(),
+            "digest": key.digest,
+            "report": report_to_dict(report),
+        }
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+        self.observer.event("store_put", 0, benchmark=key.benchmark,
+                            selector=key.selector, digest=key.digest[:12])
+        return path
+
+    # -- maintenance -----------------------------------------------------
+    def _entry_paths(self) -> Iterator[str]:
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield os.path.join(shard_dir, name)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed

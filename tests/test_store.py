@@ -1,0 +1,137 @@
+"""Tests for the content-addressed result store (repro.store)."""
+
+import json
+import os
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import StoreError
+from repro.obs import CollectingSink, Observer
+from repro.store import CellKey, ResultStore, cell_key, default_code_version
+from repro.system.simulator import simulate
+from repro.metrics.summary import MetricReport
+from repro.workloads import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def report():
+    program = build_benchmark("gzip", scale=0.05)
+    return MetricReport.from_result(simulate(program, "net", seed=1))
+
+
+def make_key(**overrides):
+    params = dict(benchmark="gzip", selector="net", scale=0.05, seed=1,
+                  config=SystemConfig(), code_version="v1")
+    params.update(overrides)
+    return cell_key(**params)
+
+
+class TestCellKey:
+    def test_digest_is_stable(self):
+        assert make_key().digest == make_key().digest
+
+    def test_every_parameter_changes_the_address(self):
+        base = make_key().digest
+        assert make_key(benchmark="mcf").digest != base
+        assert make_key(selector="lei").digest != base
+        assert make_key(scale=0.06).digest != base
+        assert make_key(seed=2).digest != base
+        assert make_key(config=SystemConfig(net_threshold=51)).digest != base
+        assert make_key(code_version="v2").digest != base
+
+    def test_default_code_version_used_and_cached(self):
+        key = cell_key("gzip", "net", 0.05, 1, SystemConfig())
+        assert key.code_version == default_code_version()
+        assert default_code_version() == default_code_version()
+
+    def test_key_dict_is_self_describing(self):
+        data = make_key().to_dict()
+        assert data["benchmark"] == "gzip"
+        assert data["config"]["net_threshold"] == 50
+        assert data["code_version"] == "v1"
+
+
+class TestResultStore:
+    def test_miss_then_put_then_bit_identical_hit(self, tmp_path, report):
+        store = ResultStore(str(tmp_path))
+        key = make_key()
+        assert store.get(key) is None
+        store.put(key, report)
+        loaded = store.get(key)
+        assert loaded == report  # dataclass equality: every field exact
+        assert store.stats.as_dict() == {
+            "hits": 1, "misses": 1, "puts": 1, "corrupt": 0,
+        }
+
+    def test_layout_is_sharded_by_digest_prefix(self, tmp_path, report):
+        store = ResultStore(str(tmp_path))
+        key = make_key()
+        path = store.put(key, report)
+        digest = key.digest
+        assert path.endswith(os.path.join(digest[:2], digest + ".json"))
+        assert os.path.exists(path)
+        assert len(store) == 1
+
+    def test_entry_records_its_own_key(self, tmp_path, report):
+        store = ResultStore(str(tmp_path))
+        key = make_key()
+        with open(store.put(key, report), "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["key"] == key.to_dict()
+        assert payload["digest"] == key.digest
+
+    def test_corrupt_entry_is_a_miss_not_an_error(self, tmp_path, report):
+        store = ResultStore(str(tmp_path))
+        key = make_key()
+        path = store.put(key, report)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"torn')
+        assert store.get(key) is None
+        assert store.stats.corrupt == 1
+        # Recompute-and-overwrite heals the entry.
+        store.put(key, report)
+        assert store.get(key) == report
+
+    def test_foreign_schema_entry_is_a_miss(self, tmp_path, report):
+        store = ResultStore(str(tmp_path))
+        key = make_key()
+        path = store.put(key, report)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"store_version": 999, "report": {}}, handle)
+        assert store.get(key) is None
+        assert store.stats.corrupt == 1
+
+    def test_no_temp_files_left_behind(self, tmp_path, report):
+        store = ResultStore(str(tmp_path))
+        store.put(make_key(), report)
+        leftovers = [
+            name
+            for _, _, names in os.walk(tmp_path)
+            for name in names
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_clear_removes_every_entry(self, tmp_path, report):
+        store = ResultStore(str(tmp_path))
+        store.put(make_key(), report)
+        store.put(make_key(selector="lei"), report)
+        assert store.clear() == 2
+        assert len(store) == 0
+
+    def test_root_must_be_a_directory(self, tmp_path):
+        file_path = tmp_path / "not-a-dir"
+        file_path.write_text("x")
+        with pytest.raises(StoreError):
+            ResultStore(str(file_path))
+
+    def test_store_traffic_emits_events(self, tmp_path, report):
+        sink = CollectingSink()
+        store = ResultStore(str(tmp_path), observer=Observer(sink=sink))
+        key = make_key()
+        store.put(key, report)
+        store.get(key)
+        kinds = [event.kind for event in sink.events]
+        assert kinds == ["store_put", "store_hit"]
+        assert sink.events[0].get("benchmark") == "gzip"
