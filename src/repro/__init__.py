@@ -46,7 +46,7 @@ from repro.selection import (
     make_selector,
 )
 from repro.system import RunResult, Simulator, SystemConfig, simulate
-from repro.tracing import collect_trace, replay_trace
+from repro.tracing import collect_trace, replay_trace, replay_trace_into
 
 __version__ = "1.0.0"
 
@@ -67,6 +67,7 @@ __all__ = [
     "Step",
     "collect_trace",
     "replay_trace",
+    "replay_trace_into",
     # cache & selection
     "CodeCache",
     "Region",

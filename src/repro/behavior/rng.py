@@ -39,8 +39,17 @@ class SplitMix64:
         return z ^ (z >> 31)
 
     def random(self) -> float:
-        """Return a float uniformly distributed in [0, 1)."""
-        return self.next_u64() * _INV_2_64
+        """Return a float uniformly distributed in [0, 1).
+
+        ``next_u64`` is inlined (same mixing rounds, same sequence):
+        branch models call this once per conditional decision, making
+        it one of the hottest leaf calls in the whole simulator.
+        """
+        state = (self._state + 0x9E3779B97F4A7C15) & _MASK64
+        self._state = state
+        z = ((state ^ (state >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return (z ^ (z >> 31)) * _INV_2_64
 
     def randint(self, low: int, high: int) -> int:
         """Return an integer uniformly distributed in [low, high]."""

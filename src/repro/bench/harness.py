@@ -23,6 +23,7 @@ from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SystemConfig
+from repro.errors import ReproError
 from repro.experiments.manifest import git_sha
 from repro.metrics.summary import MetricReport
 from repro.obs import Observer, SpanTimer
@@ -64,18 +65,50 @@ QUICK_WORKLOADS: Tuple[BenchWorkload, ...] = tuple(
 )
 
 
-def _run_workload(workload: BenchWorkload,
-                  config: SystemConfig) -> Dict[str, object]:
-    """Measure one workload; returns its JSON-ready record."""
+#: Passes per workload; the fastest pass is recorded.  Wall time on a
+#: shared machine is one-sided noise (preemption only ever adds time),
+#: so min-of-N is the standard low-variance throughput estimator.
+DEFAULT_REPEATS = 3
+
+
+def _run_workload(workload: BenchWorkload, config: SystemConfig,
+                  repeats: int = DEFAULT_REPEATS) -> Dict[str, object]:
+    """Measure one workload; returns its JSON-ready record.
+
+    The workload is simulated ``repeats`` times and the fastest pass
+    provides the timing and per-phase profile.  Every pass must
+    produce the identical behaviour fingerprint — the runs are
+    deterministic, so a mismatch means the simulator is broken, and
+    the harness refuses to report a throughput number for it.
+    """
     program = build_benchmark(workload.benchmark, scale=workload.scale)
-    profiler = SpanTimer()
-    observer = Observer(profiler=profiler)
-    result = simulate(program, workload.selector, config,
-                      seed=workload.seed, observer=observer)
-    report = MetricReport.from_result(result)
-    snapshot = profiler.snapshot()
+    best_snapshot = None
+    fingerprint = None
+    for _ in range(max(1, repeats)):
+        profiler = SpanTimer()
+        observer = Observer(profiler=profiler)
+        result = simulate(program, workload.selector, config,
+                          seed=workload.seed, observer=observer)
+        report = MetricReport.from_result(result)
+        snapshot = profiler.snapshot()
+        current = (report.hit_rate, report.region_count,
+                   report.total_instructions, int(snapshot["steps"]))
+        if fingerprint is None:
+            fingerprint = current
+        elif current != fingerprint:
+            raise ReproError(
+                f"bench workload {workload.name!r} is non-deterministic: "
+                f"fingerprint {current} != {fingerprint}"
+            )
+        if (best_snapshot is None
+                or snapshot["wall_seconds"] < best_snapshot["wall_seconds"]):
+            best_snapshot = snapshot
+            best_report = report
+    snapshot = best_snapshot
+    report = best_report
     return {
         **asdict(workload),
+        "repeats": max(1, repeats),
         "wall_seconds": round(float(snapshot["wall_seconds"]), 6),
         "steps": int(snapshot["steps"]),
         "events_per_second": round(float(snapshot["steps_per_second"]), 1),
@@ -98,6 +131,7 @@ def run_bench(
     quick: bool = False,
     workloads: Optional[Sequence[BenchWorkload]] = None,
     config: Optional[SystemConfig] = None,
+    repeats: int = DEFAULT_REPEATS,
 ) -> Dict[str, object]:
     """Run the pinned workload set and assemble the bench record."""
     if workloads is None:
@@ -106,7 +140,7 @@ def run_bench(
     records: List[Dict[str, object]] = []
     started = time.monotonic()
     for workload in workloads:
-        records.append(_run_workload(workload, config))
+        records.append(_run_workload(workload, config, repeats=repeats))
     total_wall = sum(float(r["wall_seconds"]) for r in records)
     total_steps = sum(int(r["steps"]) for r in records)
     return {

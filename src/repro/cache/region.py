@@ -29,6 +29,11 @@ class Region(abc.ABC):
     """Base class for cached regions."""
 
     kind: str = "region"
+    #: Class-level discriminator for the simulator's hot loops: reading
+    #: an attribute is far cheaper than ``isinstance`` against an ABC
+    #: (which routes through ``_abc_instancecheck`` on every region
+    #: entry and transition).
+    is_trace: bool = False
 
     def __init__(self, entry: BasicBlock) -> None:
         self.entry = entry
@@ -113,6 +118,7 @@ class TraceRegion(Region):
     """
 
     kind = "trace"
+    is_trace = True
 
     def __init__(
         self,
@@ -222,6 +228,13 @@ class CFGRegion(Region):
                 if block.fallthrough is not None and block.fallthrough in block_set:
                     edge_set.add((block, block.fallthrough))
         self._edges = frozenset(edge_set)
+        #: Blocks whose transfer target is dynamic (returns, indirect
+        #: jumps) — precomputed so the simulator's fused walk can apply
+        #: the observed-edge rule without re-deriving it per step.
+        self.dynamic_blocks: FrozenSet[BasicBlock] = frozenset(
+            block for block in block_set
+            if block.terminator.kind.target_is_dynamic
+        )
         # Deterministic iteration order for reporting: address order.
         self._ordered = tuple(
             sorted(block_set, key=lambda b: b.require_address())
@@ -271,6 +284,6 @@ class CFGRegion(Region):
         """
         if target is None or target not in self._blocks:
             return False
-        if block.terminator.kind.target_is_dynamic and taken:
+        if taken and block in self.dynamic_blocks:
             return (block, target) in self._edges
         return True

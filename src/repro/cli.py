@@ -34,7 +34,12 @@ from repro.metrics.summary import MetricReport
 from repro.program.dot import program_to_dot
 from repro.selection.registry import SELECTOR_FACTORIES
 from repro.system.simulator import Simulator, simulate
-from repro.tracing.collector import collect_trace, replay_trace, trace_header
+from repro.tracing.collector import (
+    collect_trace,
+    replay_trace,
+    replay_trace_into,
+    trace_header,
+)
 from repro.workloads import benchmark_names, build_benchmark
 
 
@@ -53,6 +58,10 @@ def _add_common(parser: argparse.ArgumentParser, selector: bool = True) -> None:
                         help="bound the code cache (default unbounded)")
     parser.add_argument("--eviction", choices=("flush", "fifo"),
                         default="flush", help="bounded-cache policy")
+    parser.add_argument("--reference", action="store_true",
+                        help="use the reference (pull-generator) pipeline "
+                             "instead of the fused fast path; results are "
+                             "bit-identical (see docs/performance.md)")
 
 
 def _add_obs(parser: argparse.ArgumentParser) -> None:
@@ -143,7 +152,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     observer = _observer_from(args)
     try:
         result = simulate(program, args.selector, _config_from(args),
-                          seed=args.seed, observer=observer)
+                          seed=args.seed, observer=observer,
+                          fast=not args.reference)
     finally:
         _finish_observer(observer, args)
     print(f"{args.benchmark} / {args.selector} (scale {args.scale}, "
@@ -174,7 +184,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_bench_run,
     )
 
-    run = run_bench(quick=args.quick)
+    run = run_bench(quick=args.quick, repeats=args.repeats)
     deltas = None
     baseline = None if args.no_baseline else load_baseline(
         args.baseline, quick=args.quick)
@@ -204,7 +214,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 def cmd_regions(args: argparse.Namespace) -> int:
     program = build_benchmark(args.benchmark, scale=args.scale)
-    result = simulate(program, args.selector, _config_from(args), seed=args.seed)
+    result = simulate(program, args.selector, _config_from(args),
+                      seed=args.seed, fast=not args.reference)
     print(f"{result.region_count} regions selected "
           f"({args.benchmark} / {args.selector}):")
     for region in result.regions:
@@ -234,8 +245,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
     program = build_benchmark(args.benchmark, scale=args.scale)
     config = _config_from(args)
-    subject = simulate(program, args.selector, config, seed=args.seed)
-    baseline = simulate(program, args.baseline, config, seed=args.seed)
+    subject = simulate(program, args.selector, config, seed=args.seed,
+                       fast=not args.reference)
+    baseline = simulate(program, args.baseline, config, seed=args.seed,
+                        fast=not args.reference)
     for line in compare_runs(subject, baseline).summary_lines():
         print(line)
     return 0
@@ -246,7 +259,8 @@ def cmd_timeline(args: argparse.Namespace) -> int:
 
     program = build_benchmark(args.benchmark, scale=args.scale)
     result = simulate(program, args.selector, _config_from(args),
-                      seed=args.seed, sample_every=args.window)
+                      seed=args.seed, sample_every=args.window,
+                      fast=not args.reference)
     print(f"{args.benchmark} / {args.selector}: windowed hit rates "
           f"(window = {args.window} steps)")
     print(f"{'steps':>18s} {'hit%':>7s} {'insts':>9s} {'new regions':>12s} "
@@ -265,7 +279,8 @@ def cmd_layout(args: argparse.Namespace) -> int:
     from repro.analysis.layout import layout_map, page_crossing_fraction
 
     program = build_benchmark(args.benchmark, scale=args.scale)
-    result = simulate(program, args.selector, _config_from(args), seed=args.seed)
+    result = simulate(program, args.selector, _config_from(args),
+                      seed=args.seed, fast=not args.reference)
     print(layout_map(result))
     print(f"linked pairs crossing a 4 KiB page: "
           f"{100 * page_crossing_fraction(result):.1f}%")
@@ -287,7 +302,12 @@ def cmd_replay(args: argparse.Namespace) -> int:
     simulator = Simulator(program, args.selector, _config_from(args),
                           observer=observer)
     try:
-        result = simulator.run(replay_trace(args.trace, program))
+        if args.reference:
+            result = simulator.run(replay_trace(args.trace, program))
+        else:
+            result = simulator.run_push(
+                lambda consume: replay_trace_into(args.trace, program, consume)
+            )
     finally:
         _finish_observer(observer, args)
     print(f"replayed {header.program_name!r} through {args.selector}")
@@ -332,6 +352,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--check", action="store_true",
                        help="exit nonzero if throughput regressed beyond "
                             "--tolerance")
+    bench.add_argument("--repeats", type=int, default=3, metavar="N",
+                       help="passes per workload; the fastest is recorded "
+                            "(default: 3)")
     bench.add_argument("--tolerance", type=float, default=0.35,
                        help="allowed fractional events/s drop for --check "
                             "(default 0.35)")
@@ -374,6 +397,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="scale used when the trace was collected")
     replay.add_argument("--cache-capacity", type=int, default=None)
     replay.add_argument("--eviction", choices=("flush", "fifo"), default="flush")
+    replay.add_argument("--reference", action="store_true",
+                        help="replay through the reference pull pipeline "
+                             "instead of the fused push decoder")
     _add_obs(replay)
     replay.set_defaults(func=cmd_replay)
     return parser

@@ -6,16 +6,23 @@ basic-block instrumentation gives the paper's framework: the block, and
 for its terminating branch the source and target addresses and whether
 it was taken.  Source/target addresses are derived from the blocks
 rather than stored, keeping the event small.
+
+:class:`Step` is a ``__slots__`` record rather than a ``NamedTuple``:
+hundreds of thousands of instances are created per run on the reference
+(generator) pipeline, and the fused fast path
+(:meth:`~repro.system.simulator.Simulator.run_program`) creates them
+only where a selector needs one — interpreted steps and cache exits —
+so the record must stay as lean as possible.
 """
 
 from __future__ import annotations
 
-from typing import NamedTuple, Optional
+from typing import Optional
 
 from repro.program.cfg import BasicBlock
 
 
-class Step(NamedTuple):
+class Step:
     """One executed basic block and its outgoing control transfer.
 
     Attributes
@@ -30,9 +37,26 @@ class Step(NamedTuple):
         (HALT, or return from the outermost frame).
     """
 
-    block: BasicBlock
-    taken: bool
-    target: Optional[BasicBlock]
+    __slots__ = ("block", "taken", "target")
+
+    def __init__(
+        self, block: BasicBlock, taken: bool, target: Optional[BasicBlock]
+    ) -> None:
+        self.block = block
+        self.taken = taken
+        self.target = target
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Step):
+            return NotImplemented
+        return (
+            self.block is other.block
+            and self.taken == other.taken
+            and self.target is other.target
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.block, self.taken, self.target))
 
     @property
     def src_address(self) -> int:

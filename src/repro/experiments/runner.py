@@ -27,16 +27,20 @@ from repro.system.simulator import simulate
 from repro.workloads import benchmark_names, build_benchmark
 
 
-def _grid_cell(task: Tuple[str, str, float, int, SystemConfig]) -> Tuple[str, str, MetricReport]:
+def _grid_cell(
+    task: Tuple[str, str, float, int, SystemConfig, bool]
+) -> Tuple[str, str, MetricReport]:
     """Worker: simulate one cell (runs in a job-engine worker process).
 
     Builds the program inside the worker — programs hold plain model
     objects and are cheap to rebuild, while shipping them across
     processes would be slower than rebuilding.
     """
-    bench, selector, scale, seed, config = task
+    bench, selector, scale, seed, config, fast = task
     program = build_benchmark(bench, scale=scale)
-    report = MetricReport.from_result(simulate(program, selector, config, seed=seed))
+    report = MetricReport.from_result(
+        simulate(program, selector, config, seed=seed, fast=fast)
+    )
     return bench, selector, report
 
 
@@ -76,6 +80,7 @@ def run_grid(
     backoff: float = 0.05,
     faults: Optional[FaultInjector] = None,
     code_version: Optional[str] = None,
+    fast: bool = True,
 ) -> ExperimentGrid:
     """Simulate every cell and compute its metric report.
 
@@ -96,6 +101,11 @@ def run_grid(
     (selectors, benchmarks, seed, scale, config, git SHA, elapsed time)
     into that directory once the grid completes.  ``faults`` injects
     deterministic worker failures (tests only).
+
+    ``fast=False`` pins every cell to the reference pull-generator
+    pipeline instead of the fused fast path; the results are
+    bit-identical either way (``tests/test_fast_path.py``), so this
+    exists purely for debugging and cross-checking.
     """
     started = time.monotonic()
     config = config if config is not None else SystemConfig()
@@ -127,7 +137,8 @@ def run_grid(
 
     if missing:
         jobs = [
-            Job(f"{bench}:{selector}", (bench, selector, scale, seed, config))
+            Job(f"{bench}:{selector}",
+                (bench, selector, scale, seed, config, fast))
             for bench, selector in missing
         ]
         cell_by_job = {job.job_id: cell for job, cell in zip(jobs, missing)}

@@ -24,7 +24,7 @@ timer at all and executes zero profiling instructions per step.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ObservabilityError
 
@@ -70,9 +70,14 @@ class SpanTimer:
         self.totals: Dict[str, float] = {}
         #: Times each scope was entered.
         self.counts: Dict[str, int] = {}
-        # Stack of (name, resume_timestamp): the top scope is running,
-        # scopes below are paused with their elapsed time already banked.
-        self._stack: List[Tuple[str, float]] = []
+        # The span stack, as parallel lists (names / resume timestamps)
+        # rather than a list of tuples: enter/exit/switch run once per
+        # selector decision on the simulator's hot path, and mutating a
+        # float slot in place beats re-allocating a tuple every call.
+        # The top scope is running; scopes below are paused with their
+        # elapsed time already banked.
+        self._names: List[str] = []
+        self._resumed: List[float] = []
         #: Steps attributed to the run (for throughput); set by the caller.
         self.steps = 0
         self._started_at: Optional[float] = None
@@ -83,22 +88,34 @@ class SpanTimer:
         now = self._clock()
         if self._started_at is None:
             self._started_at = now
-        if self._stack:
-            parent, resumed = self._stack[-1]
-            self.totals[parent] = self.totals.get(parent, 0.0) + (now - resumed)
-            self._stack[-1] = (parent, now)
-        self._stack.append((name, now))
-        self.counts[name] = self.counts.get(name, 0) + 1
+        names = self._names
+        resumed = self._resumed
+        if names:
+            parent = names[-1]
+            totals = self.totals
+            prior = totals.get(parent)
+            elapsed = now - resumed[-1]
+            totals[parent] = elapsed if prior is None else prior + elapsed
+            resumed[-1] = now
+        names.append(name)
+        resumed.append(now)
+        counts = self.counts
+        seen = counts.get(name)
+        counts[name] = 1 if seen is None else seen + 1
 
     def exit(self) -> None:
-        if not self._stack:
+        names = self._names
+        if not names:
             raise ObservabilityError("SpanTimer.exit() with no open span")
         now = self._clock()
-        name, resumed = self._stack.pop()
-        self.totals[name] = self.totals.get(name, 0.0) + (now - resumed)
-        if self._stack:
-            parent, _ = self._stack[-1]
-            self._stack[-1] = (parent, now)
+        name = names.pop()
+        resumed = self._resumed
+        elapsed = now - resumed.pop()
+        totals = self.totals
+        prior = totals.get(name)
+        totals[name] = elapsed if prior is None else prior + elapsed
+        if names:
+            resumed[-1] = now
         else:
             self._stopped_at = now
 
@@ -110,17 +127,28 @@ class SpanTimer:
         execution moves between interpreting and walking the cache.
         """
         now = self._clock()
-        if self._stack:
-            current, resumed = self._stack.pop()
-            self.totals[current] = self.totals.get(current, 0.0) + (now - resumed)
-        elif self._started_at is None:
-            self._started_at = now
-        self._stack.append((name, now))
-        self.counts[name] = self.counts.get(name, 0) + 1
+        names = self._names
+        if names:
+            current = names[-1]
+            names[-1] = name
+            resumed = self._resumed
+            totals = self.totals
+            prior = totals.get(current)
+            elapsed = now - resumed[-1]
+            totals[current] = elapsed if prior is None else prior + elapsed
+            resumed[-1] = now
+        else:
+            if self._started_at is None:
+                self._started_at = now
+            names.append(name)
+            self._resumed.append(now)
+        counts = self.counts
+        seen = counts.get(name)
+        counts[name] = 1 if seen is None else seen + 1
 
     def stop(self) -> None:
         """Close every open span (end of run / abnormal exit)."""
-        while self._stack:
+        while self._names:
             self.exit()
 
     def span(self, name: str) -> _Span:
@@ -130,7 +158,7 @@ class SpanTimer:
     # -- reporting -------------------------------------------------------
     @property
     def depth(self) -> int:
-        return len(self._stack)
+        return len(self._names)
 
     @property
     def total_seconds(self) -> float:
@@ -138,7 +166,7 @@ class SpanTimer:
         if self._started_at is None:
             return 0.0
         end = self._stopped_at
-        if self._stack or end is None:
+        if self._names or end is None:
             end = self._clock()
         return end - self._started_at
 

@@ -87,6 +87,20 @@ class RegionSelector(abc.ABC):
     def finish(self) -> None:
         """The stream ended; abandon any in-flight recording state."""
 
+    # -- optional raw fast hooks ----------------------------------------
+    # A selector may ship allocation-free variants of its step hooks
+    # under ``<hook>_raw``, taking the raw ``(block, taken, target)``
+    # triple instead of a ``Step`` record.  The fused fast path calls
+    # the raw variant when the class that provides the ``Step`` hook in
+    # the MRO also provides the raw one (so a subclass overriding just
+    # the ``Step`` hook is never bypassed); the reference pipeline
+    # always uses the ``Step`` hooks.  A raw variant must be
+    # behaviourally identical to its ``Step`` twin — the bit-identity
+    # suite in ``tests/test_fast_path.py`` holds the two pipelines
+    # equal over every (benchmark × selector) cell.
+    on_interpreted_taken_raw = None
+    on_cache_enter_raw = None
+
     # -- observability helpers ------------------------------------------
     def _reject(self, head, reason: str) -> None:
         """Account one abandoned region candidate (``region_rejected``).

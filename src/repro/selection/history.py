@@ -7,31 +7,66 @@ target executed recently?" — the cycle test — is O(1) per branch
 lookup").
 
 Entries carry monotonically increasing sequence numbers.  The hash maps
-each target to the sequence number of its most recent occurrence; a
-hash hit is validated against the ring (the slot may have been
-overwritten or truncated since), which makes eviction and the Figure 5
-line 13 truncation ("remove all elements of Buf after old") cheap —
-stale hash entries are simply ignored and overwritten later.
+each target to the sequence number of its most recent occurrence, and
+is kept in lock-step with the ring: overwriting a slot on ring wrap and
+truncation (Figure 5 line 13, "remove all elements of Buf after old")
+both evict the dying occurrence's hash pointer.  Without that eviction
+the hash grows with the number of *distinct targets ever seen* rather
+than the buffer capacity — a leak that distorts the paper's
+bounded-memory claims (Figures 10/18) on long runs.  A hash hit is
+still validated against the ring before use, as defense in depth.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, NamedTuple, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import SelectionError
 from repro.program.cfg import BasicBlock
 
 
-class HistoryEntry(NamedTuple):
-    """One taken branch in the history buffer."""
+class HistoryEntry:
+    """One taken branch in the history buffer.
 
-    seq: int
-    src: BasicBlock
-    target: BasicBlock
-    #: True when this branch was (or immediately followed) an exit from
-    #: the code cache — the "old follows exit from code cache" start
-    #: condition of Figure 5 line 9.
-    follows_exit: bool
+    A ``__slots__`` record: one instance is created per interpreted
+    taken branch on LEI's hot path, so it must stay lean (this replaced
+    a ``NamedTuple``; equality is by field, as before, for tests that
+    compare entries).
+    """
+
+    __slots__ = ("seq", "src", "target", "follows_exit")
+
+    def __init__(
+        self, seq: int, src: BasicBlock, target: BasicBlock,
+        follows_exit: bool,
+    ) -> None:
+        self.seq = seq
+        self.src = src
+        self.target = target
+        #: True when this branch was (or immediately followed) an exit
+        #: from the code cache — the "old follows exit from code cache"
+        #: start condition of Figure 5 line 9.
+        self.follows_exit = follows_exit
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HistoryEntry):
+            return NotImplemented
+        return (
+            self.seq == other.seq
+            and self.src is other.src
+            and self.target is other.target
+            and self.follows_exit == other.follows_exit
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.seq, self.src, self.target, self.follows_exit))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"HistoryEntry(seq={self.seq}, src={self.src.full_label}, "
+            f"target={self.target.full_label}, "
+            f"follows_exit={self.follows_exit})"
+        )
 
 
 class BranchHistoryBuffer:
@@ -54,13 +89,60 @@ class BranchHistoryBuffer:
     def insert(
         self, src: BasicBlock, target: BasicBlock, follows_exit: bool = False
     ) -> HistoryEntry:
-        """CIRCULAR-BUFFER-INSERT (Figure 5 line 5)."""
-        entry = HistoryEntry(self._next_seq, src, target, follows_exit)
-        self._ring[entry.seq % self.capacity] = entry
-        self._next_seq += 1
-        if self._next_seq - self._floor > self.capacity:
-            self._floor = self._next_seq - self.capacity
+        """CIRCULAR-BUFFER-INSERT (Figure 5 line 5).
+
+        When the ring wraps over a live entry, the overwritten
+        occurrence's hash pointer is evicted too, keeping
+        ``len(_target_hash) <= capacity`` for the life of the run.
+        """
+        seq = self._next_seq
+        entry = HistoryEntry(seq, src, target, follows_exit)
+        ring = self._ring
+        slot = seq % self.capacity
+        old = ring[slot]
+        if old is not None:
+            target_hash = self._target_hash
+            if target_hash.get(old.target) == old.seq:
+                del target_hash[old.target]
+        ring[slot] = entry
+        self._next_seq = seq + 1
+        if seq + 1 - self._floor > self.capacity:
+            self._floor = seq + 1 - self.capacity
         return entry
+
+    def record(
+        self, src: BasicBlock, target: BasicBlock, follows_exit: bool = False
+    ) -> Tuple[Optional[HistoryEntry], HistoryEntry]:
+        """Fused lookup + insert + hash update for one taken branch.
+
+        Exactly Section 3.1's per-branch work ("one buffer insertion
+        and one hash table lookup") in a single call:
+        ``hash_lookup(target)`` *before* the insert (the cycle test
+        must see the previous occurrence, not the fresh one), then
+        ``insert`` and ``hash_update``.  Returns ``(old, new)``.  LEI
+        calls this once per interpreted taken branch, so the three
+        steps are inlined here rather than composed from the public
+        methods.
+        """
+        target_hash = self._target_hash
+        # -- hash_lookup(target), inlined --------------------------------
+        old: Optional[HistoryEntry] = None
+        seq = target_hash.get(target)
+        if seq is not None:
+            if self._floor <= seq < self._next_seq:
+                candidate = self._ring[seq % self.capacity]
+                if (candidate is not None and candidate.seq == seq
+                        and candidate.target is target):
+                    old = candidate
+                else:
+                    del target_hash[target]
+            else:
+                del target_hash[target]
+        # ``insert`` stays the single mutation point (eviction logic
+        # lives there, and tests/fault-injection hook it).
+        entry = self.insert(src, target, follows_exit)
+        target_hash[target] = entry.seq
+        return old, entry
 
     def latest_seq(self) -> int:
         """Sequence number of the newest entry."""
@@ -110,11 +192,23 @@ class BranchHistoryBuffer:
                 yield entry
 
     def truncate_after(self, seq: int) -> None:
-        """Remove all entries strictly newer than ``seq`` (Fig. 5 line 13)."""
+        """Remove all entries strictly newer than ``seq`` (Fig. 5 line 13).
+
+        Hash pointers at the truncated occurrences are evicted along
+        with the ring slots, preserving the ``len(_target_hash) <=
+        capacity`` invariant (they would otherwise linger until an
+        unlucky lookup happened to prune them).
+        """
         if seq >= self._next_seq - 1:
             return
+        target_hash = self._target_hash
         for s in range(max(seq + 1, self._floor), self._next_seq):
-            self._ring[s % self.capacity] = None
+            slot = s % self.capacity
+            entry = self._ring[slot]
+            if entry is not None:
+                if target_hash.get(entry.target) == entry.seq:
+                    del target_hash[entry.target]
+                self._ring[slot] = None
         self._next_seq = seq + 1
         if self._floor > self._next_seq:
             self._floor = self._next_seq

@@ -110,6 +110,12 @@ class LEISelector(RegionSelector):
         super().__init__(cache, config)
         self.buffer = BranchHistoryBuffer(config.history_buffer_size)
         self.counters: CounterTable[BasicBlock] = CounterTable()
+        # Hot-path caches: SystemConfig is frozen and both properties
+        # derive from it alone, so snapshotting them here is safe (and
+        # `trigger_count` dispatches virtually, picking up the combined
+        # selector's override).
+        self._allow_exit_cycles = config.lei_allow_exit_cycles
+        self._trigger_count = self.trigger_count
         # Diagnostics.
         self.traces_installed = 0
         self.formations_abandoned = 0
@@ -130,46 +136,64 @@ class LEISelector(RegionSelector):
 
     # ------------------------------------------------------------------
     def on_interpreted_taken(self, step: Step) -> Optional[Region]:
-        return self._process_taken_branch(step, follows_exit=False)
+        return self._process_taken_branch(
+            step.block, step.taken, step.target, False)
 
     def on_cache_enter(self, step: Step) -> None:
+        self.on_cache_enter_raw(step.block, step.taken, step.target)
+
+    def on_cache_enter_raw(
+        self, block: BasicBlock, taken: bool, target: Optional[BasicBlock]
+    ) -> None:
         # Record the cache-entering branch as a plain history entry (no
         # cycle detection, no counters — Figure 5 would have jumped at
         # line 3).  This keeps the buffer gap-free: a later FORM-TRACE
         # walk that reaches the entered region's head stops there via
         # the existing-region check (Figure 6 line 7) instead of
         # reconstructing a path across the cache stint.
-        target = step.target
         if target is None:
             return
-        entry = self.buffer.insert(step.block, target, follows_exit=False)
-        self.buffer.hash_update(target, entry.seq)
+        self.buffer.record(block, target, follows_exit=False)
 
     def on_cache_exit(self, step: Step, region: Region) -> None:
         # The exiting branch enters the history buffer flagged as
         # following a code-cache exit; a later cycle whose previous
         # occurrence is this entry may then start a trace even if it
         # closes with a forward branch ("grow from an existing trace").
-        self._process_taken_branch(step, follows_exit=True)
+        self._process_taken_branch(step.block, step.taken, step.target, True)
 
     def _process_taken_branch(
-        self, step: Step, follows_exit: bool
+        self,
+        block: BasicBlock,
+        taken: bool,
+        target: Optional[BasicBlock],
+        follows_exit: bool = False,
     ) -> Optional[Region]:
-        target = step.target
         if target is None:
             return None
-        old = self.buffer.hash_lookup(target)  # Figure 5 line 6
-        entry = self.buffer.insert(step.block, target, follows_exit)  # line 5
-        self.buffer.hash_update(target, entry.seq)  # lines 8 / 16
+        # Figure 5 lines 5-8/16: hash lookup, buffer insert, hash
+        # update — fused into one call on the per-branch hot path.
+        old, _entry = self.buffer.record(block, target, follows_exit)
         if old is None:
             return None
-        # Figure 5 line 9: can this cycle begin a trace?
-        follows_exit_ok = old.follows_exit and self.config.lei_allow_exit_cycles
-        if not (step.is_backward or follows_exit_ok):
+        # Figure 5 line 9: can this cycle begin a trace?  The backward
+        # test is ``Step.is_backward`` inlined (the step is known taken
+        # with a non-None target on the first leg, so only the address
+        # compare remains; on-exit steps may be fall-throughs, hence
+        # the explicit ``taken`` check).
+        if not (
+            (taken and target.address <= block.end_address)
+            or (old.follows_exit and self._allow_exit_cycles)
+        ):
             return None
-        if self.counters.increment(target) < self.trigger_count:  # lines 10-11
+        if self.counters.increment(target) < self._trigger_count:  # lines 10-11
             return None
         return self._select_at_threshold(target, old)
+
+    #: Fused-loop fast hook: ``on_interpreted_taken`` on the raw
+    #: ``(block, taken, target)`` triple, skipping the ``Step`` record
+    #: (see ``RegionSelector`` for the protocol).
+    on_interpreted_taken_raw = _process_taken_branch
 
     # ------------------------------------------------------------------
     def _select_at_threshold(

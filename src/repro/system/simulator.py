@@ -42,7 +42,7 @@ private step counter that could drift from the simulator's own.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Protocol, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Protocol, Tuple
 
 from repro.cache.codecache import make_cache
 from repro.cache.icache import InstructionCache
@@ -71,6 +71,24 @@ class StepHook(Protocol):
     def on_step(self, step_index: int) -> None: ...
 
     def on_finish(self, step_index: int) -> None: ...
+
+
+def _raw_hook(selector, name: str):
+    """Resolve the selector's ``<name>_raw`` fast hook, if trustworthy.
+
+    The raw variant is used only when the class that provides the
+    ``Step``-taking hook in the MRO *also* provides the raw one: a
+    subclass that overrides just the ``Step`` hook must win, or the
+    fast path would silently bypass its override.
+    """
+    raw_name = name + "_raw"
+    for klass in type(selector).__mro__:
+        namespace = vars(klass)
+        if name in namespace or raw_name in namespace:
+            if name in namespace and raw_name in namespace:
+                return getattr(selector, raw_name)
+            return None
+    return None
 
 
 class _TimelineSampler:
@@ -107,9 +125,14 @@ class _TimelineSampler:
             self._record(step_index)
 
     def on_finish(self, step_index: int) -> None:
-        # Always close the timeline with a final sample, even when the
-        # stream happens to end on a sampling boundary (analysis relies
-        # on the last sample covering the full run).
+        # Close the timeline with a final sample so the last sample
+        # always covers the full run — unless the stream ended exactly
+        # on a sampling boundary, where ``on_step`` already recorded
+        # this index and appending again would duplicate the sample
+        # (two samples with the same ``step`` produce a zero-width
+        # window downstream).
+        if self.samples and self.samples[-1].step == step_index:
+            return
         self._record(step_index)
 
 
@@ -149,7 +172,65 @@ class Simulator:
         self._step_hooks.append(hook)
 
     def run(self, steps: Iterable[Step]) -> RunResult:
-        """Consume a step stream and return the measured result."""
+        """Consume a step stream and return the measured result.
+
+        This is the *reference* pull-mode pipeline: any iterable of
+        :class:`Step` objects works (a live engine generator, a replay,
+        a hand-built list).  The fused fast path —
+        :meth:`run_program` / :meth:`run_push` — produces bit-identical
+        results without the per-step ``Step`` traffic.
+        """
+        return self._execute(
+            lambda stats, edge_profile, step_hooks, events_on, prof:
+            self._run_loop(steps, stats, edge_profile, step_hooks,
+                           events_on, prof)
+        )
+
+    def run_push(self, producer) -> RunResult:
+        """Fast path: consume a push-mode step producer.
+
+        ``producer`` is called once with a ``consume(block, taken,
+        target)`` callback and must invoke it for every step in order
+        (e.g. :meth:`ExecutionEngine.run_into
+        <repro.execution.engine.ExecutionEngine.run_into>` or
+        :func:`repro.tracing.replay_trace_into` via ``partial``).  The
+        per-step simulator logic runs inside the callback, so the whole
+        execute→simulate pipeline is one fused loop with no generator
+        suspension and no ``Step`` allocation outside selector
+        callbacks.  Results are bit-identical to :meth:`run` over the
+        equivalent stream.
+        """
+        return self._execute(
+            lambda stats, edge_profile, step_hooks, events_on, prof:
+            self._run_push(producer, stats, edge_profile, step_hooks,
+                           events_on, prof)
+        )
+
+    def run_program(self, engine: Optional[ExecutionEngine] = None,
+                    seed: int = 0,
+                    max_steps: Optional[int] = None) -> RunResult:
+        """Execute this simulator's program live through the fast path.
+
+        With no ``engine``, one is built from ``seed`` / ``max_steps``;
+        passing an engine lets callers pin execution parameters (it must
+        wrap the simulator's own program).
+        """
+        if engine is None:
+            engine = ExecutionEngine(self.program, seed=seed,
+                                     max_steps=max_steps)
+        elif engine.program is not self.program:
+            raise ReproError(
+                f"engine runs program {engine.program.name!r} but the "
+                f"simulator was built for {self.program.name!r}"
+            )
+        return self._execute(
+            lambda stats, edge_profile, step_hooks, events_on, prof:
+            self._run_fused(engine, stats, edge_profile, step_hooks,
+                            events_on, prof)
+        )
+
+    def _execute(self, loop) -> RunResult:
+        """Shared run scaffolding around one of the two loop bodies."""
         stats = RunStats()
         edge_profile: Dict[Tuple[BasicBlock, BasicBlock], int] = {}
         selector = self.selector
@@ -176,8 +257,8 @@ class Simulator:
             obs.emit("run_started", 0, config_cache_capacity=(
                 self.config.cache_capacity_bytes))
         try:
-            step_index = self._run_loop(
-                steps, stats, edge_profile, step_hooks, events_on, prof
+            step_index = loop(
+                stats, edge_profile, step_hooks, events_on, prof
             )
             selector.finish()
         except ReproError as exc:
@@ -307,7 +388,7 @@ class Simulator:
                             )
                     if entered is not None:
                         region = entered
-                        region_is_trace = isinstance(entered, TraceRegion)
+                        region_is_trace = entered.is_trace
                         trace_position = 0
                         region.entry_count += 1
                         stats.cache_entries += 1
@@ -361,7 +442,7 @@ class Simulator:
                 # A linked exit stub: direct region-to-region jump.
                 stats.region_transitions += 1
                 region = linked
-                region_is_trace = isinstance(linked, TraceRegion)
+                region_is_trace = linked.is_trace
                 trace_position = 0
                 region.entry_count += 1
                 continue
@@ -390,7 +471,7 @@ class Simulator:
             installed = cache.lookup(target)
             if installed is not None:
                 region = installed
-                region_is_trace = isinstance(installed, TraceRegion)
+                region_is_trace = installed.is_trace
                 trace_position = 0
                 region.entry_count += 1
                 stats.cache_entries += 1
@@ -404,6 +485,585 @@ class Simulator:
                         order=region.selection_order,
                     )
         return step_index
+
+    def _run_push(
+        self,
+        producer,
+        stats: RunStats,
+        edge_profile: Dict[Tuple[BasicBlock, BasicBlock], int],
+        step_hooks: Tuple[StepHook, ...],
+        events_on: bool,
+        prof,
+    ) -> int:
+        """The fused fast loop: :meth:`_run_loop`'s body as a callback.
+
+        The per-step logic is a closure handed to ``producer``, so the
+        producer's own loop (the engine's ``run_into`` or the trace
+        decoder's ``steps_into``) drives the simulation directly — no
+        generator suspension, no :class:`Step` unpacking.  ``Step``
+        objects are built only where selectors need them: on every
+        interpreted step and at cache exits; the cache walk — the bulk
+        of a hot run — allocates nothing.  Must mirror
+        :meth:`_run_loop` decision-for-decision (the bit-identity suite
+        in ``tests/test_fast_path.py`` compares the two).
+        """
+        selector = self.selector
+        cache = self.cache
+        icache = self.icache
+        obs = self.observer
+        observe_interpreted = selector.observe_interpreted
+        on_interpreted_taken = selector.on_interpreted_taken
+        on_cache_enter = selector.on_cache_enter
+        on_cache_exit = selector.on_cache_exit
+        cache_lookup = cache.lookup
+        edge_get = edge_profile.get
+        make_step = Step
+        profiled = prof is not None
+
+        step_index = 0
+        region: Optional[Region] = None  # None => interpreting
+        trace_position = 0
+        region_is_trace = False
+
+        def consume(block, taken, target):
+            nonlocal step_index, region, trace_position, region_is_trace
+            step_index += 1
+            cache.now = step_index
+            if step_hooks:
+                for hook in step_hooks:
+                    hook.on_step(step_index)
+
+            if target is not None:
+                edge = (block, target)
+                count = edge_get(edge)
+                edge_profile[edge] = 1 if count is None else count + 1
+
+            current = region
+            if current is None:
+                # ---- interpreting -------------------------------------
+                step = make_step(block, taken, target)
+                observe_interpreted(step)
+                stats.interp_steps += 1
+                stats.interp_instructions += block.bundle.count
+                if taken and target is not None:
+                    entered = cache_lookup(target)
+                    if entered is not None:
+                        # The branch entering the cache is a history
+                        # boundary: never profiled (Figure 5 lines 1-3),
+                        # but LEI records it so its buffer has no gaps.
+                        on_cache_enter(step)
+                    else:
+                        if profiled:
+                            prof.enter("selector_decide")
+                            entered = on_interpreted_taken(step)
+                            prof.exit()
+                        else:
+                            entered = on_interpreted_taken(step)
+                        if entered is not None and entered.entry is not target:
+                            raise SelectionError(
+                                f"selector {selector.name} returned a region "
+                                f"entered at {entered.entry.full_label} for a "
+                                f"branch to {target.full_label}"
+                            )
+                    if entered is not None:
+                        region = entered
+                        region_is_trace = entered.is_trace
+                        trace_position = 0
+                        entered.entry_count += 1
+                        stats.cache_entries += 1
+                        if profiled:
+                            prof.switch("cache_walk")
+                        if events_on:
+                            obs.emit(
+                                "cache_entered",
+                                step_index,
+                                entry=target.full_label,
+                                order=entered.selection_order,
+                            )
+                return
+
+            # ---- executing in the cache -------------------------------
+            count = block.bundle.count
+            stats.cache_steps += 1
+            stats.cache_instructions += count
+            current.executed_instructions += count
+            if icache is not None:
+                base = current.cache_address
+                if base is not None:
+                    if region_is_trace:
+                        offset = current.position_offsets[trace_position]
+                    else:
+                        offset = current.block_offsets[block]
+                    icache.touch(base + offset, block.byte_size)
+
+            if region_is_trace:
+                next_position = current.position_after(
+                    trace_position, taken, target)
+                if next_position is not None:
+                    if next_position == 0 and taken:
+                        current.cycle_backs += 1
+                    trace_position = next_position
+                    return
+            else:
+                if current.stays_internal(block, taken, target):
+                    if target is current.entry:
+                        current.cycle_backs += 1
+                    return
+
+            # The transfer leaves the region.
+            current.exit_count += 1
+            if target is None:
+                region = None
+                if profiled:
+                    prof.switch("interpret")
+                return
+            linked = cache_lookup(target)
+            if linked is not None:
+                # A linked exit stub: direct region-to-region jump.
+                stats.region_transitions += 1
+                region = linked
+                region_is_trace = linked.is_trace
+                trace_position = 0
+                linked.entry_count += 1
+                return
+            # Exit to the interpreter; the exit target becomes a start
+            # candidate, and (LEI) may complete a cycle that installs and
+            # immediately enters a new region.
+            stats.cache_exits += 1
+            region = None
+            if profiled:
+                prof.switch("interpret")
+            if events_on:
+                obs.emit(
+                    "cache_exit",
+                    step_index,
+                    region_entry=current.entry.full_label,
+                    order=current.selection_order,
+                    exit_target=target.full_label,
+                )
+            step = make_step(block, taken, target)
+            if profiled:
+                prof.enter("selector_decide")
+                on_cache_exit(step, current)
+                prof.exit()
+            else:
+                on_cache_exit(step, current)
+            installed = cache_lookup(target)
+            if installed is not None:
+                region = installed
+                region_is_trace = installed.is_trace
+                trace_position = 0
+                installed.entry_count += 1
+                stats.cache_entries += 1
+                if profiled:
+                    prof.switch("cache_walk")
+                if events_on:
+                    obs.emit(
+                        "cache_entered",
+                        step_index,
+                        entry=target.full_label,
+                        order=installed.selection_order,
+                    )
+
+        if profiled:
+            prof.enter("interpret")
+        producer(consume)
+        return step_index
+
+    def _run_fused(
+        self,
+        engine: ExecutionEngine,
+        stats: RunStats,
+        edge_profile: Dict[Tuple[BasicBlock, BasicBlock], int],
+        step_hooks: Tuple[StepHook, ...],
+        events_on: bool,
+        prof,
+    ) -> int:
+        """The fully fused live loop: engine + simulator in one frame.
+
+        :meth:`run_program`'s loop body.  Where :meth:`_run_push` still
+        pays one consumer call per step, this loop inlines the engine's
+        block-decision dispatch (via the engine's per-block deciders)
+        *and* the simulator's per-step logic into a single ``while``, so
+        a cache-walk step — the bulk of a hot run — executes no Python
+        calls at all beyond the occasional branch-model consultation.
+        Decision-for-decision it must mirror :meth:`_run_loop`; the
+        bit-identity suite in ``tests/test_fast_path.py`` compares the
+        two over every (benchmark × selector) cell.
+
+        Bit-identity-preserving shortcuts, and why they are safe:
+
+        * the hot ``RunStats`` counters accumulate in locals and are
+          flushed to ``stats`` before any step hook runs (hooks observe
+          steps ``1..N-1`` at step ``N``, exactly like the reference
+          loop) and again on every exit path;
+        * ``cache.now`` is advanced only where someone can read it —
+          before selector callbacks, hooks, and region installs — not
+          on pure walk steps, where nothing consults the clock;
+        * ``Step`` records are built only for the selector callbacks
+          that take them (the base-class no-op hooks are skipped
+          entirely, so e.g. LEI pays nothing per untaken interpreted
+          step);
+        * trace-walk edge counts are keyed by *path position* in flat
+          lists and folded into ``edge_profile`` once at the end — the
+          walked edge is fully determined by the position, and dict
+          equality does not see insertion order.
+        """
+        selector = self.selector
+        cache = self.cache
+        icache = self.icache
+        obs = self.observer
+
+        base = RegionSelector
+        bound_observe = selector.observe_interpreted
+        observe_interpreted = (
+            None
+            if getattr(bound_observe, "__func__", None)
+            is base.observe_interpreted
+            else bound_observe
+        )
+        bound_enter = selector.on_cache_enter
+        on_cache_enter = (
+            None
+            if getattr(bound_enter, "__func__", None) is base.on_cache_enter
+            else bound_enter
+        )
+        on_interpreted_taken = selector.on_interpreted_taken
+        on_cache_exit = selector.on_cache_exit
+        # Allocation-free hook variants (LEI ships them); ``None`` means
+        # build a Step and use the standard hook.
+        on_taken_raw = _raw_hook(selector, "on_interpreted_taken")
+        on_enter_raw = _raw_hook(selector, "on_cache_enter")
+        # Direct hash access in place of CodeCache.lookup: every lookup
+        # below has already checked ``target is not None``, and both
+        # cache variants mutate ``_by_entry`` strictly in place (flush
+        # uses ``clear()``), so the bound ``get`` never goes stale.
+        cache_lookup = cache._by_entry.get
+        edge_get = edge_profile.get
+        make_step = Step
+        profiled = prof is not None
+        if profiled:
+            prof_enter = prof.enter
+            prof_exit = prof.exit
+            prof_switch = prof.switch
+
+        stack, ctx = engine._push_state()
+        deciders: Dict[BasicBlock, object] = {}
+        deciders_get = deciders.get
+        make_decider = engine._decider_for
+        block: Optional[BasicBlock] = engine.program.entry
+        max_steps = engine.max_steps
+        steps = 0
+        instructions = 0
+
+        # Hot counters, kept local (see the flush discipline above).
+        interp_steps = 0
+        interp_insts = 0
+        cache_steps = 0
+        cache_insts = 0
+
+        region: Optional[Region] = None  # None => interpreting
+        trace_position = 0
+        region_is_trace = False
+        walk_insts = 0  # current region stint, flushed on region change
+        # Trace-walk locals, rebound at each region entry.
+        path: Tuple[BasicBlock, ...] = ()
+        path_len = 0
+        path0: Optional[BasicBlock] = None
+        adv_counts: List[int] = []
+        cyc_counts: List[int] = []
+        # CFG-walk locals, likewise.
+        cur_blocks: FrozenSet[BasicBlock] = frozenset()
+        cur_edges: FrozenSet[Tuple[BasicBlock, BasicBlock]] = frozenset()
+        cur_dynamic: FrozenSet[BasicBlock] = frozenset()
+        cur_entry: Optional[BasicBlock] = None
+        #: region -> ([advance count per position], [cycle count per
+        #: position]); folded into ``edge_profile`` after the loop.
+        trace_edges: Dict[TraceRegion, Tuple[List[int], List[int]]] = {}
+
+        if profiled:
+            prof.enter("interpret")
+        try:
+            while block is not None and steps < max_steps:
+                steps += 1
+                decide = deciders_get(block)
+                if decide is None:
+                    decide = deciders[block] = make_decider(block, stack, ctx)
+                if decide.__class__ is tuple:
+                    taken, target = decide
+                else:
+                    taken, target = decide(steps)
+                count = block.bundle.count
+                instructions += count
+
+                if step_hooks:
+                    cache.now = steps
+                    stats.interp_steps = interp_steps
+                    stats.interp_instructions = interp_insts
+                    stats.cache_steps = cache_steps
+                    stats.cache_instructions = cache_insts
+                    for hook in step_hooks:
+                        hook.on_step(steps)
+
+                if region is None:
+                    # ---- interpreting ---------------------------------
+                    if target is not None:
+                        edge = (block, target)
+                        prior = edge_get(edge)
+                        edge_profile[edge] = 1 if prior is None else prior + 1
+                    if observe_interpreted is not None:
+                        # The clock must be current before any selector
+                        # callback (installs stamp ``selected_at_step``
+                        # from it); steps with no callback skip the
+                        # store — nothing reads the clock there.
+                        cache.now = steps
+                        step = make_step(block, taken, target)
+                        observe_interpreted(step)
+                    else:
+                        step = None
+                    interp_steps += 1
+                    interp_insts += count
+                    if taken and target is not None:
+                        cache.now = steps
+                        entered = cache_lookup(target)
+                        if entered is not None:
+                            # The branch entering the cache is a history
+                            # boundary: never profiled (Figure 5 lines
+                            # 1-3), but LEI records it so its buffer has
+                            # no gaps.
+                            if on_enter_raw is not None and step is None:
+                                on_enter_raw(block, taken, target)
+                            elif on_cache_enter is not None:
+                                if step is None:
+                                    step = make_step(block, taken, target)
+                                on_cache_enter(step)
+                        elif on_taken_raw is not None and step is None:
+                            if profiled:
+                                prof_enter("selector_decide")
+                                entered = on_taken_raw(block, taken, target)
+                                prof_exit()
+                            else:
+                                entered = on_taken_raw(block, taken, target)
+                            if (entered is not None
+                                    and entered.entry is not target):
+                                raise SelectionError(
+                                    f"selector {selector.name} returned a "
+                                    f"region entered at "
+                                    f"{entered.entry.full_label} for a "
+                                    f"branch to {target.full_label}"
+                                )
+                        else:
+                            if step is None:
+                                step = make_step(block, taken, target)
+                            if profiled:
+                                prof_enter("selector_decide")
+                                entered = on_interpreted_taken(step)
+                                prof_exit()
+                            else:
+                                entered = on_interpreted_taken(step)
+                            if (entered is not None
+                                    and entered.entry is not target):
+                                raise SelectionError(
+                                    f"selector {selector.name} returned a "
+                                    f"region entered at "
+                                    f"{entered.entry.full_label} for a "
+                                    f"branch to {target.full_label}"
+                                )
+                        if entered is not None:
+                            region = entered
+                            region_is_trace = entered.is_trace
+                            trace_position = 0
+                            walk_insts = 0
+                            if region_is_trace:
+                                path = entered.path
+                                path_len = len(path)
+                                path0 = path[0]
+                                acc = trace_edges.get(entered)
+                                if acc is None:
+                                    acc = trace_edges[entered] = (
+                                        [0] * path_len, [0] * path_len)
+                                adv_counts, cyc_counts = acc
+                            else:
+                                cur_blocks = entered.block_set
+                                cur_edges = entered.edges
+                                cur_dynamic = entered.dynamic_blocks
+                                cur_entry = entered.entry
+                            entered.entry_count += 1
+                            stats.cache_entries += 1
+                            if profiled:
+                                prof_switch("cache_walk")
+                            if events_on:
+                                obs.emit(
+                                    "cache_entered",
+                                    steps,
+                                    entry=target.full_label,
+                                    order=entered.selection_order,
+                                )
+                else:
+                    # ---- executing in the cache -----------------------
+                    cache_steps += 1
+                    cache_insts += count
+                    walk_insts += count
+                    if icache is not None:
+                        base_addr = region.cache_address
+                        if base_addr is not None:
+                            if region_is_trace:
+                                offset = region.position_offsets[
+                                    trace_position]
+                            else:
+                                offset = region.block_offsets[block]
+                            icache.touch(base_addr + offset, block.byte_size)
+
+                    if region_is_trace:
+                        # Inlined TraceRegion.position_after, with the
+                        # stay-in-trace edges batched by position.
+                        next_position = trace_position + 1
+                        if (next_position < path_len
+                                and target is path[next_position]):
+                            adv_counts[trace_position] += 1
+                            trace_position = next_position
+                            block = target
+                            continue
+                        if taken and target is path0:
+                            cyc_counts[trace_position] += 1
+                            region.cycle_backs += 1
+                            trace_position = 0
+                            block = target
+                            continue
+                    else:
+                        # Inlined CFGRegion.stays_internal.
+                        if target is not None and target in cur_blocks and (
+                                not taken
+                                or block not in cur_dynamic
+                                or (block, target) in cur_edges):
+                            edge = (block, target)
+                            prior = edge_get(edge)
+                            edge_profile[edge] = (
+                                1 if prior is None else prior + 1)
+                            if target is cur_entry:
+                                region.cycle_backs += 1
+                            block = target
+                            continue
+
+                    # The transfer leaves the region.
+                    if target is not None:
+                        edge = (block, target)
+                        prior = edge_get(edge)
+                        edge_profile[edge] = 1 if prior is None else prior + 1
+                    region.exit_count += 1
+                    region.executed_instructions += walk_insts
+                    walk_insts = 0
+                    if target is None:
+                        region = None
+                        if profiled:
+                            prof_switch("interpret")
+                        block = target
+                        continue
+                    linked = cache_lookup(target)
+                    if linked is not None:
+                        # A linked exit stub: direct region-to-region
+                        # jump.
+                        stats.region_transitions += 1
+                        region = linked
+                        region_is_trace = linked.is_trace
+                        trace_position = 0
+                        if region_is_trace:
+                            path = linked.path
+                            path_len = len(path)
+                            path0 = path[0]
+                            acc = trace_edges.get(linked)
+                            if acc is None:
+                                acc = trace_edges[linked] = (
+                                    [0] * path_len, [0] * path_len)
+                            adv_counts, cyc_counts = acc
+                        else:
+                            cur_blocks = linked.block_set
+                            cur_edges = linked.edges
+                            cur_dynamic = linked.dynamic_blocks
+                            cur_entry = linked.entry
+                        linked.entry_count += 1
+                        block = target
+                        continue
+                    # Exit to the interpreter; the exit target becomes a
+                    # start candidate, and (LEI) may complete a cycle
+                    # that installs and immediately enters a new region.
+                    stats.cache_exits += 1
+                    exited_region = region
+                    region = None
+                    cache.now = steps
+                    if profiled:
+                        prof_switch("interpret")
+                    if events_on:
+                        obs.emit(
+                            "cache_exit",
+                            steps,
+                            region_entry=exited_region.entry.full_label,
+                            order=exited_region.selection_order,
+                            exit_target=target.full_label,
+                        )
+                    step = make_step(block, taken, target)
+                    if profiled:
+                        prof_enter("selector_decide")
+                        on_cache_exit(step, exited_region)
+                        prof_exit()
+                    else:
+                        on_cache_exit(step, exited_region)
+                    installed = cache_lookup(target)
+                    if installed is not None:
+                        region = installed
+                        region_is_trace = installed.is_trace
+                        trace_position = 0
+                        walk_insts = 0
+                        if region_is_trace:
+                            path = installed.path
+                            path_len = len(path)
+                            path0 = path[0]
+                            acc = trace_edges.get(installed)
+                            if acc is None:
+                                acc = trace_edges[installed] = (
+                                    [0] * path_len, [0] * path_len)
+                            adv_counts, cyc_counts = acc
+                        else:
+                            cur_blocks = installed.block_set
+                            cur_edges = installed.edges
+                            cur_dynamic = installed.dynamic_blocks
+                            cur_entry = installed.entry
+                        installed.entry_count += 1
+                        stats.cache_entries += 1
+                        if profiled:
+                            prof_switch("cache_walk")
+                        if events_on:
+                            obs.emit(
+                                "cache_entered",
+                                steps,
+                                entry=target.full_label,
+                                order=installed.selection_order,
+                            )
+                block = target
+        finally:
+            stats.interp_steps = interp_steps
+            stats.interp_instructions = interp_insts
+            stats.cache_steps = cache_steps
+            stats.cache_instructions = cache_insts
+            if region is not None:
+                region.executed_instructions += walk_insts
+            cache.now = steps
+            engine.steps_executed = steps
+            engine.instructions_executed = instructions
+
+        # Fold the batched trace-walk edges into the shared profile.
+        for trace, (advances, cycles) in trace_edges.items():
+            trace_path = trace.path
+            for position, hits in enumerate(advances):
+                if hits:
+                    edge = (trace_path[position], trace_path[position + 1])
+                    edge_profile[edge] = edge_get(edge, 0) + hits
+            trace_top = trace_path[0]
+            for position, hits in enumerate(cycles):
+                if hits:
+                    edge = (trace_path[position], trace_top)
+                    edge_profile[edge] = edge_get(edge, 0) + hits
+        return steps
 
     def _fill_metrics(self, stats: RunStats, step_index: int) -> None:
         """Transfer the run's aggregates into the metrics registry.
@@ -462,6 +1122,7 @@ def simulate(
     sample_every: Optional[int] = None,
     icache: Optional[InstructionCache] = None,
     observer: Optional[Observer] = None,
+    fast: bool = True,
 ) -> RunResult:
     """Convenience: execute ``program`` live and simulate the system.
 
@@ -469,10 +1130,18 @@ def simulate(
     examples; experiments that want collect-once/replay-many semantics
     drive :class:`Simulator` with :func:`repro.tracing.replay_trace`
     streams instead.
+
+    ``fast`` selects the fused execute→simulate pipeline (the default;
+    see :meth:`Simulator.run_program`); ``fast=False`` runs the
+    reference generator pipeline instead.  The two produce bit-identical
+    results — the flag only exists so tests and debugging sessions can
+    pin a path (see ``docs/performance.md``).
     """
     engine = ExecutionEngine(program, seed=seed, max_steps=max_steps)
     simulator = Simulator(
         program, selector_name, config,
         sample_every=sample_every, icache=icache, observer=observer,
     )
+    if fast:
+        return simulator.run_program(engine)
     return simulator.run(engine.run())

@@ -6,7 +6,11 @@ them to the region-selection simulator.  We provide the same decoupling:
 * :func:`~repro.tracing.collector.collect_trace` runs an execution
   engine and writes its step stream to a compact binary ``.rtrc`` file;
 * :func:`~repro.tracing.collector.replay_trace` re-yields the identical
-  :class:`~repro.execution.Step` stream from the file.
+  :class:`~repro.execution.Step` stream from the file;
+* :func:`~repro.tracing.collector.replay_trace_into` pushes the same
+  stream into a ``consumer(block, taken, target)`` callback — the
+  allocation-free twin that feeds the simulator's fused pipeline
+  (:meth:`Simulator.run_push <repro.system.simulator.Simulator.run_push>`).
 
 Because the simulator accepts any iterable of steps, experiments can be
 run live (engine → simulator) or in the classic two-phase style
@@ -18,7 +22,12 @@ of region selection have been abstracted out of the framework").
 from repro.tracing.records import TraceHeader
 from repro.tracing.encoder import TraceWriter
 from repro.tracing.decoder import TraceReader
-from repro.tracing.collector import collect_trace, replay_trace, trace_header
+from repro.tracing.collector import (
+    collect_trace,
+    replay_trace,
+    replay_trace_into,
+    trace_header,
+)
 from repro.tracing.jsonl import read_jsonl_trace, write_jsonl_trace
 
 __all__ = [
@@ -27,6 +36,7 @@ __all__ = [
     "TraceReader",
     "collect_trace",
     "replay_trace",
+    "replay_trace_into",
     "trace_header",
     "write_jsonl_trace",
     "read_jsonl_trace",

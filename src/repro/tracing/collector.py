@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import os
-from typing import Iterator, Union
+from typing import Callable, Iterator, Optional, Union
+
+from repro.program.cfg import BasicBlock
 
 from repro.execution.engine import ExecutionEngine
 from repro.execution.events import Step
@@ -28,8 +30,10 @@ def collect_trace(engine: ExecutionEngine, path: PathLike) -> int:
     )
     with open(path, "wb") as fh:
         with TraceWriter(fh, header) as writer:
-            for step in engine.run():
-                writer.write_step(step)
+            # Push mode: the engine calls ``writer.write`` per block, so
+            # collection allocates no Step objects (bit-identical stream
+            # to the reference generator, per the fast-path suite).
+            engine.run_into(writer.write)
             return writer.steps_written
 
 
@@ -38,6 +42,29 @@ def replay_trace(path: PathLike, program: Program) -> Iterator[Step]:
     with open(path, "rb") as fh:
         reader = TraceReader(fh, program)
         yield from reader.steps()
+
+
+def replay_trace_into(
+    path: PathLike,
+    program: Program,
+    consumer: Callable[[BasicBlock, bool, Optional[BasicBlock]], object],
+) -> int:
+    """Push the recorded stream of ``path`` into ``consumer``.
+
+    The fast-path twin of :func:`replay_trace`: pair it with
+    :meth:`Simulator.run_push
+    <repro.system.simulator.Simulator.run_push>` to replay a collected
+    trace through the fused pipeline —
+
+    >>> simulator.run_push(
+    ...     lambda consume: replay_trace_into(path, program, consume)
+    ... )                                                 # doctest: +SKIP
+
+    Returns the number of steps replayed.
+    """
+    with open(path, "rb") as fh:
+        reader = TraceReader(fh, program)
+        return reader.steps_into(consumer)
 
 
 def trace_header(path: PathLike) -> TraceHeader:

@@ -34,23 +34,37 @@ class TraceWriter:
         self.steps_written = 0
         stream.write(header.encode())
 
-    def write_step(self, step: Step) -> None:
+    def write(self, block, taken, target) -> None:
+        """Append one step given as raw ``(block, taken, target)`` fields.
+
+        The push-mode fast path: its signature matches the consumer
+        contract of :meth:`ExecutionEngine.run_into
+        <repro.execution.engine.ExecutionEngine.run_into>`, so a bound
+        ``writer.write`` can collect a trace with no :class:`Step`
+        allocation at all.
+        """
         if self._closed:
             raise TraceFormatError("writer already closed")
-        flags = 0
-        if step.taken:
-            flags |= FLAG_TAKEN
-        block_id = step.block.block_id
+        buffer = self._buffer
+        block_id = block.block_id
         assert block_id is not None
-        self._buffer += RECORD_HEAD.pack(block_id, flags | (FLAG_HAS_TARGET if step.target is not None else 0))
-        if step.target is not None:
-            target_id = step.target.block_id
+        if target is not None:
+            buffer += RECORD_HEAD.pack(
+                block_id, (FLAG_TAKEN | FLAG_HAS_TARGET) if taken
+                else FLAG_HAS_TARGET
+            )
+            target_id = target.block_id
             assert target_id is not None
-            self._buffer += RECORD_TARGET.pack(target_id)
+            buffer += RECORD_TARGET.pack(target_id)
+        else:
+            buffer += RECORD_HEAD.pack(block_id, FLAG_TAKEN if taken else 0)
         self.steps_written += 1
-        if len(self._buffer) >= _FLUSH_THRESHOLD:
-            self._stream.write(self._buffer)
-            self._buffer.clear()
+        if len(buffer) >= _FLUSH_THRESHOLD:
+            self._stream.write(buffer)
+            buffer.clear()
+
+    def write_step(self, step: Step) -> None:
+        self.write(step.block, step.taken, step.target)
 
     def close(self) -> None:
         if not self._closed:

@@ -44,6 +44,19 @@ class TestTimeline:
         result = simulate(call_loop_program, "lei", fast_config)
         assert result.samples == []
 
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_no_duplicate_sample_on_exact_boundary(
+        self, straight_line_program, fast
+    ):
+        # The straight-line program runs exactly 3 steps; with
+        # ``sample_every=3`` the periodic hook samples at step 3, and
+        # the end-of-run sample would land on the very same step — it
+        # must be skipped, not duplicated.
+        result = simulate(straight_line_program, "net", sample_every=3,
+                          fast=fast)
+        steps = [s.step for s in result.samples]
+        assert steps == [3]
+
     def test_window_rates_derive_deltas(self, sampled_run):
         rates = window_rates(sampled_run.samples)
         assert rates

@@ -52,6 +52,16 @@ class TestRunBench:
         assert all(p["seconds"] >= 0 for p in record["phases"].values())
         assert tiny_run["totals"]["steps"] == record["steps"]
 
+    def test_repeats_recorded(self, tiny_run):
+        # Default is best-of-3; the record says how many passes ran.
+        assert tiny_run["workloads"][0]["repeats"] == 3
+
+    def test_single_repeat_run(self):
+        run = run_bench(workloads=TINY, repeats=1)
+        record = run["workloads"][0]
+        assert record["repeats"] == 1
+        assert record["steps"] > 0
+
     def test_behaviour_fingerprint_is_recorded(self, tiny_run):
         record = tiny_run["workloads"][0]
         assert 0 < record["hit_rate"] <= 1

@@ -143,6 +143,32 @@ class TestDeterminismAndLimits:
         steps = engine.run_to_list()
         assert len(steps) == 10
 
+    def test_abandoned_generator_reports_consumed_steps(
+        self, simple_loop_program
+    ):
+        engine = ExecutionEngine(simple_loop_program, seed=1)
+        # A completed run first, so stale counters from it would be
+        # visible if a later partial run failed to overwrite them.
+        total = sum(1 for _ in engine.run())
+        assert engine.steps_executed == total
+
+        stream = engine.run()
+        consumed = [next(stream) for _ in range(5)]
+        stream.close()
+        assert engine.steps_executed == 5
+        assert engine.instructions_executed == sum(
+            step.block.bundle.count for step in consumed
+        )
+
+    def test_run_into_counts_match_generator(self, simple_loop_program):
+        reference = ExecutionEngine(simple_loop_program, seed=1)
+        reference.run_to_list()
+        pushed = ExecutionEngine(simple_loop_program, seed=1)
+        count = pushed.run_into(lambda block, taken, target: None)
+        assert count == reference.steps_executed
+        assert pushed.steps_executed == reference.steps_executed
+        assert pushed.instructions_executed == reference.instructions_executed
+
     def test_unfinalized_program_rejected(self):
         pb = ProgramBuilder("raw")
         main = pb.procedure("main")

@@ -91,6 +91,35 @@ class TestEntriesAfterAndTruncate:
         assert buf.hash_lookup(blocks[1]).seq == keep.seq
         assert list(buf.entries_after(keep.seq)) == []
 
+    def test_target_hash_never_outgrows_capacity(self, blocks):
+        # Ring wrap over ten distinct targets: without hash eviction on
+        # overwrite, the hash grows with distinct-targets-ever-seen and
+        # leaks past the ring's capacity.
+        buf = BranchHistoryBuffer(4)
+        for i in range(40):
+            buf.record(blocks[i % 10], blocks[(i + 1) % 10])
+            assert len(buf._target_hash) <= buf.capacity
+
+    def test_truncate_evicts_hash_pointers(self, blocks):
+        buf = BranchHistoryBuffer(8)
+        _, kept = buf.record(blocks[0], blocks[1])
+        for i in range(2, 7):
+            buf.record(blocks[i - 1], blocks[i])
+        buf.truncate_after(kept.seq)
+        # Only the surviving entry's target may remain hashed; the
+        # truncated occurrences must not linger as dead pointers.
+        assert len(buf._target_hash) == 1
+        assert buf.hash_lookup(blocks[1]) is kept
+
+    def test_record_returns_previous_occurrence_then_updates(self, blocks):
+        buf = BranchHistoryBuffer(8)
+        old, first = buf.record(blocks[0], blocks[1])
+        assert old is None
+        old, second = buf.record(blocks[2], blocks[1])
+        # The cycle test must see the occurrence *before* this insert.
+        assert old is first
+        assert buf.hash_lookup(blocks[1]) is second
+
     def test_truncate_then_reinsert_no_ghost_hits(self, blocks):
         buf = BranchHistoryBuffer(8)
         base = buf.insert(blocks[0], blocks[1])

@@ -114,6 +114,24 @@ class TestSinks:
         assert [e.kind for e in events] == ["region_installed", "cache_flushed"]
         assert events[1].get("bytes") == 100
 
+    def test_jsonl_sink_flushes_mid_run(self, tmp_path):
+        # Killed-worker scenario: the sink is never closed.  Everything
+        # up to the last flush boundary must already be on disk — the
+        # whole point of an event log is surviving the crash it
+        # records the run-up to.
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlSink(path, flush_every=4)
+        for step in range(1, 6):
+            sink.write(make_event("cache_exit", step))
+        with open(path, encoding="utf-8") as handle:
+            events = list(parse_events(handle))
+        assert len(events) >= 4
+        sink.close()
+
+    def test_jsonl_sink_flush_every_validated(self):
+        with pytest.raises(ObservabilityError):
+            JsonlSink(io.StringIO(), flush_every=0)
+
     def test_tee_fans_out(self):
         a, b = CollectingSink(), CollectingSink(min_severity="info")
         tee = TeeSink([a, b])
