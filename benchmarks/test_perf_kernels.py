@@ -14,6 +14,7 @@ from repro.selection.marking import mark_rejoining_paths
 from repro.selection.region_cfg import build_observed_cfg
 from repro.system.simulator import Simulator
 from repro.workloads import build_benchmark
+from repro.workloads.micro import build_micro
 
 
 @pytest.fixture(scope="module")
@@ -38,6 +39,21 @@ def test_simulator_throughput(benchmark, small_program, selector):
 
     result = benchmark(run)
     assert result.total_instructions_executed > 0
+
+
+def test_cache_walk_linked_chain(benchmark):
+    # The trace-linking stress kernel: a long chain of tiny hot loops
+    # whose steady state is almost entirely region->region transfers,
+    # so the timing is dominated by the `cache_walk` phase and the
+    # link-patched dispatch path (see docs/performance.md).
+    program = build_micro("linked_chain", iterations=400)
+
+    def run():
+        simulator = Simulator(program, "net", SystemConfig())
+        return simulator.run_program(seed=1)
+
+    result = benchmark(run)
+    assert result.stats.region_transitions > 1000
 
 
 def test_compact_trace_round_trip(benchmark, small_program):

@@ -29,6 +29,7 @@ from repro.metrics.summary import MetricReport
 from repro.obs import Observer, SpanTimer
 from repro.system.simulator import simulate
 from repro.workloads import build_benchmark
+from repro.workloads.micro import build_micro
 
 #: Bumped on incompatible changes to the BENCH_run.json schema.
 BENCH_VERSION = 1
@@ -50,13 +51,28 @@ class BenchWorkload:
 
 #: The pinned set: the two headline selectors plus both combined
 #: variants, over benchmarks that stress different paths (gzip = tight
-#: loops, gcc = the largest CFG, mcf = cycle-heavy, vortex = call-heavy).
+#: loops, gcc = the largest CFG, mcf = cycle-heavy, vortex = call-heavy,
+#: chain = region->region transfers, i.e. the trace-linking fast path).
 STANDARD_WORKLOADS: Tuple[BenchWorkload, ...] = (
     BenchWorkload("gzip-net", "gzip", "net", scale=0.5),
     BenchWorkload("gcc-lei", "gcc", "lei", scale=0.5),
     BenchWorkload("mcf-combined-lei", "mcf", "combined-lei", scale=0.5),
     BenchWorkload("vortex-combined-net", "vortex", "combined-net", scale=0.5),
+    BenchWorkload("chain-net", "micro:linked_chain", "net", scale=0.5),
 )
+
+#: Iterations a ``micro:`` workload runs at ``scale=1.0``; scaled
+#: linearly like the SPEC stand-ins so quick and standard runs stay
+#: proportional.
+MICRO_BASE_ITERATIONS = 6000
+
+
+def _build_bench_program(benchmark: str, scale: float):
+    """Build a bench program; ``micro:<name>`` selects a microbenchmark."""
+    if benchmark.startswith("micro:"):
+        iterations = max(1, int(round(scale * MICRO_BASE_ITERATIONS)))
+        return build_micro(benchmark[len("micro:"):], iterations=iterations)
+    return build_benchmark(benchmark, scale=scale)
 
 #: Reduced-scale variant for CI smoke runs (same pairs, same seeds).
 QUICK_WORKLOADS: Tuple[BenchWorkload, ...] = tuple(
@@ -81,7 +97,7 @@ def _run_workload(workload: BenchWorkload, config: SystemConfig,
     deterministic, so a mismatch means the simulator is broken, and
     the harness refuses to report a throughput number for it.
     """
-    program = build_benchmark(workload.benchmark, scale=workload.scale)
+    program = _build_bench_program(workload.benchmark, workload.scale)
     best_snapshot = None
     fingerprint = None
     for _ in range(max(1, repeats)):

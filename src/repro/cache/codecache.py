@@ -23,13 +23,17 @@ are defined over.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set, TYPE_CHECKING
 
 from repro.cache.region import Region
 from repro.cache.sizing import STUB_BYTES
 from repro.errors import CacheError
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.program.cfg import BasicBlock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache.dispatch import DispatchTable
+    from repro.program.program import Program
 
 
 class CodeCache:
@@ -44,6 +48,16 @@ class CodeCache:
         #: Every region ever selected, in selection order.
         self.regions: List[Region] = []
         self._by_entry: Dict[BasicBlock, Region] = {}
+        #: Flat residency mirror of ``_by_entry``, indexed by interned
+        #: block id (``bind_program``); ``None`` until a program is
+        #: bound.  The fast paths index this list instead of hashing
+        #: blocks.
+        self._resident_by_id: Optional[List[Optional[Region]]] = None
+        #: The active run's dispatch-compilation layer
+        #: (:class:`~repro.cache.dispatch.DispatchTable`), bound by the
+        #: fused fast path for the duration of one run so installs and
+        #: evictions keep walk tables and trace links patched.
+        self.dispatch: Optional["DispatchTable"] = None
         self._next_order = 0
         #: Simulation clock (step index), advanced by the simulator so
         #: insertions can be timestamped for timeline analysis.
@@ -56,6 +70,34 @@ class CodeCache:
         self.evictions = 0
         self.flushes = 0
         self.regenerations = 0
+
+    def bind_program(self, program: "Program") -> None:
+        """Enable flat id-indexed residency for ``program``'s blocks.
+
+        Finalized programs carry dense block ids, so residency becomes
+        one list index in the hot loops.  Safe to call with regions
+        already resident (the mirror is rebuilt); binding a different
+        program resets the mirror to the new id space.
+        """
+        flat: List[Optional[Region]] = [None] * len(program.blocks)
+        for region in self._by_entry.values():
+            flat[region.entry.block_id] = region
+        self._resident_by_id = flat
+
+    def bind_dispatch(self, dispatch: "DispatchTable") -> None:
+        """Attach one run's dispatch layer; compiles resident regions.
+
+        While bound, every install/evict/flush keeps the dispatch's
+        walk tables and link patches in sync with residency.  The fast
+        path unbinds it when the run ends (tables hold per-run decision
+        closures and must not leak into the next run).
+        """
+        self.dispatch = dispatch
+        for region in self.resident_regions:
+            dispatch.install(region)
+
+    def unbind_dispatch(self) -> None:
+        self.dispatch = None
 
     def lookup(self, block: Optional[BasicBlock]) -> Optional[Region]:
         """Return the *resident* region whose entry is ``block``, if any.
@@ -87,6 +129,12 @@ class CodeCache:
         self._next_order += 1
         self.regions.append(region)
         self._by_entry[region.entry] = region
+        flat = self._resident_by_id
+        if flat is not None:
+            flat[region.entry.block_id] = region
+        dispatch = self.dispatch
+        if dispatch is not None:
+            dispatch.install(region)
         observer = self.observer
         if observer.metrics is not None:
             observer.count("regions_installed_total", kind=region.kind)
@@ -202,50 +250,59 @@ class BoundedCodeCache(CodeCache):
         else:
             self._evict_fifo(needed)
 
-    def _flush(self) -> None:
-        self.flushes += 1
-        evicted = len(self._by_entry)
-        self.evictions += evicted
+    def _retire_region(self, victim: Region, policy: str) -> None:
+        """The one eviction path — every victim leaves through here.
+
+        Drops residency (dict *and* the flat id-indexed mirror),
+        invalidates the victim's walk table and every trace link
+        patched to point at it (when a run's dispatch layer is bound —
+        a stale link would chain execution into evicted code), records
+        it for regeneration accounting, and emits the eviction metric
+        and event.  Both the flush and FIFO policies delegate here so
+        per-region derived state can never be cleared in one place and
+        leak in another.
+        """
+        del self._by_entry[victim.entry]
+        flat = self._resident_by_id
+        if flat is not None:
+            flat[victim.entry.block_id] = None
+        dispatch = self.dispatch
+        if dispatch is not None:
+            dispatch.retire(victim)
+        self._ever_evicted.add(victim.entry)
+        self.evictions += 1
         observer = self.observer
         if observer.metrics is not None:
-            observer.count("cache_evictions_total", evicted, policy="flush")
-            observer.count("cache_flushes_total")
+            observer.count("cache_evictions_total", policy=policy)
         if observer.events_enabled:
-            freed = self.resident_bytes
-            for victim in self.resident_regions:
-                observer.emit(
-                    "cache_evicted",
-                    self.now,
-                    entry=victim.entry.full_label,
-                    order=victim.selection_order,
-                    bytes=self.region_bytes(victim),
-                    policy="flush",
-                )
             observer.emit(
-                "cache_flushed", self.now, regions=evicted, bytes=freed
+                "cache_evicted",
+                self.now,
+                entry=victim.entry.full_label,
+                order=victim.selection_order,
+                bytes=self.region_bytes(victim),
+                policy=policy,
             )
-        self._ever_evicted.update(self._by_entry)
-        self._by_entry.clear()
+
+    def _flush(self) -> None:
+        self.flushes += 1
+        victims = self.resident_regions
+        freed = self.resident_bytes
+        observer = self.observer
+        if observer.metrics is not None:
+            observer.count("cache_flushes_total")
+        for victim in victims:
+            self._retire_region(victim, "flush")
+        if observer.events_enabled:
+            observer.emit(
+                "cache_flushed", self.now, regions=len(victims), bytes=freed
+            )
 
     def _evict_fifo(self, needed: int) -> None:
-        observer = self.observer
         for victim in self.resident_regions:
             if self.resident_bytes + needed <= self.capacity_bytes:
                 return
-            del self._by_entry[victim.entry]
-            self._ever_evicted.add(victim.entry)
-            self.evictions += 1
-            if observer.metrics is not None:
-                observer.count("cache_evictions_total", policy="fifo")
-            if observer.events_enabled:
-                observer.emit(
-                    "cache_evicted",
-                    self.now,
-                    entry=victim.entry.full_label,
-                    order=victim.selection_order,
-                    bytes=self.region_bytes(victim),
-                    policy="fifo",
-                )
+            self._retire_region(victim, "fifo")
 
 
 def make_cache(

@@ -168,7 +168,14 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_inspect(args: argparse.Namespace) -> int:
     from repro.obs import format_summary, load_events, summarize_events
 
-    summary = summarize_events(load_events(args.events))
+    try:
+        # load_events streams lazily, so the missing-file error only
+        # surfaces once summarization starts consuming it.
+        summary = summarize_events(load_events(args.events))
+    except (FileNotFoundError, IsADirectoryError):
+        print(f"error: no event log at {args.events!r} (write one with "
+              f"`repro run ... --trace-events PATH`)", file=sys.stderr)
+        return 2
     print(format_summary(summary))
     return 0
 
@@ -202,7 +209,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
         baseline_path = write_baseline(snapshot, args.baseline,
                                        quick=args.quick)
         print(f"baseline updated at {baseline_path}", file=sys.stderr)
-    if args.check and deltas is not None:
+    if args.check:
+        if deltas is None:
+            print("error: --check needs a baseline, but none was found "
+                  "(run `repro bench --update-baseline` to pin one)",
+                  file=sys.stderr)
+            return 2
+        if deltas["skipped"]:
+            missing = ", ".join(deltas["skipped"])
+            print(f"error: baseline has no comparable entry for: {missing} "
+                  f"(re-pin with `repro bench --update-baseline`)",
+                  file=sys.stderr)
+            return 2
         failures = regression_failures(deltas, tolerance=args.tolerance)
         if failures:
             for failure in failures:

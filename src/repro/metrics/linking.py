@@ -13,7 +13,7 @@ indirect jumps) resolve through the dispatcher and are not links.
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Iterable, Set
 
 from repro.cache.region import Region
 from repro.isa.opcodes import BranchKind
@@ -39,12 +39,34 @@ def _direct_exit_targets(region: Region) -> Set[BasicBlock]:
     return targets
 
 
-def inter_region_links(result: RunResult) -> int:
-    """Number of direct exit-stub -> region-entry links in the cache."""
-    entries = {region.entry for region in result.regions}
+def _count_links(regions: Iterable[Region]) -> int:
+    """Direct exit-stub -> region-entry links within ``regions``."""
+    regions = list(regions)
+    entries = {region.entry for region in regions}
     links = 0
-    for region in result.regions:
+    for region in regions:
         for target in _direct_exit_targets(region):
             if target in entries and target is not region.entry:
                 links += 1
     return links
+
+
+def inter_region_links(result: RunResult) -> int:
+    """Number of direct exit-stub -> region-entry links in the cache.
+
+    Counted over every region ever selected (eviction does not erase
+    the optimizer work of emitting a link), matching the other static
+    expansion metrics.
+    """
+    return _count_links(result.regions)
+
+
+def resident_inter_region_links(result: RunResult) -> int:
+    """Links between currently *resident* regions only.
+
+    This is the set of patches the dispatch-compilation layer
+    (:mod:`repro.cache.dispatch`) keeps live at any instant: a bounded
+    cache that evicted a link's source or target no longer holds that
+    link.  Equals :func:`inter_region_links` for unbounded runs.
+    """
+    return _count_links(result.cache.resident_regions)

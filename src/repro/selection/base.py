@@ -101,6 +101,18 @@ class RegionSelector(abc.ABC):
     on_interpreted_taken_raw = None
     on_cache_enter_raw = None
 
+    # -- dispatch-compilation contract ----------------------------------
+    # The fused fast path compiles every resident region into a flat
+    # walk table at install time and *link-patches* region exits whose
+    # target is another resident region's entry
+    # (:mod:`repro.cache.dispatch`).  A patched transition chains
+    # region-to-region without a cache lookup — and therefore without
+    # calling ``on_cache_exit`` / ``on_cache_enter``, exactly like the
+    # reference pipeline, which never surfaces cached-to-cached
+    # transfers to the selector either.  Selectors must not assume they
+    # see every region transition; they see only genuine cache exits to
+    # the interpreter and interpreted entries, same as before.
+
     # -- observability helpers ------------------------------------------
     def _reject(self, head, reason: str) -> None:
         """Account one abandoned region candidate (``region_rejected``).

@@ -45,8 +45,9 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Protocol, Tuple
 
 from repro.cache.codecache import make_cache
+from repro.cache.dispatch import DispatchTable
 from repro.cache.icache import InstructionCache
-from repro.cache.region import Region, TraceRegion
+from repro.cache.region import Region
 from repro.errors import ReproError, SelectionError
 from repro.execution.engine import ExecutionEngine
 from repro.execution.events import Step
@@ -156,6 +157,10 @@ class Simulator:
             self.config.cache_capacity_bytes, self.config.cache_eviction_policy
         )
         self.cache.observer = self.observer
+        if program.is_finalized:
+            # Finalized programs carry dense block ids; flat id-indexed
+            # residency replaces dict hashing in the fast paths.
+            self.cache.bind_program(program)
         self.selector: RegionSelector = make_selector(
             selector_name, self.cache, self.config, program
         )
@@ -503,9 +508,14 @@ class Simulator:
         generator suspension, no :class:`Step` unpacking.  ``Step``
         objects are built only where selectors need them: on every
         interpreted step and at cache exits; the cache walk — the bulk
-        of a hot run — allocates nothing.  Must mirror
-        :meth:`_run_loop` decision-for-decision (the bit-identity suite
-        in ``tests/test_fast_path.py`` compares the two).
+        of a hot run — allocates nothing.  Residency lookups index the
+        cache's flat id-keyed mirror when a finalized program is bound
+        (one list index per taken branch instead of a dict probe), and
+        the region walk inlines ``position_after`` /
+        ``stays_internal`` against locals rebound at region entry.
+        Must mirror :meth:`_run_loop` decision-for-decision (the
+        bit-identity suite in ``tests/test_fast_path.py`` compares the
+        two).
         """
         selector = self.selector
         cache = self.cache
@@ -516,6 +526,13 @@ class Simulator:
         on_cache_enter = selector.on_cache_enter
         on_cache_exit = selector.on_cache_exit
         cache_lookup = cache.lookup
+        # Flat id-indexed residency (``bind_program``).  Identity of
+        # the resident region's entry is still the lookup contract, so
+        # a block with a colliding id (hand-built streams over another
+        # program) can never match; blocks without ids fall out as
+        # not-cached, exactly like the dict probe they replace.
+        resident = cache._resident_by_id
+        use_flat = resident is not None
         edge_get = edge_profile.get
         make_step = Step
         profiled = prof is not None
@@ -524,9 +541,21 @@ class Simulator:
         region: Optional[Region] = None  # None => interpreting
         trace_position = 0
         region_is_trace = False
+        # Per-region walk locals, rebound at each region entry — the
+        # inlined twins of TraceRegion.position_after and
+        # CFGRegion.stays_internal, so a walk step makes no method call.
+        path: Tuple[BasicBlock, ...] = ()
+        path_len = 0
+        path0: Optional[BasicBlock] = None
+        cur_blocks: FrozenSet[BasicBlock] = frozenset()
+        cur_edges: FrozenSet[Tuple[BasicBlock, BasicBlock]] = frozenset()
+        cur_dynamic: FrozenSet[BasicBlock] = frozenset()
+        cur_entry: Optional[BasicBlock] = None
 
         def consume(block, taken, target):
             nonlocal step_index, region, trace_position, region_is_trace
+            nonlocal path, path_len, path0
+            nonlocal cur_blocks, cur_edges, cur_dynamic, cur_entry
             step_index += 1
             cache.now = step_index
             if step_hooks:
@@ -546,7 +575,14 @@ class Simulator:
                 stats.interp_steps += 1
                 stats.interp_instructions += block.bundle.count
                 if taken and target is not None:
-                    entered = cache_lookup(target)
+                    if use_flat:
+                        tid = target.block_id
+                        entered = resident[tid] if tid is not None else None
+                        if (entered is not None
+                                and entered.entry is not target):
+                            entered = None
+                    else:
+                        entered = cache_lookup(target)
                     if entered is not None:
                         # The branch entering the cache is a history
                         # boundary: never profiled (Figure 5 lines 1-3),
@@ -569,6 +605,15 @@ class Simulator:
                         region = entered
                         region_is_trace = entered.is_trace
                         trace_position = 0
+                        if region_is_trace:
+                            path = entered.path
+                            path_len = len(path)
+                            path0 = path[0]
+                        else:
+                            cur_blocks = entered.block_set
+                            cur_edges = entered.edges
+                            cur_dynamic = entered.dynamic_blocks
+                            cur_entry = entered.entry
                         entered.entry_count += 1
                         stats.cache_entries += 1
                         if profiled:
@@ -597,16 +642,23 @@ class Simulator:
                     icache.touch(base + offset, block.byte_size)
 
             if region_is_trace:
-                next_position = current.position_after(
-                    trace_position, taken, target)
-                if next_position is not None:
-                    if next_position == 0 and taken:
-                        current.cycle_backs += 1
+                # Inlined TraceRegion.position_after: advance to the
+                # next path block, or a taken branch back to the top.
+                next_position = trace_position + 1
+                if next_position < path_len and target is path[next_position]:
                     trace_position = next_position
                     return
+                if taken and target is path0:
+                    current.cycle_backs += 1
+                    trace_position = 0
+                    return
             else:
-                if current.stays_internal(block, taken, target):
-                    if target is current.entry:
+                # Inlined CFGRegion.stays_internal.
+                if target is not None and target in cur_blocks and (
+                        not taken
+                        or block not in cur_dynamic
+                        or (block, target) in cur_edges):
+                    if target is cur_entry:
                         current.cycle_backs += 1
                     return
 
@@ -617,13 +669,28 @@ class Simulator:
                 if profiled:
                     prof.switch("interpret")
                 return
-            linked = cache_lookup(target)
+            if use_flat:
+                tid = target.block_id
+                linked = resident[tid] if tid is not None else None
+                if linked is not None and linked.entry is not target:
+                    linked = None
+            else:
+                linked = cache_lookup(target)
             if linked is not None:
                 # A linked exit stub: direct region-to-region jump.
                 stats.region_transitions += 1
                 region = linked
                 region_is_trace = linked.is_trace
                 trace_position = 0
+                if region_is_trace:
+                    path = linked.path
+                    path_len = len(path)
+                    path0 = path[0]
+                else:
+                    cur_blocks = linked.block_set
+                    cur_edges = linked.edges
+                    cur_dynamic = linked.dynamic_blocks
+                    cur_entry = linked.entry
                 linked.entry_count += 1
                 return
             # Exit to the interpreter; the exit target becomes a start
@@ -648,11 +715,26 @@ class Simulator:
                 prof.exit()
             else:
                 on_cache_exit(step, current)
-            installed = cache_lookup(target)
+            if use_flat:
+                tid = target.block_id
+                installed = resident[tid] if tid is not None else None
+                if installed is not None and installed.entry is not target:
+                    installed = None
+            else:
+                installed = cache_lookup(target)
             if installed is not None:
                 region = installed
                 region_is_trace = installed.is_trace
                 trace_position = 0
+                if region_is_trace:
+                    path = installed.path
+                    path_len = len(path)
+                    path0 = path[0]
+                else:
+                    cur_blocks = installed.block_set
+                    cur_edges = installed.edges
+                    cur_dynamic = installed.dynamic_blocks
+                    cur_entry = installed.entry
                 installed.entry_count += 1
                 stats.cache_entries += 1
                 if profiled:
@@ -683,13 +765,20 @@ class Simulator:
 
         :meth:`run_program`'s loop body.  Where :meth:`_run_push` still
         pays one consumer call per step, this loop inlines the engine's
-        block-decision dispatch (via the engine's per-block deciders)
-        *and* the simulator's per-step logic into a single ``while``, so
-        a cache-walk step — the bulk of a hot run — executes no Python
-        calls at all beyond the occasional branch-model consultation.
-        Decision-for-decision it must mirror :meth:`_run_loop`; the
-        bit-identity suite in ``tests/test_fast_path.py`` compares the
-        two over every (benchmark × selector) cell.
+        block-decision dispatch *and* the simulator's per-step logic
+        into a single ``while`` over compiled *walk tables*
+        (:mod:`repro.cache.dispatch`): every region install compiles a
+        flat per-position table — pre-bound decision closure,
+        instruction count, layout offsets, patched trace links — so a
+        cache-walk step indexes parallel tuples instead of touching
+        region or block attributes, maximal statically-advancing spans
+        of a trace are consumed in one bound (*static runs*), and a
+        region exit whose statically-known target is another resident
+        region's entry chains through the patched link slot without any
+        residency lookup at all.  Decision-for-decision it must mirror
+        :meth:`_run_loop`; the bit-identity suite in
+        ``tests/test_fast_path.py`` compares the two over every
+        (benchmark × selector × cache-policy) cell.
 
         Bit-identity-preserving shortcuts, and why they are safe:
 
@@ -704,6 +793,21 @@ class Simulator:
           that take them (the base-class no-op hooks are skipped
           entirely, so e.g. LEI pays nothing per untaken interpreted
           step);
+        * walk-table decision closures are the *same objects* the
+          interpret path uses (one shared per-block memo indexed by
+          interned id), so per-site decision state never forks between
+          contexts; building a closure consumes no randomness, so eager
+          compilation at install time leaves the RNG stream untouched;
+        * a static run batches only decisions that are constant
+          ``(taken, target)`` tuples advancing along the trace —
+          evaluating them stepwise has no side effects — and batching
+          is disabled when per-step observers (step hooks, an icache
+          model) are registered;
+        * a patched link slot holds exactly what ``CodeCache.lookup``
+          would return for that exit's statically-known target — the
+          dispatch layer re-patches every slot on install and eviction,
+          and dynamic-target exits (returns, indirect jumps) fall back
+          to the flat residency table;
         * trace-walk edge counts are keyed by *path position* in flat
           lists and folded into ``edge_profile`` once at the end — the
           walked edge is fully determined by the position, and dict
@@ -734,11 +838,6 @@ class Simulator:
         # build a Step and use the standard hook.
         on_taken_raw = _raw_hook(selector, "on_interpreted_taken")
         on_enter_raw = _raw_hook(selector, "on_cache_enter")
-        # Direct hash access in place of CodeCache.lookup: every lookup
-        # below has already checked ``target is not None``, and both
-        # cache variants mutate ``_by_entry`` strictly in place (flush
-        # uses ``clear()``), so the bound ``get`` never goes stale.
-        cache_lookup = cache._by_entry.get
         edge_get = edge_profile.get
         make_step = Step
         profiled = prof is not None
@@ -748,65 +847,99 @@ class Simulator:
             prof_switch = prof.switch
 
         stack, ctx = engine._push_state()
-        deciders: Dict[BasicBlock, object] = {}
-        deciders_get = deciders.get
+        program = engine.program
+        # Interned per-block decision closures, indexed by dense block
+        # id: one shared memo serving the interpret path and every
+        # compiled walk table, so per-site decision state lives in
+        # exactly one closure regardless of execution context.
+        deciders: List[object] = [None] * len(program.blocks)
         make_decider = engine._decider_for
-        block: Optional[BasicBlock] = engine.program.entry
+
+        def decider_for(b, _deciders=deciders, _make=make_decider,
+                        _stack=stack, _ctx=ctx):
+            bid = b.block_id
+            decide = _deciders[bid]
+            if decide is None:
+                decide = _deciders[bid] = _make(b, _stack, _ctx)
+            return decide
+
+        dispatch = DispatchTable(program, decider_for)
+        cache.bind_dispatch(dispatch)
+        # Flat residency by interned entry id — the HASH-LOOKUP of
+        # Figures 5/13 reduced to one list index; kept patched by the
+        # cache across installs, evictions, and flushes.
+        tables_by_entry = dispatch.tables_by_entry
+
+        block: Optional[BasicBlock] = program.entry
         max_steps = engine.max_steps
         steps = 0
-        instructions = 0
+        # Static-run batching folds whole trace spans into one loop
+        # iteration, so it is valid only when nothing observes
+        # individual steps.
+        can_batch = not step_hooks and icache is None
 
         # Hot counters, kept local (see the flush discipline above).
+        # Every step is either interpreted or cached, so the cache-side
+        # step count is derived at flush points (``steps`` minus the
+        # interpreted count) instead of accumulated per walk step, and
+        # cache instructions accumulate per region stint
+        # (``walk_insts``), flushed into ``cache_insts`` when the stint
+        # ends.
         interp_steps = 0
         interp_insts = 0
-        cache_steps = 0
         cache_insts = 0
 
         region: Optional[Region] = None  # None => interpreting
+        cur_table = None
+        cur_is_trace = False
         trace_position = 0
-        region_is_trace = False
         walk_insts = 0  # current region stint, flushed on region change
-        # Trace-walk locals, rebound at each region entry.
+        # Trace walk-table locals, rebound at each region entry.
         path: Tuple[BasicBlock, ...] = ()
         path_len = 0
         path0: Optional[BasicBlock] = None
-        adv_counts: List[int] = []
-        cyc_counts: List[int] = []
-        # CFG-walk locals, likewise.
+        wt_deciders: List[object] = []
+        wt_counts: Tuple[int, ...] = ()
+        run_len: Tuple[int, ...] = ()
+        run_insts: Tuple[int, ...] = ()
+        run_hits: List[int] = []
+        adv: List[int] = []
+        cyc: List[int] = []
+        dyn_exit: Tuple[bool, ...] = ()
+        link_taken: List[object] = []
+        link_fall: List[object] = []
+        # CFG walk-table locals, likewise.
+        cur_records: Dict[BasicBlock, list] = {}
         cur_blocks: FrozenSet[BasicBlock] = frozenset()
-        cur_edges: FrozenSet[Tuple[BasicBlock, BasicBlock]] = frozenset()
-        cur_dynamic: FrozenSet[BasicBlock] = frozenset()
         cur_entry: Optional[BasicBlock] = None
-        #: region -> ([advance count per position], [cycle count per
-        #: position]); folded into ``edge_profile`` after the loop.
-        trace_edges: Dict[TraceRegion, Tuple[List[int], List[int]]] = {}
 
         if profiled:
             prof.enter("interpret")
         try:
             while block is not None and steps < max_steps:
-                steps += 1
-                decide = deciders_get(block)
-                if decide is None:
-                    decide = deciders[block] = make_decider(block, stack, ctx)
-                if decide.__class__ is tuple:
-                    taken, target = decide
-                else:
-                    taken, target = decide(steps)
-                count = block.bundle.count
-                instructions += count
-
-                if step_hooks:
-                    cache.now = steps
-                    stats.interp_steps = interp_steps
-                    stats.interp_instructions = interp_insts
-                    stats.cache_steps = cache_steps
-                    stats.cache_instructions = cache_insts
-                    for hook in step_hooks:
-                        hook.on_step(steps)
-
                 if region is None:
                     # ---- interpreting ---------------------------------
+                    steps += 1
+                    bid = block.block_id
+                    decide = deciders[bid]
+                    if decide is None:
+                        decide = deciders[bid] = make_decider(
+                            block, stack, ctx)
+                    if decide.__class__ is tuple:
+                        taken, target = decide
+                    else:
+                        taken, target = decide(steps)
+                    count = block.bundle.count
+
+                    if step_hooks:
+                        cache.now = steps
+                        stats.interp_steps = interp_steps
+                        stats.interp_instructions = interp_insts
+                        stats.cache_steps = steps - 1 - interp_steps
+                        stats.cache_instructions = cache_insts + walk_insts
+                        for hook in step_hooks:
+                            hook.on_step(steps)
+
                     if target is not None:
                         edge = (block, target)
                         prior = edge_get(edge)
@@ -825,8 +958,8 @@ class Simulator:
                     interp_insts += count
                     if taken and target is not None:
                         cache.now = steps
-                        entered = cache_lookup(target)
-                        if entered is not None:
+                        entered_table = tables_by_entry[target.block_id]
+                        if entered_table is not None:
                             # The branch entering the cache is a history
                             # boundary: never profiled (Figure 5 lines
                             # 1-3), but LEI records it so its buffer has
@@ -837,58 +970,64 @@ class Simulator:
                                 if step is None:
                                     step = make_step(block, taken, target)
                                 on_cache_enter(step)
-                        elif on_taken_raw is not None and step is None:
-                            if profiled:
-                                prof_enter("selector_decide")
-                                entered = on_taken_raw(block, taken, target)
-                                prof_exit()
-                            else:
-                                entered = on_taken_raw(block, taken, target)
-                            if (entered is not None
-                                    and entered.entry is not target):
-                                raise SelectionError(
-                                    f"selector {selector.name} returned a "
-                                    f"region entered at "
-                                    f"{entered.entry.full_label} for a "
-                                    f"branch to {target.full_label}"
-                                )
                         else:
-                            if step is None:
-                                step = make_step(block, taken, target)
-                            if profiled:
-                                prof_enter("selector_decide")
-                                entered = on_interpreted_taken(step)
-                                prof_exit()
+                            if on_taken_raw is not None and step is None:
+                                if profiled:
+                                    prof_enter("selector_decide")
+                                    entered = on_taken_raw(
+                                        block, taken, target)
+                                    prof_exit()
+                                else:
+                                    entered = on_taken_raw(
+                                        block, taken, target)
                             else:
-                                entered = on_interpreted_taken(step)
-                            if (entered is not None
-                                    and entered.entry is not target):
-                                raise SelectionError(
-                                    f"selector {selector.name} returned a "
-                                    f"region entered at "
-                                    f"{entered.entry.full_label} for a "
-                                    f"branch to {target.full_label}"
-                                )
-                        if entered is not None:
-                            region = entered
-                            region_is_trace = entered.is_trace
+                                if step is None:
+                                    step = make_step(block, taken, target)
+                                if profiled:
+                                    prof_enter("selector_decide")
+                                    entered = on_interpreted_taken(step)
+                                    prof_exit()
+                                else:
+                                    entered = on_interpreted_taken(step)
+                            if entered is not None:
+                                if entered.entry is not target:
+                                    raise SelectionError(
+                                        f"selector {selector.name} returned "
+                                        f"a region entered at "
+                                        f"{entered.entry.full_label} for a "
+                                        f"branch to {target.full_label}"
+                                    )
+                                # A selector-returned region (LEI's
+                                # ``jump newT``): resident after the
+                                # selector's install, or compiled on
+                                # the spot for a region the selector
+                                # chose not to install.
+                                entered_table = dispatch.table_for(entered)
+                        if entered_table is not None:
+                            region = entered_table.region
+                            cur_table = entered_table
+                            cur_is_trace = entered_table.is_trace
                             trace_position = 0
                             walk_insts = 0
-                            if region_is_trace:
-                                path = entered.path
-                                path_len = len(path)
-                                path0 = path[0]
-                                acc = trace_edges.get(entered)
-                                if acc is None:
-                                    acc = trace_edges[entered] = (
-                                        [0] * path_len, [0] * path_len)
-                                adv_counts, cyc_counts = acc
+                            if cur_is_trace:
+                                path = entered_table.path
+                                path_len = entered_table.path_len
+                                path0 = entered_table.path0
+                                wt_deciders = entered_table.deciders
+                                wt_counts = entered_table.counts
+                                run_len = entered_table.run_len
+                                run_insts = entered_table.run_insts
+                                run_hits = entered_table.run_hits
+                                adv = entered_table.adv
+                                cyc = entered_table.cyc
+                                dyn_exit = entered_table.dyn_exit
+                                link_taken = entered_table.link_taken
+                                link_fall = entered_table.link_fall
                             else:
-                                cur_blocks = entered.block_set
-                                cur_edges = entered.edges
-                                cur_dynamic = entered.dynamic_blocks
-                                cur_entry = entered.entry
-                            entered.entry_count += 1
+                                cur_records = entered_table.records
+                                cur_blocks = entered_table.blocks
+                                cur_entry = entered_table.entry
+                            region.entry_count += 1
                             stats.cache_entries += 1
                             if profiled:
                                 prof_switch("cache_walk")
@@ -897,172 +1036,249 @@ class Simulator:
                                     "cache_entered",
                                     steps,
                                     entry=target.full_label,
-                                    order=entered.selection_order,
+                                    order=region.selection_order,
                                 )
-                else:
-                    # ---- executing in the cache -----------------------
-                    cache_steps += 1
-                    cache_insts += count
-                    walk_insts += count
+                    block = target
+                    continue
+
+                # ---- executing in the cache ---------------------------
+                if cur_is_trace:
+                    pos = trace_position
+                    if can_batch:
+                        span = run_len[pos]
+                        if span:
+                            remaining = max_steps - steps
+                            if span <= remaining:
+                                batch_insts = run_insts[pos]
+                                run_hits[pos] += 1
+                            else:
+                                # The step budget ends inside the span:
+                                # consume only what fits, recording the
+                                # walked edges position by position.
+                                span = remaining
+                                batch_insts = 0
+                                for i in range(pos, pos + span):
+                                    batch_insts += wt_counts[i]
+                                    adv[i] += 1
+                            steps += span
+                            walk_insts += batch_insts
+                            pos += span
+                            trace_position = pos
+                            block = path[pos]
+                            continue
+                    steps += 1
+                    decide = wt_deciders[pos]
+                    if decide.__class__ is tuple:
+                        taken, target = decide
+                    else:
+                        taken, target = decide(steps)
+                    if step_hooks:
+                        cache.now = steps
+                        stats.interp_steps = interp_steps
+                        stats.interp_instructions = interp_insts
+                        stats.cache_steps = steps - 1 - interp_steps
+                        stats.cache_instructions = cache_insts + walk_insts
+                        for hook in step_hooks:
+                            hook.on_step(steps)
+                    walk_insts += wt_counts[pos]
                     if icache is not None:
                         base_addr = region.cache_address
                         if base_addr is not None:
-                            if region_is_trace:
-                                offset = region.position_offsets[
-                                    trace_position]
-                            else:
-                                offset = region.block_offsets[block]
-                            icache.touch(base_addr + offset, block.byte_size)
-
-                    if region_is_trace:
-                        # Inlined TraceRegion.position_after, with the
-                        # stay-in-trace edges batched by position.
-                        next_position = trace_position + 1
-                        if (next_position < path_len
-                                and target is path[next_position]):
-                            adv_counts[trace_position] += 1
-                            trace_position = next_position
-                            block = target
-                            continue
-                        if taken and target is path0:
-                            cyc_counts[trace_position] += 1
-                            region.cycle_backs += 1
-                            trace_position = 0
-                            block = target
-                            continue
+                            icache.touch(
+                                base_addr + cur_table.offsets[pos],
+                                cur_table.sizes[pos])
+                    # Inlined TraceRegion.position_after, with the
+                    # stay-in-trace edges batched by position.
+                    next_position = pos + 1
+                    if (next_position < path_len
+                            and target is path[next_position]):
+                        adv[pos] += 1
+                        trace_position = next_position
+                        block = target
+                        continue
+                    if taken and target is path0:
+                        cyc[pos] += 1
+                        region.cycle_backs += 1
+                        trace_position = 0
+                        block = target
+                        continue
+                else:
+                    rec = cur_records[block]
+                    steps += 1
+                    decide = rec[0]  # REC_DECIDE
+                    if decide.__class__ is tuple:
+                        taken, target = decide
                     else:
-                        # Inlined CFGRegion.stays_internal.
-                        if target is not None and target in cur_blocks and (
-                                not taken
-                                or block not in cur_dynamic
-                                or (block, target) in cur_edges):
-                            edge = (block, target)
-                            prior = edge_get(edge)
-                            edge_profile[edge] = (
-                                1 if prior is None else prior + 1)
-                            if target is cur_entry:
-                                region.cycle_backs += 1
-                            block = target
-                            continue
-
-                    # The transfer leaves the region.
-                    if target is not None:
+                        taken, target = decide(steps)
+                    if step_hooks:
+                        cache.now = steps
+                        stats.interp_steps = interp_steps
+                        stats.interp_instructions = interp_insts
+                        stats.cache_steps = steps - 1 - interp_steps
+                        stats.cache_instructions = cache_insts + walk_insts
+                        for hook in step_hooks:
+                            hook.on_step(steps)
+                    walk_insts += rec[1]  # REC_COUNT
+                    if icache is not None:
+                        base_addr = region.cache_address
+                        if base_addr is not None:
+                            icache.touch(
+                                base_addr + rec[3], rec[4])  # OFFSET, SIZE
+                    # Inlined CFGRegion.stays_internal: a taken transfer
+                    # checks the block's stay set (observed-edge targets
+                    # for dynamic blocks, the whole region otherwise).
+                    if target is not None and (
+                            (target in rec[2])  # REC_STAY
+                            if taken else (target in cur_blocks)):
                         edge = (block, target)
                         prior = edge_get(edge)
-                        edge_profile[edge] = 1 if prior is None else prior + 1
-                    region.exit_count += 1
-                    region.executed_instructions += walk_insts
-                    walk_insts = 0
-                    if target is None:
-                        region = None
-                        if profiled:
-                            prof_switch("interpret")
+                        edge_profile[edge] = (
+                            1 if prior is None else prior + 1)
+                        if target is cur_entry:
+                            region.cycle_backs += 1
                         block = target
                         continue
-                    linked = cache_lookup(target)
-                    if linked is not None:
-                        # A linked exit stub: direct region-to-region
-                        # jump.
-                        stats.region_transitions += 1
-                        region = linked
-                        region_is_trace = linked.is_trace
-                        trace_position = 0
-                        if region_is_trace:
-                            path = linked.path
-                            path_len = len(path)
-                            path0 = path[0]
-                            acc = trace_edges.get(linked)
-                            if acc is None:
-                                acc = trace_edges[linked] = (
-                                    [0] * path_len, [0] * path_len)
-                            adv_counts, cyc_counts = acc
-                        else:
-                            cur_blocks = linked.block_set
-                            cur_edges = linked.edges
-                            cur_dynamic = linked.dynamic_blocks
-                            cur_entry = linked.entry
-                        linked.entry_count += 1
-                        block = target
-                        continue
-                    # Exit to the interpreter; the exit target becomes a
-                    # start candidate, and (LEI) may complete a cycle
-                    # that installs and immediately enters a new region.
-                    stats.cache_exits += 1
-                    exited_region = region
+
+                # ---- the transfer leaves the region -------------------
+                if target is not None:
+                    edge = (block, target)
+                    prior = edge_get(edge)
+                    edge_profile[edge] = 1 if prior is None else prior + 1
+                region.exit_count += 1
+                region.executed_instructions += walk_insts
+                cache_insts += walk_insts
+                walk_insts = 0
+                if target is None:
                     region = None
-                    cache.now = steps
                     if profiled:
                         prof_switch("interpret")
+                    block = target
+                    continue
+                # The patched link slot for this exit's statically-known
+                # target (dynamic targets consult flat residency): holds
+                # the linked region's walk table exactly while that
+                # region is resident.
+                if cur_is_trace:
+                    if dyn_exit[pos]:
+                        linked_table = tables_by_entry[target.block_id]
+                    elif taken:
+                        linked_table = link_taken[pos]
+                    else:
+                        linked_table = link_fall[pos]
+                else:
+                    if rec[7]:  # REC_DYNAMIC
+                        linked_table = tables_by_entry[target.block_id]
+                    elif taken:
+                        linked_table = rec[5]  # REC_LINK_TAKEN
+                    else:
+                        linked_table = rec[6]  # REC_LINK_FALL
+                if linked_table is not None:
+                    # A linked exit stub: direct region-to-region jump.
+                    stats.region_transitions += 1
+                    region = linked_table.region
+                    cur_table = linked_table
+                    cur_is_trace = linked_table.is_trace
+                    trace_position = 0
+                    if cur_is_trace:
+                        path = linked_table.path
+                        path_len = linked_table.path_len
+                        path0 = linked_table.path0
+                        wt_deciders = linked_table.deciders
+                        wt_counts = linked_table.counts
+                        run_len = linked_table.run_len
+                        run_insts = linked_table.run_insts
+                        run_hits = linked_table.run_hits
+                        adv = linked_table.adv
+                        cyc = linked_table.cyc
+                        dyn_exit = linked_table.dyn_exit
+                        link_taken = linked_table.link_taken
+                        link_fall = linked_table.link_fall
+                    else:
+                        cur_records = linked_table.records
+                        cur_blocks = linked_table.blocks
+                        cur_entry = linked_table.entry
+                    region.entry_count += 1
+                    block = target
+                    continue
+                # Exit to the interpreter; the exit target becomes a
+                # start candidate, and (LEI) may complete a cycle
+                # that installs and immediately enters a new region.
+                stats.cache_exits += 1
+                exited_region = region
+                region = None
+                cache.now = steps
+                if profiled:
+                    prof_switch("interpret")
+                if events_on:
+                    obs.emit(
+                        "cache_exit",
+                        steps,
+                        region_entry=exited_region.entry.full_label,
+                        order=exited_region.selection_order,
+                        exit_target=target.full_label,
+                    )
+                step = make_step(block, taken, target)
+                if profiled:
+                    prof_enter("selector_decide")
+                    on_cache_exit(step, exited_region)
+                    prof_exit()
+                else:
+                    on_cache_exit(step, exited_region)
+                installed_table = tables_by_entry[target.block_id]
+                if installed_table is not None:
+                    region = installed_table.region
+                    cur_table = installed_table
+                    cur_is_trace = installed_table.is_trace
+                    trace_position = 0
+                    walk_insts = 0
+                    if cur_is_trace:
+                        path = installed_table.path
+                        path_len = installed_table.path_len
+                        path0 = installed_table.path0
+                        wt_deciders = installed_table.deciders
+                        wt_counts = installed_table.counts
+                        run_len = installed_table.run_len
+                        run_insts = installed_table.run_insts
+                        run_hits = installed_table.run_hits
+                        adv = installed_table.adv
+                        cyc = installed_table.cyc
+                        dyn_exit = installed_table.dyn_exit
+                        link_taken = installed_table.link_taken
+                        link_fall = installed_table.link_fall
+                    else:
+                        cur_records = installed_table.records
+                        cur_blocks = installed_table.blocks
+                        cur_entry = installed_table.entry
+                    region.entry_count += 1
+                    stats.cache_entries += 1
+                    if profiled:
+                        prof_switch("cache_walk")
                     if events_on:
                         obs.emit(
-                            "cache_exit",
+                            "cache_entered",
                             steps,
-                            region_entry=exited_region.entry.full_label,
-                            order=exited_region.selection_order,
-                            exit_target=target.full_label,
+                            entry=target.full_label,
+                            order=region.selection_order,
                         )
-                    step = make_step(block, taken, target)
-                    if profiled:
-                        prof_enter("selector_decide")
-                        on_cache_exit(step, exited_region)
-                        prof_exit()
-                    else:
-                        on_cache_exit(step, exited_region)
-                    installed = cache_lookup(target)
-                    if installed is not None:
-                        region = installed
-                        region_is_trace = installed.is_trace
-                        trace_position = 0
-                        walk_insts = 0
-                        if region_is_trace:
-                            path = installed.path
-                            path_len = len(path)
-                            path0 = path[0]
-                            acc = trace_edges.get(installed)
-                            if acc is None:
-                                acc = trace_edges[installed] = (
-                                    [0] * path_len, [0] * path_len)
-                            adv_counts, cyc_counts = acc
-                        else:
-                            cur_blocks = installed.block_set
-                            cur_edges = installed.edges
-                            cur_dynamic = installed.dynamic_blocks
-                            cur_entry = installed.entry
-                        installed.entry_count += 1
-                        stats.cache_entries += 1
-                        if profiled:
-                            prof_switch("cache_walk")
-                        if events_on:
-                            obs.emit(
-                                "cache_entered",
-                                steps,
-                                entry=target.full_label,
-                                order=installed.selection_order,
-                            )
                 block = target
         finally:
-            stats.interp_steps = interp_steps
-            stats.interp_instructions = interp_insts
-            stats.cache_steps = cache_steps
-            stats.cache_instructions = cache_insts
             if region is not None:
                 region.executed_instructions += walk_insts
+            cache_insts += walk_insts
+            stats.interp_steps = interp_steps
+            stats.interp_instructions = interp_insts
+            stats.cache_steps = steps - interp_steps
+            stats.cache_instructions = cache_insts
             cache.now = steps
             engine.steps_executed = steps
-            engine.instructions_executed = instructions
+            engine.instructions_executed = interp_insts + cache_insts
+            cache.unbind_dispatch()
 
-        # Fold the batched trace-walk edges into the shared profile.
-        for trace, (advances, cycles) in trace_edges.items():
-            trace_path = trace.path
-            for position, hits in enumerate(advances):
-                if hits:
-                    edge = (trace_path[position], trace_path[position + 1])
-                    edge_profile[edge] = edge_get(edge, 0) + hits
-            trace_top = trace_path[0]
-            for position, hits in enumerate(cycles):
-                if hits:
-                    edge = (trace_path[position], trace_top)
-                    edge_profile[edge] = edge_get(edge, 0) + hits
+        # Fold the position-batched trace-walk edges into the shared
+        # profile (covers every table compiled this run, including
+        # tables of regions evicted mid-run).
+        for table in dispatch.trace_tables:
+            table.fold_edges(edge_profile)
         return steps
 
     def _fill_metrics(self, stats: RunStats, step_index: int) -> None:

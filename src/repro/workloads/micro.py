@@ -103,6 +103,27 @@ def _recursion(iterations: int) -> Program:
     return pb.build()
 
 
+def _linked_chain(iterations: int) -> Program:
+    """A long chain of small hot loops: the trace-linking stress case.
+
+    Each segment is a tight two-block loop; when its trip count runs
+    out, control falls through to the next segment's head.  Every
+    selector caches one region per segment, so steady-state execution
+    is almost entirely region->region transfers — the workload a
+    dispatcher-bounce design is slowest on and a linked design
+    (direct trace->trace patching) is fastest on.
+    """
+    pb = ProgramBuilder("micro_linked_chain")
+    main = pb.procedure("main")
+    segments = 12
+    for i in range(segments):
+        main.block(f"h{i}", insts=2)
+        main.block(f"b{i}", insts=3).cond(f"h{i}", model=LoopTrip(4))
+    main.block("latch", insts=1).cond("h0", model=LoopTrip(iterations))
+    main.block("done", insts=1).halt()
+    return pb.build()
+
+
 MICROBENCHMARKS: Dict[str, Callable[[int], Program]] = {
     "figure2": _figure2,
     "figure3": _figure3,
@@ -110,6 +131,7 @@ MICROBENCHMARKS: Dict[str, Callable[[int], Program]] = {
     "self_loop": _self_loop,
     "alternating": _alternating,
     "recursion": _recursion,
+    "linked_chain": _linked_chain,
 }
 
 #: Default driver iteration count (enough to pass every threshold).

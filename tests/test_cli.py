@@ -86,3 +86,65 @@ class TestCollectReplay:
         out = capsys.readouterr().out
         assert "replayed 'bzip2'" in out
         assert "hit rate" in out
+
+
+class TestErrorReporting:
+    """Missing inputs fail with a one-line error, never a traceback."""
+
+    def test_inspect_missing_events_file(self, tmp_path, capsys):
+        code = main(["inspect", str(tmp_path / "nope.jsonl")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error: no event log at")
+        assert err.count("\n") == 1
+
+    def test_inspect_directory_rejected(self, tmp_path, capsys):
+        code = main(["inspect", str(tmp_path)])
+        assert code == 2
+        assert "no event log" in capsys.readouterr().err
+
+    @staticmethod
+    def _fake_run():
+        return {
+            "bench_version": 1,
+            "quick": True,
+            "workloads": [{
+                "name": "gzip-net", "benchmark": "gzip", "selector": "net",
+                "scale": 0.1, "seed": 1, "steps": 10, "wall_seconds": 0.01,
+                "events_per_second": 1000.0, "phases": {},
+            }],
+            "totals": {"steps": 10, "wall_seconds": 0.01,
+                       "events_per_second": 1000.0},
+        }
+
+    def test_bench_check_without_baseline(self, tmp_path, capsys,
+                                          monkeypatch):
+        import repro.bench
+
+        monkeypatch.setattr(repro.bench, "run_bench",
+                            lambda **kwargs: self._fake_run())
+        code = main(["bench", "--quick", "--check",
+                     "--baseline", str(tmp_path / "missing.json"),
+                     "--out", str(tmp_path / "run.json")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error: --check needs a baseline" in err
+
+    def test_bench_check_with_missing_workload_entry(self, tmp_path, capsys,
+                                                     monkeypatch):
+        import json
+
+        import repro.bench
+
+        monkeypatch.setattr(repro.bench, "run_bench",
+                            lambda **kwargs: self._fake_run())
+        baseline = self._fake_run()
+        baseline["workloads"][0]["name"] = "some-other-workload"
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(baseline))
+        code = main(["bench", "--quick", "--check",
+                     "--baseline", str(baseline_path),
+                     "--out", str(tmp_path / "run.json")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error: baseline has no comparable entry for: gzip-net" in err

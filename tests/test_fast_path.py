@@ -23,8 +23,10 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.config import SystemConfig
 from repro.errors import TraceFormatError
 from repro.execution.engine import ExecutionEngine
+from repro.metrics.linking import inter_region_links, resident_inter_region_links
 from repro.metrics.summary import MetricReport
 from repro.program.builder import ProgramBuilder
 from repro.selection.registry import RELATED_SELECTOR_NAMES, SELECTOR_NAMES
@@ -100,6 +102,62 @@ class TestFusedVersusReference:
         simulator = Simulator(programs["mcf"], "net")
         with pytest.raises(ReproError):
             simulator.run_program(engine)
+
+
+class TestBoundedCacheIdentity:
+    """The link-invalidation path: fast == reference under eviction.
+
+    Capacity 300 is below every selector's steady-state footprint on
+    gzip at this scale, so every cell actually evicts (asserted) and
+    the dispatch layer's retire/patch lifecycle is exercised for real.
+    """
+
+    @pytest.mark.parametrize("policy", ("flush", "fifo"))
+    @pytest.mark.parametrize("selector", ALL_SELECTORS)
+    def test_bit_identical_under_eviction(self, programs, selector, policy):
+        config = SystemConfig(cache_capacity_bytes=300,
+                              cache_eviction_policy=policy)
+        fast = simulate(programs["gzip"], selector, config, seed=0, fast=True)
+        ref = simulate(programs["gzip"], selector, config, seed=0, fast=False)
+        assert fast.cache_evictions > 0
+        assert fast.cache_evictions == ref.cache_evictions
+        assert fast.regenerated_regions == ref.regenerated_regions
+        assert _fingerprint(fast) == _fingerprint(ref)
+
+
+class TestLinkingIdentity:
+    """metrics/linking must not see the pipelines apart: the fast path's
+    link patching changes *how* transfers chain, never *which* links
+    exist."""
+
+    CONFIGS = {
+        "unbounded": SystemConfig(),
+        "bounded-flush": SystemConfig(cache_capacity_bytes=300,
+                                      cache_eviction_policy="flush"),
+        "bounded-fifo": SystemConfig(cache_capacity_bytes=300,
+                                     cache_eviction_policy="fifo"),
+    }
+
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    @pytest.mark.parametrize("selector", ALL_SELECTORS)
+    def test_inter_region_links_match(self, programs, selector, config_name):
+        config = self.CONFIGS[config_name]
+        fast = simulate(programs["gzip"], selector, config, seed=0, fast=True)
+        ref = simulate(programs["gzip"], selector, config, seed=0, fast=False)
+        assert inter_region_links(fast) == inter_region_links(ref)
+        assert (resident_inter_region_links(fast)
+                == resident_inter_region_links(ref))
+
+    def test_resident_links_subset_of_total(self, programs):
+        config = SystemConfig(cache_capacity_bytes=300,
+                              cache_eviction_policy="fifo")
+        result = simulate(programs["gzip"], "net", config, seed=0)
+        assert result.cache_evictions > 0
+        assert resident_inter_region_links(result) <= inter_region_links(result)
+
+    def test_unbounded_resident_links_equal_total(self, programs):
+        result = simulate(programs["gzip"], "net", seed=0)
+        assert resident_inter_region_links(result) == inter_region_links(result)
 
 
 class TestReplayMatchesLive:

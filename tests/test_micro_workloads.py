@@ -15,7 +15,7 @@ class TestRegistry:
     def test_names(self):
         assert set(micro_names()) == {
             "figure2", "figure3", "figure4", "self_loop",
-            "alternating", "recursion",
+            "alternating", "recursion", "linked_chain",
         }
 
     @pytest.mark.parametrize("name", sorted(micro_names()))
