@@ -26,6 +26,12 @@ from repro.bench.harness import (
     run_bench,
     write_bench_run,
 )
+from repro.bench.regress import (
+    analyze_path,
+    analyze_run,
+    format_analysis,
+    load_trajectory,
+)
 
 __all__ = [
     "BENCH_VERSION",
@@ -42,4 +48,8 @@ __all__ = [
     "run_bench",
     "write_baseline",
     "write_bench_run",
+    "analyze_path",
+    "analyze_run",
+    "format_analysis",
+    "load_trajectory",
 ]

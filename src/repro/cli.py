@@ -11,7 +11,11 @@ Commands:
 * ``inspect`` — summarize a JSONL event log without re-running;
 * ``bench`` — run the pinned perf workloads, compare against the
   committed baseline and write ``BENCH_run.json`` (see
-  ``docs/experiments.md``).
+  ``docs/experiments.md``); ``bench --analyze`` re-reads that file
+  through the regression sentinel (:mod:`repro.bench.regress`) without
+  re-running anything;
+* ``obs report`` — render the merged fleet-telemetry JSON written by
+  ``run_grid(telemetry_out=...)`` (see ``docs/observability.md``).
 
 ``run`` and ``replay`` accept the observability flags
 ``--trace-events PATH`` (structured JSONL event log),
@@ -181,6 +185,8 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.analyze:
+        return _bench_analyze(args)
     from repro.bench import (
         compare_to_baseline,
         format_bench_table,
@@ -227,6 +233,71 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 print(f"REGRESSION {failure}", file=sys.stderr)
             return 1
         print("no throughput regression beyond tolerance", file=sys.stderr)
+    return 0
+
+
+def _bench_analyze(args: argparse.Namespace) -> int:
+    """``bench --analyze``: sentinel pass over an already-recorded run.
+
+    Reads the trajectory at ``--out`` (no workloads are re-run), scores
+    the last run against the pinned baseline and the trailing window,
+    and prints the verdict report.  Always exits 0 — the sentinel is
+    advisory by design; the blunt gate is ``bench --check``.
+    """
+    from repro.bench import (
+        analyze_run,
+        format_analysis,
+        load_baseline,
+        load_trajectory,
+    )
+    from repro.errors import ConfigError
+
+    try:
+        trajectory = load_trajectory(args.out)
+    except ConfigError as exc:
+        print(f"error: {exc} (record one with `repro bench`)",
+              file=sys.stderr)
+        return 2
+    run = trajectory[-1]
+    baseline = None if args.no_baseline else load_baseline(
+        args.baseline, quick=bool(run.get("quick")))
+    analysis = analyze_run(run, baseline=baseline, trajectory=trajectory)
+    print(format_analysis(analysis, markdown=args.markdown))
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError
+    from repro.obs.report import format_telemetry_report
+    from repro.obs.telemetry import load_telemetry
+
+    try:
+        doc = load_telemetry(args.telemetry)
+    except (FileNotFoundError, IsADirectoryError):
+        print(f"error: no telemetry document at {args.telemetry!r} "
+              f"(write one with run_grid(telemetry_out=...))",
+              file=sys.stderr)
+        return 2
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    analysis = None
+    if args.bench is not None:
+        from repro.bench import analyze_run, load_baseline, load_trajectory
+        from repro.errors import ConfigError
+
+        try:
+            trajectory = load_trajectory(args.bench)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        run = trajectory[-1]
+        baseline = load_baseline(None, quick=bool(run.get("quick")))
+        analysis = analyze_run(run, baseline=baseline,
+                               trajectory=trajectory)
+    print(format_telemetry_report(doc, analysis=analysis,
+                                  markdown=args.markdown))
     return 0
 
 
@@ -376,7 +447,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=0.35,
                        help="allowed fractional events/s drop for --check "
                             "(default 0.35)")
+    bench.add_argument("--analyze", action="store_true",
+                       help="analyze the run already recorded at --out "
+                            "through the regression sentinel (no workloads "
+                            "are re-run; always exits 0)")
+    bench.add_argument("--markdown", action="store_true",
+                       help="with --analyze: emit the report as Markdown")
     bench.set_defaults(func=cmd_bench)
+
+    obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="render a merged fleet-telemetry JSON document")
+    obs_report.add_argument(
+        "telemetry",
+        help="document written by run_grid(telemetry_out=...)")
+    obs_report.add_argument(
+        "--bench", metavar="PATH", default=None,
+        help="also include regression verdicts for this BENCH_run.json")
+    obs_report.add_argument("--markdown", action="store_true",
+                            help="emit the report as Markdown")
+    obs_report.set_defaults(func=cmd_obs_report)
 
     regions = sub.add_parser("regions", help="dump the selected regions")
     _add_common(regions)

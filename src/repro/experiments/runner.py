@@ -21,6 +21,7 @@ from repro.jobs.engine import Job, JobEngine
 from repro.jobs.faults import FaultInjector
 from repro.metrics.summary import MetricReport
 from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.telemetry import FleetTelemetry, worker_observer
 from repro.selection.registry import SELECTOR_NAMES
 from repro.store import ResultStore, cell_key
 from repro.system.simulator import simulate
@@ -34,12 +35,16 @@ def _grid_cell(
 
     Builds the program inside the worker — programs hold plain model
     objects and are cheap to rebuild, while shipping them across
-    processes would be slower than rebuilding.
+    processes would be slower than rebuilding.  The cell records into
+    the process-local worker observer when the engine activated one
+    (``run_grid(telemetry=True)``); otherwise ``worker_observer()`` is
+    the null observer and the simulation runs uninstrumented.
     """
     bench, selector, scale, seed, config, fast = task
     program = build_benchmark(bench, scale=scale)
     report = MetricReport.from_result(
-        simulate(program, selector, config, seed=seed, fast=fast)
+        simulate(program, selector, config, seed=seed, fast=fast,
+                 observer=worker_observer())
     )
     return bench, selector, report
 
@@ -52,6 +57,8 @@ class ExperimentGrid:
     seed: int
     config: SystemConfig
     reports: Dict[Tuple[str, str], MetricReport] = field(default_factory=dict)
+    #: Merged fleet telemetry (``run_grid(telemetry=True)`` only).
+    telemetry: Optional[FleetTelemetry] = None
 
     def report(self, benchmark: str, selector: str) -> MetricReport:
         return self.reports[(benchmark, selector)]
@@ -81,6 +88,9 @@ def run_grid(
     faults: Optional[FaultInjector] = None,
     code_version: Optional[str] = None,
     fast: bool = True,
+    telemetry: bool = False,
+    telemetry_out: Optional[str] = None,
+    telemetry_ring: Optional[int] = None,
 ) -> ExperimentGrid:
     """Simulate every cell and compute its metric report.
 
@@ -106,15 +116,33 @@ def run_grid(
     pipeline instead of the fused fast path; the results are
     bit-identical either way (``tests/test_fast_path.py``), so this
     exists purely for debugging and cross-checking.
+
+    ``telemetry=True`` records every cell's metrics, span profile and
+    event tail inside its worker and merges the reports in the parent
+    under ``job_id``/``worker`` labels — the result is
+    ``grid.telemetry`` (a :class:`~repro.obs.telemetry.FleetTelemetry`),
+    whose merged counter totals are bit-identical whether the grid ran
+    serial or parallel.  ``telemetry_out`` additionally writes the
+    merged document as JSON (consumed by ``repro obs report``);
+    ``telemetry_ring`` sizes each worker's event-tail ring buffer
+    (metrics and profile data are never dropped regardless).
     """
     started = time.monotonic()
     config = config if config is not None else SystemConfig()
     bench_list = tuple(benchmarks) if benchmarks is not None else benchmark_names()
     selector_list = tuple(selectors) if selectors is not None else SELECTOR_NAMES
     obs = observer if observer is not None else NULL_OBSERVER
+    fleet: Optional[FleetTelemetry] = None
+    if telemetry or telemetry_out is not None:
+        fleet = (FleetTelemetry(ring_capacity=telemetry_ring)
+                 if telemetry_ring is not None else FleetTelemetry())
+        # Route the parent's own lifecycle events (job engine, store)
+        # into the fleet log alongside the worker tails.
+        obs = fleet.attach_parent(observer)
     if isinstance(store, str):
         store = ResultStore(store, observer=obs)
-    grid = ExperimentGrid(scale=scale, seed=seed, config=config)
+    grid = ExperimentGrid(scale=scale, seed=seed, config=config,
+                          telemetry=fleet)
 
     cells = [
         (bench, selector)
@@ -156,6 +184,7 @@ def run_grid(
             observer=obs,
             faults=faults,
             on_complete=persist,
+            telemetry=fleet,
         )
         outcomes = engine.run(jobs)
         for job in jobs:
@@ -166,6 +195,9 @@ def run_grid(
     # exactly no matter which cells were cached or computed first.
     for cell in cells:
         grid.reports[cell] = reports[cell]
+
+    if fleet is not None and telemetry_out is not None:
+        fleet.write(telemetry_out)
 
     if manifest_dir is not None:
         extra = {"workers": workers, "cells": len(cells)}

@@ -28,6 +28,11 @@ from repro.errors import JobError
 from repro.jobs.checkpoint import CheckpointJournal
 from repro.jobs.faults import FaultInjector
 from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.telemetry import (
+    FleetTelemetry,
+    activate_worker_telemetry,
+    deactivate_worker_telemetry,
+)
 
 #: Scheduler poll interval while worker processes run, seconds.
 _POLL_SECONDS = 0.005
@@ -73,24 +78,44 @@ class JobOutcome:
 
 
 def _worker_entry(conn, worker, job_id: str, payload, attempt: int,
-                  faults: Optional[FaultInjector]) -> None:
+                  faults: Optional[FaultInjector],
+                  telemetry_ring: int = 0) -> None:
     """Worker-process body: run one attempt, ship back (status, value).
+
+    With ``telemetry_ring > 0``, a per-process recording bundle (event
+    ring of that capacity) is activated for the attempt (the payload
+    callable picks it up through
+    :func:`repro.obs.telemetry.worker_observer`) and the finished
+    :class:`~repro.obs.telemetry.TelemetryReport` rides back on the
+    same pipe as a third tuple element.  Failed attempts ship no
+    telemetry — only completed work counts, which keeps the parent's
+    merged totals identical to the serial path, where retries also
+    discard their partial recording.
 
     An injected hard crash exits here without sending anything — the
     parent observes a dead process with an empty pipe, exactly the
     signature of a real worker death.
     """
+    report = None
     try:
+        if telemetry_ring > 0:
+            activate_worker_telemetry(telemetry_ring)
         if faults is not None:
             faults.apply(job_id, attempt, in_process=False)
         result = worker(payload)
+        if telemetry_ring > 0:
+            report = deactivate_worker_telemetry()
     except BaseException as exc:  # ship the failure, don't hang the parent
+        deactivate_worker_telemetry()
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
         finally:
             conn.close()
         return
-    conn.send(("ok", result))
+    if report is not None:
+        conn.send(("ok", result, report.to_dict()))
+    else:
+        conn.send(("ok", result))
     conn.close()
 
 
@@ -126,6 +151,7 @@ class JobEngine:
         checkpoint: Optional[CheckpointJournal] = None,
         mp_context: Optional[Any] = None,
         on_complete: Optional[Callable[[str, Any], None]] = None,
+        telemetry: Optional[FleetTelemetry] = None,
     ) -> None:
         if max_retries < 0:
             raise JobError(f"max_retries must be >= 0, got {max_retries}")
@@ -143,6 +169,10 @@ class JobEngine:
         #: lets callers persist results incrementally, so an aborted
         #: run keeps everything finished before the abort.
         self.on_complete = on_complete
+        #: When set, each worker attempt records into a per-process
+        #: telemetry bundle whose report is shipped back over the
+        #: result pipe and merged here under job_id/worker labels.
+        self.telemetry = telemetry
 
     # -- public ----------------------------------------------------------
     def run(self, jobs: Sequence[Job]) -> Dict[str, JobOutcome]:
@@ -215,11 +245,20 @@ class JobEngine:
             while True:
                 attempt += 1
                 try:
+                    # Telemetry activates per *attempt*, exactly like a
+                    # fresh worker process would, so a retried job's
+                    # discarded partial recording matches the parallel
+                    # path's (a crashed worker ships nothing back).
+                    if self.telemetry is not None:
+                        activate_worker_telemetry(
+                            self.telemetry.ring_capacity
+                        )
                     if self.faults is not None:
                         self.faults.apply(job.job_id, attempt,
                                           in_process=True)
                     result = self.worker(job.payload)
                 except Exception as exc:
+                    deactivate_worker_telemetry()
                     reason = f"{type(exc).__name__}: {exc}"
                     if attempt > self.max_retries:
                         raise self._fail(job, attempt, reason) from exc
@@ -228,6 +267,13 @@ class JobEngine:
                     if delay > 0:
                         time.sleep(delay)
                     continue
+                if self.telemetry is not None:
+                    report = deactivate_worker_telemetry()
+                    if report is not None:
+                        self.telemetry.absorb(
+                            report, job_id=job.job_id,
+                            worker=str(os.getpid()),
+                        )
                 outcomes[job.job_id] = self._complete(
                     job, result, attempt, time.monotonic() - started
                 )
@@ -240,7 +286,9 @@ class JobEngine:
         process = context.Process(
             target=_worker_entry,
             args=(child_conn, self.worker, job.job_id, job.payload,
-                  attempt, self.faults),
+                  attempt, self.faults,
+                  self.telemetry.ring_capacity
+                  if self.telemetry is not None else 0),
             daemon=True,
         )
         process.start()
@@ -283,12 +331,19 @@ class JobEngine:
                         except (EOFError, OSError):
                             message = None
                     if message is not None:
-                        status, value = message
+                        # 2-tuple (status, value), or 3-tuple with the
+                        # worker's telemetry report appended.
+                        status, value = message[0], message[1]
                         item.process.join()
                         item.conn.close()
                         finished.append(item)
                         elapsed = now - item.started
                         if status == "ok":
+                            if self.telemetry is not None and len(message) > 2:
+                                self.telemetry.absorb(
+                                    message[2], job_id=item.job.job_id,
+                                    worker=str(item.process.pid),
+                                )
                             outcomes[item.job.job_id] = self._complete(
                                 item.job, value, item.attempt, elapsed
                             )

@@ -7,18 +7,33 @@ its category (used for sink filtering) and default severity, so an
 event log is self-describing and ``repro inspect`` can summarize one
 without knowing which selector produced it.
 
+Beyond the simulation step, every event carries two ordering stamps:
+
+* ``ts`` — a wall-clock timestamp, clamped to be non-decreasing within
+  the emitting process;
+* ``seq`` — a per-process emission sequence number.
+
+Together they give merged multi-process logs a total order: ``(ts,
+seq)`` orders events from one process exactly, and ``ts`` interleaves
+processes (job-engine workers ship their event tails back to the
+parent, which merges them — see :mod:`repro.obs.telemetry`).  The
+simulation step alone cannot do this: job lifecycle events all happen
+at step 0, and two workers' step clocks are unrelated.
+
 Events serialize to JSON objects with a flat schema::
 
     {"step": 812, "kind": "region_installed", "category": "region",
-     "severity": "info", "selector": "lei", "entry": "main.L3", ...}
+     "severity": "info", "ts": 1754556093.41, "seq": 812,
+     "selector": "lei", "entry": "main.L3", ...}
 
-``kind``/``step``/``category``/``severity`` are reserved keys; all
-other keys are event-specific payload fields.
+``kind``/``step``/``category``/``severity``/``ts``/``seq`` are
+reserved keys; all other keys are event-specific payload fields.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from typing import Dict, Iterable, Iterator, NamedTuple, TextIO, Tuple, Union
 
 from repro.errors import ObservabilityError
@@ -62,6 +77,11 @@ EVENT_KINDS: Dict[str, EventKind] = {
     "history_cleared": EventKind(
         "history", "debug",
         "LEI truncated its branch history buffer after a selection."),
+    # -- windowed phase signals (repro.obs.signals) ----------------------
+    "phase_shift": EventKind(
+        "signal", "info",
+        "A windowed signal moved sharply window-over-window (hit rate, "
+        "churn or eviction pressure) — the program likely changed phase."),
     # -- cache management ------------------------------------------------
     "cache_entered": EventKind(
         "cache", "debug",
@@ -75,7 +95,8 @@ EVENT_KINDS: Dict[str, EventKind] = {
     "cache_flushed": EventKind(
         "cache", "info",
         "A bounded cache preemptively flushed every resident region."),
-    # -- job engine (experiment scheduling; step is always 0) -----------
+    # -- job engine (experiment scheduling; step is always 0, so the
+    # -- ts/seq stamps carry the ordering and the wall time) -------------
     "job_submitted": EventKind(
         "job", "debug",
         "A job was handed to the engine for execution."),
@@ -101,7 +122,24 @@ EVENT_KINDS: Dict[str, EventKind] = {
         "A freshly computed result was persisted into the store."),
 }
 
-_RESERVED = ("kind", "step", "category", "severity")
+_RESERVED = ("kind", "step", "category", "severity", "ts", "seq")
+
+# Per-process emission stamps.  ``_seq`` counts every event built in
+# this process; ``_last_ts`` clamps the wall clock so ``ts`` never goes
+# backwards within a process even if the system clock does.
+_seq = 0
+_last_ts = 0.0
+
+
+def _stamp() -> Tuple[float, int]:
+    """Next (non-decreasing wall-clock ts, per-process seq) pair."""
+    global _seq, _last_ts
+    now = time.time()
+    if now < _last_ts:
+        now = _last_ts
+    _last_ts = now
+    _seq += 1
+    return now, _seq
 
 
 class Event(NamedTuple):
@@ -112,10 +150,19 @@ class Event(NamedTuple):
     category: str
     severity: str
     fields: Tuple[Tuple[str, object], ...]
+    #: Wall-clock timestamp, non-decreasing within the emitting process.
+    ts: float = 0.0
+    #: Per-process emission sequence number (1-based; 0 = unstamped).
+    seq: int = 0
 
     @property
     def payload(self) -> Dict[str, object]:
         return dict(self.fields)
+
+    @property
+    def order_key(self) -> Tuple[float, int]:
+        """Sort key giving merged multi-process logs a total order."""
+        return (self.ts, self.seq)
 
     def get(self, key: str, default: object = None) -> object:
         for name, value in self.fields:
@@ -129,6 +176,8 @@ class Event(NamedTuple):
             "kind": self.kind,
             "category": self.category,
             "severity": self.severity,
+            "ts": self.ts,
+            "seq": self.seq,
         }
         data.update(self.fields)
         return data
@@ -150,7 +199,9 @@ def make_event(kind: str, step: int, **fields: object) -> Event:
             raise ObservabilityError(
                 f"event field {reserved!r} is reserved (kind {kind!r})"
             )
-    return Event(kind, step, decl.category, decl.severity, tuple(fields.items()))
+    ts, seq = _stamp()
+    return Event(kind, step, decl.category, decl.severity,
+                 tuple(fields.items()), ts, seq)
 
 
 def event_from_dict(data: Dict[str, object]) -> Event:
@@ -158,6 +209,8 @@ def event_from_dict(data: Dict[str, object]) -> Event:
 
     Unknown kinds are accepted (logs must outlive taxonomy changes);
     the recorded category/severity win over the current declaration.
+    Logs written before the ordering stamps existed load with
+    ``ts=0.0`` / ``seq=0``.
     """
     try:
         kind = str(data["kind"])
@@ -167,10 +220,15 @@ def event_from_dict(data: Dict[str, object]) -> Event:
     decl = EVENT_KINDS.get(kind)
     category = str(data.get("category", decl.category if decl else "unknown"))
     severity = str(data.get("severity", decl.severity if decl else "info"))
+    try:
+        ts = float(data.get("ts", 0.0))  # type: ignore[arg-type]
+        seq = int(data.get("seq", 0))  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        ts, seq = 0.0, 0
     fields = tuple(
         (key, value) for key, value in data.items() if key not in _RESERVED
     )
-    return Event(kind, step, category, severity, fields)
+    return Event(kind, step, category, severity, fields, ts, seq)
 
 
 def severity_rank(severity: str) -> int:

@@ -42,8 +42,29 @@ class InspectSummary:
     cache_exits: int = 0
     truncations: int = 0
     history_clears: int = 0
+    #: Job-engine lifecycle counts (category "job").
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_retried: int = 0
+    jobs_failed: int = 0
+    jobs_restored: int = 0
+    #: job_id -> wall seconds, from the submitted->completed timestamp
+    #: delta (falls back to the completed event's ``elapsed`` payload
+    #: for logs written before events carried timestamps).
+    job_wall_seconds: Dict[str, float] = field(default_factory=dict)
+    #: job_id -> retry reasons observed.
+    job_retry_reasons: Dict[str, List[str]] = field(default_factory=dict)
+    #: Windowed phase-shift signals: (step, signal, delta) triples.
+    phase_shifts: List[Tuple[int, str, object]] = field(default_factory=list)
     #: The terminal run_failed event, if the run aborted.
     failure: Optional[Event] = None
+    #: job_id -> submission timestamp (internal, for wall-time deltas).
+    _job_submitted_ts: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_job_events(self) -> int:
+        return (self.jobs_submitted + self.jobs_completed
+                + self.jobs_retried + self.jobs_failed + self.jobs_restored)
 
     def top_rejected(self, limit: int = 10) -> List[Tuple[str, int]]:
         return sorted(
@@ -101,6 +122,36 @@ def summarize_events(events: Iterable[Event]) -> InspectSummary:
                 summary.evicted_bytes += int(bytes_freed)
         elif kind == "cache_flushed":
             summary.flushes += 1
+        elif kind == "phase_shift":
+            summary.phase_shifts.append(
+                (event.step, str(event.get("signal", "?")),
+                 event.get("delta"))
+            )
+        elif kind == "job_submitted":
+            summary.jobs_submitted += 1
+            job_id = str(event.get("job_id", "?"))
+            if event.ts > 0:
+                summary._job_submitted_ts[job_id] = event.ts
+        elif kind == "job_completed":
+            summary.jobs_completed += 1
+            job_id = str(event.get("job_id", "?"))
+            submitted = summary._job_submitted_ts.get(job_id)
+            if submitted is not None and event.ts >= submitted:
+                summary.job_wall_seconds[job_id] = event.ts - submitted
+            else:
+                elapsed = event.get("elapsed")
+                if isinstance(elapsed, (int, float)):
+                    summary.job_wall_seconds[job_id] = float(elapsed)
+        elif kind == "job_retried":
+            summary.jobs_retried += 1
+            job_id = str(event.get("job_id", "?"))
+            summary.job_retry_reasons.setdefault(job_id, []).append(
+                str(event.get("reason", "?"))
+            )
+        elif kind == "job_failed":
+            summary.jobs_failed += 1
+        elif kind == "job_restored":
+            summary.jobs_restored += 1
         elif kind == "run_failed":
             summary.failure = event
     return summary
@@ -150,6 +201,33 @@ def format_summary(summary: InspectSummary) -> str:
         )
         for entry, count in summary.top_evicted(5):
             lines.append(f"  {entry:<30s} evicted x{count}")
+
+    if summary.total_job_events:
+        lines.append("")
+        lines.append(
+            f"job engine: {summary.jobs_submitted} submitted, "
+            f"{summary.jobs_completed} completed, "
+            f"{summary.jobs_retried} retried, "
+            f"{summary.jobs_failed} failed, "
+            f"{summary.jobs_restored} restored from checkpoint"
+        )
+        if summary.job_wall_seconds:
+            slowest = sorted(
+                summary.job_wall_seconds.items(),
+                key=lambda item: (-item[1], item[0]),
+            )[:10]
+            for job_id, seconds in slowest:
+                retries = summary.job_retry_reasons.get(job_id, [])
+                suffix = ""
+                if retries:
+                    suffix = f"  (retried: {', '.join(retries)})"
+                lines.append(f"  {job_id:<30s} {seconds:8.3f}s{suffix}")
+
+    if summary.phase_shifts:
+        lines.append("")
+        lines.append(f"phase shifts: {len(summary.phase_shifts)}")
+        for step, signal, delta in summary.phase_shifts[:20]:
+            lines.append(f"  step {step:<10d} {signal:<12s} delta={delta}")
 
     if summary.failure is not None:
         lines.append("")

@@ -25,6 +25,23 @@ from repro.errors import ObservabilityError
 
 LabelValues = Tuple[str, ...]
 
+#: Separator used to flatten a label-value tuple into one snapshot key.
+#: Snapshots are the cross-process interchange format
+#: (:meth:`MetricsRegistry.merge` splits the keys back), so label
+#: values must not contain this character; ``_key`` enforces it.
+SNAPSHOT_LABEL_SEP = "|"
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value for the Prometheus text exposition format.
+
+    The format requires ``\\`` -> ``\\\\``, ``"`` -> ``\\"`` and a raw
+    newline -> the two characters ``\\n`` inside quoted label values.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
 #: Default histogram buckets (upper bounds) for small-count size
 #: distributions such as blocks-per-region.
 DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
@@ -48,13 +65,21 @@ class _Metric:
                 f"metric {self.name!r} takes labels {list(self.labelnames)}, "
                 f"got {sorted(labels)}"
             )
-        return tuple(str(labels[name]) for name in self.labelnames)
+        values = tuple(str(labels[name]) for name in self.labelnames)
+        for value in values:
+            if SNAPSHOT_LABEL_SEP in value:
+                raise ObservabilityError(
+                    f"metric {self.name!r} label value {value!r} contains "
+                    f"the snapshot separator {SNAPSHOT_LABEL_SEP!r}"
+                )
+        return values
 
     def _render_labels(self, values: LabelValues) -> str:
         if not self.labelnames:
             return ""
-        pairs = ", ".join(
-            f'{name}="{value}"' for name, value in zip(self.labelnames, values)
+        pairs = ",".join(
+            f'{name}="{_escape_label_value(value)}"'
+            for name, value in zip(self.labelnames, values)
         )
         return "{" + pairs + "}"
 
@@ -88,8 +113,9 @@ class Counter(_Metric):
         return {
             "type": self.metric_type,
             "help": self.help,
+            "labels": list(self.labelnames),
             "values": {
-                "|".join(key) if key else "": value
+                SNAPSHOT_LABEL_SEP.join(key) if key else "": value
                 for key, value in sorted(self._values.items())
             },
         }
@@ -131,8 +157,9 @@ class Gauge(_Metric):
         return {
             "type": self.metric_type,
             "help": self.help,
+            "labels": list(self.labelnames),
             "values": {
-                "|".join(key) if key else "": value
+                SNAPSHOT_LABEL_SEP.join(key) if key else "": value
                 for key, value in sorted(self._values.items())
             },
         }
@@ -207,9 +234,10 @@ class Histogram(_Metric):
         return {
             "type": self.metric_type,
             "help": self.help,
+            "labels": list(self.labelnames),
             "buckets": list(self.buckets),
             "values": {
-                "|".join(key) if key else "": {
+                SNAPSHOT_LABEL_SEP.join(key) if key else "": {
                     "counts": list(self._series[key]),
                     "sum": self._sums[key],
                     "count": self._counts[key],
@@ -243,12 +271,34 @@ class Histogram(_Metric):
             )
         return lines
 
+    def merge_raw(self, counts: Sequence[float], total_sum: float,
+                  total_count: int, **labels: object) -> None:
+        """Fold pre-bucketed series data (a snapshot record) into this
+        histogram.  ``counts`` must match this histogram's buckets
+        (plus the overflow slot)."""
+        if len(counts) != len(self.buckets) + 1:
+            raise ObservabilityError(
+                f"histogram {self.name!r} has {len(self.buckets)} buckets "
+                f"but the merged series carries {len(counts)} counts"
+            )
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = [0] * (len(self.buckets) + 1)
+            self._sums[key] = 0
+            self._counts[key] = 0
+        for i, value in enumerate(counts):
+            series[i] += value
+        self._sums[key] += total_sum
+        self._counts[key] += total_count
+
     def _bucket_labels(self, values: LabelValues, le: str) -> str:
         pairs = [
-            f'{name}="{value}"' for name, value in zip(self.labelnames, values)
+            f'{name}="{_escape_label_value(value)}"'
+            for name, value in zip(self.labelnames, values)
         ]
         pairs.append(f'le="{le}"')
-        return "{" + ", ".join(pairs) + "}"
+        return "{" + ",".join(pairs) + "}"
 
 
 def _fmt(value: float) -> str:
@@ -317,6 +367,94 @@ class MetricsRegistry:
             name: self._metrics[name].snapshot()
             for name in sorted(self._metrics)
         }
+
+    def merge(
+        self,
+        snapshot: Dict[str, Dict[str, object]],
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        This is the cross-process aggregation primitive: each job-engine
+        worker ships ``registry.snapshot()`` back over the result pipe
+        and the parent merges every snapshot into one fleet registry.
+        ``labels`` (e.g. ``{"job_id": ..., "worker": ...}``) are appended
+        to every merged series so per-worker slices stay recoverable.
+
+        Merging is additive: counters and histogram series accumulate,
+        and gauges accumulate too (each worker's series is expected to be
+        distinguished by ``labels``, so summing is only observable when
+        two snapshots collide on the exact same series).
+        """
+        extra = dict(labels or {})
+        for extra_value in extra.values():
+            if SNAPSHOT_LABEL_SEP in str(extra_value):
+                raise ObservabilityError(
+                    f"merge label value {extra_value!r} contains the "
+                    f"snapshot separator {SNAPSHOT_LABEL_SEP!r}"
+                )
+        for name in sorted(snapshot):
+            data = snapshot[name]
+            mtype = data.get("type")
+            help_text = str(data.get("help", ""))
+            base_names = tuple(str(n) for n in data.get("labels", ()))
+            for extra_name in extra:
+                if extra_name in base_names:
+                    raise ObservabilityError(
+                        f"merge label {extra_name!r} collides with a label "
+                        f"of metric {name!r}"
+                    )
+            labelnames = base_names + tuple(extra)
+            values = data.get("values", {})
+            if not isinstance(values, dict):
+                raise ObservabilityError(
+                    f"malformed snapshot for metric {name!r}: values is "
+                    f"{type(values).__name__}, expected dict"
+                )
+            if mtype == "counter":
+                counter = self.counter(name, help_text, labelnames)
+                for key, value in values.items():
+                    series = self._split_series_key(name, key, base_names)
+                    series.update(extra)
+                    counter.inc(value, **series)
+            elif mtype == "gauge":
+                gauge = self.gauge(name, help_text, labelnames)
+                for key, value in values.items():
+                    series = self._split_series_key(name, key, base_names)
+                    series.update(extra)
+                    gauge.inc(value, **series)
+            elif mtype == "histogram":
+                buckets = list(data.get("buckets", ()))
+                hist = self.histogram(name, help_text, labelnames, buckets)
+                if list(hist.buckets) != buckets:
+                    raise ObservabilityError(
+                        f"histogram {name!r} bucket mismatch on merge: "
+                        f"{list(hist.buckets)} vs {buckets}"
+                    )
+                for key, record in values.items():
+                    series = self._split_series_key(name, key, base_names)
+                    series.update(extra)
+                    hist.merge_raw(
+                        record["counts"], record["sum"], record["count"],
+                        **series,
+                    )
+            else:
+                raise ObservabilityError(
+                    f"cannot merge metric {name!r} of unknown type {mtype!r}"
+                )
+
+    @staticmethod
+    def _split_series_key(
+        name: str, key: str, labelnames: Tuple[str, ...]
+    ) -> Dict[str, str]:
+        """Rebuild a label dict from one flattened snapshot value key."""
+        parts = key.split(SNAPSHOT_LABEL_SEP) if labelnames else []
+        if len(parts) != len(labelnames):
+            raise ObservabilityError(
+                f"snapshot key {key!r} of metric {name!r} does not match "
+                f"labels {list(labelnames)}"
+            )
+        return dict(zip(labelnames, parts))
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition format, one block per metric."""

@@ -1,0 +1,108 @@
+"""Render a merged telemetry document (``repro obs report``).
+
+Takes the JSON written by :meth:`~repro.obs.telemetry.FleetTelemetry.write`
+(``run_grid(telemetry_out=...)``) and turns it into one readable report:
+fleet header, merged counter totals, top span phases by wall time, the
+event-kind breakdown with the phase-shift timeline, the job-engine
+lifecycle summary (via :mod:`repro.obs.inspect` over the merged log),
+and — when a bench analysis is supplied — the regression verdicts from
+:mod:`repro.bench.regress`.  Terminal text by default, Markdown with
+``markdown=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.events import event_from_dict
+from repro.obs.inspect import format_summary, summarize_events
+
+
+def _top_spans(profile: Dict[str, object],
+               limit: int = 8) -> List[Dict[str, object]]:
+    """Phases sorted by accumulated seconds, with wall-time shares."""
+    wall = float(profile.get("wall_seconds", 0.0))
+    phases = profile.get("phases", {})
+    rows = []
+    if not isinstance(phases, dict):
+        return rows
+    for name, record in phases.items():
+        seconds = float(record.get("seconds", 0.0))
+        rows.append({
+            "phase": name,
+            "seconds": seconds,
+            "entries": int(record.get("entries", 0)),
+            "share": seconds / wall if wall > 0 else 0.0,
+        })
+    rows.sort(key=lambda row: (-row["seconds"], row["phase"]))
+    return rows[:limit]
+
+
+def format_telemetry_report(
+    doc: Dict[str, object],
+    analysis: Optional[Dict[str, object]] = None,
+    markdown: bool = False,
+) -> str:
+    """Render one merged telemetry document (plus optional bench verdicts)."""
+    lines: List[str] = []
+    h = (lambda text: f"## {text}") if markdown else (lambda text: f"{text}:")
+    bullet = "- " if markdown else "  "
+
+    jobs = doc.get("jobs", [])
+    workers = doc.get("workers", [])
+    profile = doc.get("profile", {})
+    if markdown:
+        lines.append("# Fleet telemetry report")
+        lines.append("")
+    lines.append(
+        f"{len(jobs)} job(s) across {len(workers)} worker(s), "
+        f"{int(profile.get('steps', 0)):,} steps in "
+        f"{float(profile.get('wall_seconds', 0.0)):.3f}s of worker time"
+    )
+    dropped = int(doc.get("events_dropped", 0))
+    if dropped:
+        lines.append(
+            f"WARNING: {dropped} worker event(s) dropped by ring buffers "
+            f"(raise telemetry_ring to keep full tails)"
+        )
+
+    totals = doc.get("metric_totals", {})
+    if totals:
+        lines.append("")
+        lines.append(h("merged counter totals"))
+        if markdown:
+            lines.append("")
+        for name in sorted(totals):
+            lines.append(f"{bullet}{name:<28s} {totals[name]:,.0f}")
+
+    spans = _top_spans(profile)
+    if spans:
+        lines.append("")
+        lines.append(h("top spans (self time)"))
+        if markdown:
+            lines.append("")
+        for row in spans:
+            lines.append(
+                f"{bullet}{row['phase']:<18s} {row['seconds']:9.3f}s  "
+                f"{100 * row['share']:5.1f}%  x{row['entries']}"
+            )
+
+    events = doc.get("events", [])
+    if events:
+        parsed = [event_from_dict(data) for data in events]
+        summary = summarize_events(parsed)
+        lines.append("")
+        lines.append(h("merged event log"))
+        if markdown:
+            lines.append("")
+            lines.append("```")
+        lines.append(format_summary(summary))
+        if markdown:
+            lines.append("```")
+
+    if analysis is not None:
+        from repro.bench.regress import format_analysis
+
+        lines.append("")
+        lines.append(format_analysis(analysis, markdown=markdown))
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""Windowed phase signals: online run dynamics from the per-step hook.
+
+The end-of-run aggregates in :class:`~repro.system.results.RunStats`
+answer "how did the run go"; a dynamic optimizer needs "how is the run
+going *right now*".  :class:`SignalTracker` is a
+:class:`~repro.system.simulator.StepHook` that slices the run into
+fixed-size step windows and computes, per window, the online signals
+the paper's selectors live or die on:
+
+* **hit rate** — fraction of the window's instructions executed inside
+  the code cache;
+* **region churn** — regions newly selected during the window;
+* **eviction pressure** — evictions plus full flushes during the window;
+* **interpret/cache-walk ratio** — interpreted steps per cached step.
+
+Between consecutive windows the tracker compares signals and emits a
+``phase_shift`` event through its observer when a delta crosses the
+configured thresholds — the exact stream a future meta-selector
+consumes to react to program phase changes (the phase-dip benchmarks,
+e.g. ``perlbmk``, produce textbook examples: the hit rate collapses
+when the new phase's working set misses the cache, then recovers as
+regions for it are selected).
+
+The tracker only *reads* the simulator's aggregates (``RunStats`` and
+the cache's cumulative counters) at window boundaries; it keeps no
+per-step state of its own and never mutates simulation state, so
+enabling it cannot change any simulation outcome (the obs guard suite
+holds this for the whole observability layer).
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.observer import NULL_OBSERVER, Observer
+
+#: Default window width, in steps.  Matches the timeline-sampling
+#: granularity used by the phase-dip figures.
+DEFAULT_WINDOW_STEPS = 5000
+
+
+class SignalConfig(NamedTuple):
+    """Window width and phase-shift thresholds for a :class:`SignalTracker`.
+
+    A ``phase_shift`` fires when, window over window, the hit rate
+    moves by at least ``hit_rate_delta`` (absolute, in [0, 1]), the
+    per-window churn moves by at least ``churn_delta`` regions, or the
+    per-window eviction pressure moves by at least ``eviction_delta``
+    evictions.  Set a threshold to ``None`` to disable that trigger.
+    """
+
+    window: int = DEFAULT_WINDOW_STEPS
+    hit_rate_delta: Optional[float] = 0.10
+    churn_delta: Optional[int] = 8
+    eviction_delta: Optional[int] = 8
+
+
+class SignalWindow(NamedTuple):
+    """One window's signals (all deltas are within-window, not cumulative)."""
+
+    start_step: int
+    end_step: int
+    hit_rate: float
+    churn: int
+    evictions: int
+    interp_ratio: float
+
+    def to_dict(self) -> dict:
+        return {
+            "start_step": self.start_step,
+            "end_step": self.end_step,
+            "hit_rate": self.hit_rate,
+            "churn": self.churn,
+            "evictions": self.evictions,
+            "interp_ratio": self.interp_ratio,
+        }
+
+
+class SignalTracker:
+    """Rolling-window signal aggregator, driven as a simulator step hook."""
+
+    def __init__(
+        self,
+        config: SignalConfig,
+        stats,
+        cache,
+        observer: Optional[Observer] = None,
+    ) -> None:
+        if config.window < 1:
+            raise ObservabilityError(
+                f"signal window must be >= 1 step, got {config.window}"
+            )
+        self.config = config
+        self.stats = stats
+        self.cache = cache
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        #: Closed windows, oldest first.
+        self.windows: List[SignalWindow] = []
+        #: ``phase_shift`` emissions as (step, signal, delta) triples,
+        #: kept locally as well so signals work without an event sink.
+        self.shifts: List[tuple] = []
+        self._window_start = 0
+        # Cumulative counters at the last window boundary.
+        self._interp_steps = 0
+        self._cache_steps = 0
+        self._interp_instructions = 0
+        self._cache_instructions = 0
+        self._regions = 0
+        self._evictions = 0
+
+    # -- StepHook protocol -------------------------------------------------
+    def on_step(self, step_index: int) -> None:
+        if step_index - self._window_start >= self.config.window:
+            self._close_window(step_index)
+
+    def on_finish(self, step_index: int) -> None:
+        # Close the trailing partial window so short runs and run tails
+        # still produce a signal (a zero-width tail would be vacuous).
+        if step_index > self._window_start:
+            self._close_window(step_index)
+
+    # -- internals ---------------------------------------------------------
+    def _cumulative_evictions(self) -> int:
+        cache = self.cache
+        return int(getattr(cache, "evictions", 0)) + int(
+            getattr(cache, "flushes", 0)
+        )
+
+    def _close_window(self, step_index: int) -> None:
+        stats = self.stats
+        interp_steps = stats.interp_steps - self._interp_steps
+        cache_steps = stats.cache_steps - self._cache_steps
+        interp_instructions = (
+            stats.interp_instructions - self._interp_instructions
+        )
+        cache_instructions = (
+            stats.cache_instructions - self._cache_instructions
+        )
+        regions = len(self.cache.regions)
+        evictions = self._cumulative_evictions()
+
+        total_instructions = interp_instructions + cache_instructions
+        hit_rate = (
+            cache_instructions / total_instructions
+            if total_instructions else 0.0
+        )
+        window = SignalWindow(
+            start_step=self._window_start,
+            end_step=step_index,
+            hit_rate=hit_rate,
+            churn=regions - self._regions,
+            evictions=evictions - self._evictions,
+            interp_ratio=(
+                interp_steps / cache_steps if cache_steps
+                else float(interp_steps)
+            ),
+        )
+        previous = self.windows[-1] if self.windows else None
+        self.windows.append(window)
+
+        self._window_start = step_index
+        self._interp_steps = stats.interp_steps
+        self._cache_steps = stats.cache_steps
+        self._interp_instructions = stats.interp_instructions
+        self._cache_instructions = stats.cache_instructions
+        self._regions = regions
+        self._evictions = evictions
+
+        if previous is not None:
+            self._detect_shift(step_index, previous, window)
+
+    def _detect_shift(
+        self, step_index: int, previous: SignalWindow, current: SignalWindow
+    ) -> None:
+        config = self.config
+        triggers = []
+        if config.hit_rate_delta is not None:
+            delta = current.hit_rate - previous.hit_rate
+            if abs(delta) >= config.hit_rate_delta:
+                triggers.append(
+                    ("hit_rate", previous.hit_rate, current.hit_rate, delta)
+                )
+        if config.churn_delta is not None:
+            delta = current.churn - previous.churn
+            if abs(delta) >= config.churn_delta:
+                triggers.append(
+                    ("churn", previous.churn, current.churn, delta)
+                )
+        if config.eviction_delta is not None:
+            delta = current.evictions - previous.evictions
+            if abs(delta) >= config.eviction_delta:
+                triggers.append(
+                    ("evictions", previous.evictions, current.evictions,
+                     delta)
+                )
+        for signal, before, after, delta in triggers:
+            self.shifts.append((step_index, signal, delta))
+            self.observer.event(
+                "phase_shift",
+                step_index,
+                signal=signal,
+                previous=round(before, 6) if isinstance(before, float)
+                else before,
+                current=round(after, 6) if isinstance(after, float)
+                else after,
+                delta=round(delta, 6) if isinstance(delta, float) else delta,
+                window=self.config.window,
+            )
+
+    def timeline(self) -> List[dict]:
+        """The window signals as plain dicts (report/JSON friendly)."""
+        return [window.to_dict() for window in self.windows]

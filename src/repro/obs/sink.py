@@ -183,5 +183,15 @@ class TeeSink(EventSink):
             sink.write(event)
 
     def close(self) -> None:
+        # Close every child even if one raises: a failing child must not
+        # leave its siblings unflushed (the tee owns all of them).  The
+        # first error is re-raised once the loop has finished.
+        first_error: Optional[BaseException] = None
         for sink in self.sinks:
-            sink.close()
+            try:
+                sink.close()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error

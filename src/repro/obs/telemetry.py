@@ -1,0 +1,289 @@
+"""Cross-process telemetry: ship worker observability back to the parent.
+
+Everything recorded inside a job-engine worker process — metrics,
+span-profile totals, the event tail — used to die with the worker:
+the result pipe carried only the job's return value.  This module
+closes that gap with three pieces:
+
+* :class:`TelemetryReport` — the serializable bundle one worker ships
+  back over the existing result pipe: a metrics-registry snapshot, a
+  span-profile snapshot and the ring-buffered tail of its events (plus
+  how many the ring dropped).  Plain dicts and lists only, so it
+  pickles/JSONs without ceremony.
+* the **worker-side activation protocol** —
+  :func:`activate_worker_telemetry` installs a process-local
+  :class:`WorkerTelemetry` bundle; job payload callables fetch its
+  observer with :func:`worker_observer` (falling back to
+  :data:`~repro.obs.observer.NULL_OBSERVER` when telemetry is off, so
+  workers need no flag threading); :func:`deactivate_worker_telemetry`
+  returns the finished report.  The job engine drives this around each
+  attempt in both its serial and parallel paths, which is what makes
+  the merged totals bit-identical between the two.
+* :class:`FleetTelemetry` — the parent-side aggregator.  Each worker
+  report merges into one registry under ``job_id``/``worker`` labels
+  (:meth:`~repro.obs.metrics.MetricsRegistry.merge`), profile phases
+  accumulate, and worker events are tagged and interleaved with the
+  parent's own lifecycle events by their ``(ts, seq)`` order stamps —
+  one coherent registry, profile and event log for a whole ``run_grid``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.events import Event, event_from_dict
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.profile import SpanTimer
+from repro.obs.sink import CollectingSink, EventSink, RingBufferSink, TeeSink
+
+#: Default event-tail capacity of a worker's ring buffer.  Big enough
+#: for every job-lifecycle and region/cache "info" event a grid cell
+#: emits; per-step "debug" chatter may overflow, which is exactly what
+#: the ring's ``dropped`` counter reports.
+DEFAULT_RING_CAPACITY = 512
+
+
+@dataclass
+class TelemetryReport:
+    """What one worker ships back: metrics + profile + event tail."""
+
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    profile: Dict[str, object] = field(default_factory=dict)
+    events: List[Dict[str, object]] = field(default_factory=list)
+    events_dropped: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "metrics": self.metrics,
+            "profile": self.profile,
+            "events": self.events,
+            "events_dropped": self.events_dropped,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TelemetryReport":
+        if not isinstance(data, dict):
+            raise ObservabilityError(
+                f"telemetry report must be a dict, got {type(data).__name__}"
+            )
+        return cls(
+            metrics=dict(data.get("metrics", {})),
+            profile=dict(data.get("profile", {})),
+            events=list(data.get("events", [])),
+            events_dropped=int(data.get("events_dropped", 0)),
+        )
+
+
+class WorkerTelemetry:
+    """The per-process recording bundle behind :func:`worker_observer`."""
+
+    def __init__(self, ring_capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        self.metrics = MetricsRegistry()
+        self.ring = RingBufferSink(ring_capacity)
+        self.profiler = SpanTimer()
+        self.observer = Observer(
+            metrics=self.metrics, sink=self.ring, profiler=self.profiler
+        )
+
+    def report(self) -> TelemetryReport:
+        return TelemetryReport(
+            metrics=self.metrics.snapshot(),
+            profile=self.profiler.snapshot(),
+            events=[event.to_dict() for event in self.ring.events],
+            events_dropped=self.ring.dropped,
+        )
+
+
+# The process-local active bundle.  One slot, not a stack: a worker
+# process runs one job attempt at a time, and the serial engine path
+# activates/deactivates around each attempt in the parent.
+_active: Optional[WorkerTelemetry] = None
+
+
+def activate_worker_telemetry(
+    ring_capacity: int = DEFAULT_RING_CAPACITY,
+) -> WorkerTelemetry:
+    """Install a fresh recording bundle for this process's current job."""
+    global _active
+    _active = WorkerTelemetry(ring_capacity)
+    return _active
+
+
+def worker_observer() -> Observer:
+    """The active worker observer, or the null observer when telemetry
+    is off — job payload callables call this unconditionally."""
+    return _active.observer if _active is not None else NULL_OBSERVER
+
+
+def deactivate_worker_telemetry() -> Optional[TelemetryReport]:
+    """Tear down the active bundle and return its finished report."""
+    global _active
+    if _active is None:
+        return None
+    report = _active.report()
+    _active = None
+    return report
+
+
+def _tag_event(event: Event, job_id: str, worker: str) -> Event:
+    """Append job/worker provenance fields (without clobbering)."""
+    present = {name for name, _ in event.fields}
+    extra: Tuple[Tuple[str, object], ...] = ()
+    if "job_id" not in present:
+        extra += (("job_id", job_id),)
+    if "worker" not in present:
+        extra += (("worker", worker),)
+    if not extra:
+        return event
+    return event._replace(fields=event.fields + extra)
+
+
+class FleetTelemetry:
+    """Parent-side aggregator: one coherent view of a multi-process run.
+
+    The job engine calls :meth:`absorb` with each worker's report; the
+    parent's own lifecycle events are captured by teeing the engine
+    observer through :meth:`attach_parent`.  Afterwards:
+
+    * :attr:`metrics` is one registry holding every worker series under
+      appended ``job_id``/``worker`` labels;
+    * :meth:`merged_events` interleaves worker and parent events by
+      their ``(ts, seq)`` order stamps;
+    * :meth:`metric_totals` collapses the counters back to fleet-wide
+      sums (in deterministic sorted-series order, so a parallel run's
+      totals are bit-identical to the serial run's).
+    """
+
+    def __init__(self, ring_capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        #: Event-tail ring capacity each worker is activated with.
+        self.ring_capacity = ring_capacity
+        self.metrics = MetricsRegistry()
+        #: Per-(job_id, worker) raw reports, in absorption order.
+        self.reports: Dict[Tuple[str, str], TelemetryReport] = {}
+        #: Accumulated span-profile phases: name -> {seconds, entries}.
+        self.profile_phases: Dict[str, Dict[str, float]] = {}
+        self.wall_seconds = 0.0
+        self.steps = 0
+        #: Worker events evicted from ring buffers before shipping.
+        self.events_dropped = 0
+        self._worker_events: List[Event] = []
+        self._parent_sink = CollectingSink()
+
+    # -- ingestion --------------------------------------------------------
+    def absorb(self, report, job_id: str, worker: str) -> None:
+        """Merge one worker's report under ``job_id``/``worker`` labels."""
+        if isinstance(report, dict):
+            report = TelemetryReport.from_dict(report)
+        job_id = str(job_id)
+        worker = str(worker)
+        self.metrics.merge(
+            report.metrics, {"job_id": job_id, "worker": worker}
+        )
+        phases = report.profile.get("phases", {})
+        if isinstance(phases, dict):
+            for name, record in phases.items():
+                slot = self.profile_phases.setdefault(
+                    name, {"seconds": 0.0, "entries": 0}
+                )
+                slot["seconds"] += float(record.get("seconds", 0.0))
+                slot["entries"] += int(record.get("entries", 0))
+        self.wall_seconds += float(report.profile.get("wall_seconds", 0.0))
+        self.steps += int(report.profile.get("steps", 0))
+        self.events_dropped += report.events_dropped
+        for data in report.events:
+            event = event_from_dict(data)
+            self._worker_events.append(_tag_event(event, job_id, worker))
+        self.reports[(job_id, worker)] = report
+
+    def attach_parent(self, observer: Optional[Observer] = None) -> Observer:
+        """An observer whose events also land in this aggregator.
+
+        With no ``observer``, the parent (engine) records straight into
+        the fleet's own sink and registry.  With one, its pillars keep
+        working and events are teed into the fleet as well.
+        """
+        if observer is None or not observer.enabled:
+            parent = Observer(metrics=self.metrics, sink=self._parent_sink)
+            if observer is not None:
+                parent.common.update(observer.common)
+            return parent
+        sinks: List[EventSink] = [self._parent_sink]
+        if observer.sink is not None:
+            sinks.append(observer.sink)
+        teed = Observer(
+            metrics=observer.metrics,
+            sink=TeeSink(sinks),
+            profiler=observer.profiler,
+        )
+        teed.common.update(observer.common)
+        return teed
+
+    # -- views ------------------------------------------------------------
+    @property
+    def parent_events(self) -> List[Event]:
+        """The parent process's own captured events (emission order)."""
+        return list(self._parent_sink.events)
+
+    def merged_events(self) -> List[Event]:
+        """Worker + parent events in one totally ordered log."""
+        return sorted(
+            self._worker_events + self._parent_sink.events,
+            key=lambda event: event.order_key,
+        )
+
+    def metric_totals(self) -> Dict[str, float]:
+        """Fleet-wide counter sums, by metric name.
+
+        Series are summed in sorted snapshot-key order — not merge
+        order — so totals are reproducible no matter which worker
+        finished first.
+        """
+        totals: Dict[str, float] = {}
+        for name in self.metrics.names():
+            snap = self.metrics.get(name).snapshot()
+            if snap["type"] != "counter":
+                continue
+            values = snap["values"]
+            totals[name] = sum(values[key] for key in sorted(values))
+        return totals
+
+    # -- serialization ----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """One JSON-able document: the merged telemetry report."""
+        return {
+            "telemetry_version": 1,
+            "workers": sorted({worker for _, worker in self.reports}),
+            "jobs": sorted({job_id for job_id, _ in self.reports}),
+            "metrics": self.metrics.snapshot(),
+            "profile": {
+                "phases": {
+                    name: dict(self.profile_phases[name])
+                    for name in sorted(self.profile_phases)
+                },
+                "wall_seconds": self.wall_seconds,
+                "steps": self.steps,
+            },
+            "events": [event.to_dict() for event in self.merged_events()],
+            "events_dropped": self.events_dropped,
+            "metric_totals": self.metric_totals(),
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+
+def load_telemetry(path: str) -> Dict[str, object]:
+    """Read a merged telemetry document written by :meth:`FleetTelemetry.write`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ObservabilityError(
+            f"telemetry file {path!r} does not hold a JSON object"
+        )
+    return data

@@ -52,6 +52,7 @@ from repro.errors import ReproError, SelectionError
 from repro.execution.engine import ExecutionEngine
 from repro.execution.events import Step
 from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.signals import SignalConfig, SignalTracker
 from repro.program.cfg import BasicBlock
 from repro.program.program import Program
 from repro.selection.base import RegionSelector
@@ -148,6 +149,7 @@ class Simulator:
         sample_every: Optional[int] = None,
         icache: Optional[InstructionCache] = None,
         observer: Optional[Observer] = None,
+        signals: Optional[SignalConfig] = None,
     ) -> None:
         self.program = program
         self.selector_name = selector_name
@@ -170,6 +172,10 @@ class Simulator:
         #: Optional instruction-cache model over the code-cache layout;
         #: fetches of cached instructions are simulated through it.
         self.icache = icache
+        #: When set, a windowed :class:`~repro.obs.signals.SignalTracker`
+        #: runs as a step hook; after a run it is available here.
+        self.signals = signals
+        self.signal_tracker: Optional[SignalTracker] = None
         self._step_hooks: List[StepHook] = []
 
     def add_step_hook(self, hook: StepHook) -> None:
@@ -250,11 +256,18 @@ class Simulator:
         prof = obs.profiler
         step_index = 0
 
-        # The single per-step hook point: the timeline sampler and any
-        # externally registered hooks all tick off the same step index.
+        # The single per-step hook point: the timeline sampler, the
+        # windowed signal tracker and any externally registered hooks
+        # all tick off the same step index.
+        tracker = (
+            SignalTracker(self.signals, stats, cache, observer=obs)
+            if self.signals is not None else None
+        )
+        self.signal_tracker = tracker
         step_hooks: Tuple[StepHook, ...] = tuple(
             ([_TimelineSampler(self.sample_every, stats, cache, samples)]
              if self.sample_every is not None else [])
+            + ([tracker] if tracker is not None else [])
             + self._step_hooks
         )
 
@@ -1339,6 +1352,7 @@ def simulate(
     icache: Optional[InstructionCache] = None,
     observer: Optional[Observer] = None,
     fast: bool = True,
+    signals: Optional[SignalConfig] = None,
 ) -> RunResult:
     """Convenience: execute ``program`` live and simulate the system.
 
@@ -1357,6 +1371,7 @@ def simulate(
     simulator = Simulator(
         program, selector_name, config,
         sample_every=sample_every, icache=icache, observer=observer,
+        signals=signals,
     )
     if fast:
         return simulator.run_program(engine)

@@ -138,6 +138,24 @@ class TestSinks:
         tee.write(make_event("cache_exit", 1))
         assert len(a.events) == 1 and len(b.events) == 0
 
+    def test_tee_close_reaches_every_child_despite_failure(self):
+        closed = []
+
+        class Failing(CollectingSink):
+            def close(self):
+                closed.append("failing")
+                raise RuntimeError("disk full")
+
+        class Recording(CollectingSink):
+            def close(self):
+                closed.append("recording")
+
+        tee = TeeSink([Failing(), Recording(), Failing()])
+        with pytest.raises(RuntimeError, match="disk full"):
+            tee.close()
+        # Every child was closed; the first error was re-raised after.
+        assert closed == ["failing", "recording", "failing"]
+
 
 class TestSpanTimer:
     def make_timer(self):
@@ -262,3 +280,77 @@ class TestInspectSummary:
         assert "RUN FAILED at step 31" in text
         assert "eviction churn: 1 evictions, 1 flushes" in text
         assert "region_rejected" in text
+
+    def test_job_lifecycle_section(self):
+        from repro.obs import format_summary
+
+        events = [
+            make_event("job_submitted", 0, job_id="a")._replace(ts=100.0),
+            make_event("job_submitted", 0, job_id="b")._replace(ts=100.5),
+            make_event("job_retried", 0, job_id="b", attempt=1,
+                       reason="crashed", delay=0.1),
+            make_event("job_completed", 0, job_id="a", attempt=1,
+                       elapsed=1.9)._replace(ts=102.0),
+            # No usable timestamp: falls back to the elapsed payload.
+            make_event("job_completed", 0, job_id="b", attempt=2,
+                       elapsed=3.25)._replace(ts=0.0),
+            make_event("job_failed", 0, job_id="c", attempts=3,
+                       reason="timeout"),
+            make_event("job_restored", 0, job_id="d"),
+        ]
+        summary = summarize_events(events)
+        assert summary.jobs_submitted == 2
+        assert summary.jobs_completed == 2
+        assert summary.jobs_retried == 1
+        assert summary.jobs_failed == 1
+        assert summary.jobs_restored == 1
+        assert summary.job_wall_seconds["a"] == pytest.approx(2.0)
+        assert summary.job_wall_seconds["b"] == pytest.approx(3.25)
+        assert summary.job_retry_reasons == {"b": ["crashed"]}
+        text = format_summary(summary)
+        assert ("job engine: 2 submitted, 2 completed, 1 retried, "
+                "1 failed, 1 restored from checkpoint") in text
+        assert "retried: crashed" in text
+
+    def test_phase_shift_timeline_section(self):
+        from repro.obs import format_summary
+
+        events = [
+            make_event("phase_shift", 5000, signal="hit_rate",
+                       previous=0.9, current=0.5, delta=-0.4, window=5000),
+            make_event("phase_shift", 10000, signal="churn",
+                       previous=2, current=14, delta=12, window=5000),
+        ]
+        summary = summarize_events(events)
+        assert summary.phase_shifts == [
+            (5000, "hit_rate", -0.4), (10000, "churn", 12)]
+        text = format_summary(summary)
+        assert "phase shifts: 2" in text
+        assert "step 5000" in text and "hit_rate" in text
+
+
+class TestEventOrdering:
+    def test_events_are_stamped_monotonically(self):
+        events = [make_event("cache_exit", step) for step in range(50)]
+        sequences = [event.seq for event in events]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+        timestamps = [event.ts for event in events]
+        assert timestamps == sorted(timestamps)
+        assert all(ts > 0 for ts in timestamps)
+
+    def test_order_key_totally_orders_a_merged_log(self):
+        events = [make_event("cache_exit", step) for step in range(10)]
+        shuffled = events[::2] + events[1::2]
+        merged = sorted(shuffled, key=lambda event: event.order_key)
+        assert merged == events
+
+    def test_stamps_survive_serialization(self):
+        import json
+
+        from repro.obs.events import event_from_dict
+
+        event = make_event("region_installed", 4, entry="a")
+        clone = event_from_dict(json.loads(json.dumps(event.to_dict())))
+        assert clone.ts == event.ts and clone.seq == event.seq
+        assert clone.order_key == event.order_key

@@ -134,3 +134,74 @@ class TestRegistry:
         registry = MetricsRegistry()
         registry.counter("quiet_total", "never incremented")
         assert "repro_quiet_total 0" in registry.to_prometheus()
+
+
+class TestPrometheusConformance:
+    """Exposition-format details real scrapers reject when wrong."""
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("files_total", "", ["path", "note"])
+        counter.inc(path='C:\\tmp\\"x"', note="line1\nline2")
+        text = registry.to_prometheus()
+        assert ('repro_files_total{path="C:\\\\tmp\\\\\\"x\\"",'
+                'note="line1\\nline2"} 1') in text
+        # The raw newline must not leak into the exposition output.
+        assert "line1\nline2" not in text
+
+    def test_multiple_labels_joined_by_bare_comma(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "", ["a", "b"]).inc(a="1", b="2")
+        assert 'repro_c_total{a="1",b="2"} 1' in registry.to_prometheus()
+
+
+class TestRegistryMerge:
+    def test_counters_merge_under_extra_labels(self):
+        worker = MetricsRegistry()
+        worker.counter("steps_total").inc(7)
+        worker.counter("hits_total", "", ["kind"]).inc(2, kind="trace")
+        parent = MetricsRegistry()
+        parent.merge(worker.snapshot(), {"job_id": "j1", "worker": "w1"})
+        parent.merge(worker.snapshot(), {"job_id": "j2", "worker": "w2"})
+        steps = parent.get("steps_total")
+        assert steps.value(job_id="j1", worker="w1") == 7
+        assert steps.total == 14
+        hits = parent.get("hits_total")
+        assert hits.value(kind="trace", job_id="j2", worker="w2") == 2
+
+    def test_gauges_are_additive_and_histograms_bucket_wise(self):
+        worker = MetricsRegistry()
+        worker.gauge("depth").set(3)
+        worker.histogram("sizes", buckets=[1, 4]).observe(2)
+        parent = MetricsRegistry()
+        parent.merge(worker.snapshot())
+        parent.merge(worker.snapshot())
+        assert parent.get("depth").value() == 6
+        hist = parent.get("sizes")
+        assert hist.bucket_counts() == (0, 2, 0)
+        assert hist.count() == 2 and hist.sum() == 4
+
+    def test_merge_without_extra_labels_keeps_series_shape(self):
+        worker = MetricsRegistry()
+        worker.counter("c_total", "", ["k"]).inc(k="v")
+        parent = MetricsRegistry()
+        parent.merge(worker.snapshot())
+        assert parent.get("c_total").value(k="v") == 1
+
+    def test_bucket_mismatch_is_an_error(self):
+        worker = MetricsRegistry()
+        worker.histogram("sizes", buckets=[1, 4]).observe(2)
+        parent = MetricsRegistry()
+        parent.histogram("sizes", buckets=[1, 8])
+        with pytest.raises(ObservabilityError):
+            parent.merge(worker.snapshot())
+
+    def test_label_value_containing_separator_rejected(self):
+        worker = MetricsRegistry()
+        worker.counter("c_total").inc()
+        parent = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            parent.merge(worker.snapshot(), {"job_id": "a|b"})
+        counter = MetricsRegistry().counter("c_total", "", ["k"])
+        with pytest.raises(ObservabilityError):
+            counter.inc(k="x|y")

@@ -1,0 +1,127 @@
+"""Windowed phase signals (repro.obs.signals)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ObservabilityError
+from repro.execution.engine import ExecutionEngine
+from repro.metrics.summary import MetricReport
+from repro.obs import CollectingSink, Observer
+from repro.obs.signals import SignalConfig, SignalTracker
+from repro.system.simulator import Simulator, simulate
+from repro.workloads import build_benchmark
+
+
+def run_with_signals(bench="gzip", selector="net", scale=0.1, seed=1,
+                     config=None, signals=None, observer=None):
+    program = build_benchmark(bench, scale=scale)
+    simulator = Simulator(program, selector, config, observer=observer,
+                          signals=signals)
+    result = simulator.run_program(ExecutionEngine(program, seed=seed))
+    return result, simulator.signal_tracker
+
+
+class TestSignalConfig:
+    def test_window_validated(self):
+        with pytest.raises(ObservabilityError):
+            SignalTracker(SignalConfig(window=0), stats=None, cache=None)
+
+
+class TestWindows:
+    def test_windows_partition_the_run(self):
+        result, tracker = run_with_signals(
+            signals=SignalConfig(window=2000))
+        windows = tracker.windows
+        assert windows, "a multi-thousand-step run must close windows"
+        assert windows[0].start_step == 0
+        for before, after in zip(windows, windows[1:]):
+            assert after.start_step == before.end_step
+        # The trailing partial window covers the end of the run.
+        total_steps = result.stats.interp_steps + result.stats.cache_steps
+        assert windows[-1].end_step == total_steps
+        for window in windows:
+            assert 0.0 <= window.hit_rate <= 1.0
+            assert window.churn >= 0 and window.evictions >= 0
+
+    def test_warmup_raises_hit_rate_across_windows(self):
+        _, tracker = run_with_signals(signals=SignalConfig(window=2000))
+        first, last = tracker.windows[0], tracker.windows[-1]
+        assert last.hit_rate > first.hit_rate
+
+    def test_timeline_matches_windows(self):
+        _, tracker = run_with_signals(signals=SignalConfig(window=2000))
+        timeline = tracker.timeline()
+        assert len(timeline) == len(tracker.windows)
+        assert timeline[0] == tracker.windows[0].to_dict()
+
+
+class TestPhaseShifts:
+    def test_warmup_shift_detected_and_emitted(self):
+        sink = CollectingSink()
+        _, tracker = run_with_signals(
+            signals=SignalConfig(window=2000, hit_rate_delta=0.05,
+                                 churn_delta=None, eviction_delta=None),
+            observer=Observer(sink=sink),
+        )
+        assert tracker.shifts, "warmup must move the hit rate"
+        assert all(signal == "hit_rate" for _, signal, _ in tracker.shifts)
+        emitted = sink.by_kind("phase_shift")
+        assert len(emitted) == len(tracker.shifts)
+        event = emitted[0]
+        assert event.get("signal") == "hit_rate"
+        assert event.get("window") == 2000
+        assert event.get("delta") == pytest.approx(
+            tracker.shifts[0][2], abs=1e-6)
+
+    def test_disabled_thresholds_fire_nothing(self):
+        _, tracker = run_with_signals(
+            signals=SignalConfig(window=2000, hit_rate_delta=None,
+                                 churn_delta=None, eviction_delta=None))
+        assert tracker.shifts == []
+
+    def test_synthetic_dip_triggers_both_directions(self):
+        class Stats:
+            interp_steps = 0
+            cache_steps = 0
+            interp_instructions = 0
+            cache_instructions = 0
+
+        class Cache:
+            regions = {}
+            evictions = 0
+            flushes = 0
+
+        stats, cache = Stats(), Cache()
+        tracker = SignalTracker(
+            SignalConfig(window=10, hit_rate_delta=0.3, churn_delta=None,
+                         eviction_delta=None),
+            stats, cache)
+        # Window 1: all cached.  Window 2: all interpreted (the dip).
+        stats.cache_steps = 10
+        stats.cache_instructions = 100
+        tracker.on_step(10)
+        stats.interp_steps = 10
+        stats.interp_instructions = 100
+        tracker.on_step(20)
+        # Window 3: recovered.
+        stats.cache_steps = 20
+        stats.cache_instructions = 200
+        tracker.on_finish(30)
+        assert [w.hit_rate for w in tracker.windows] == [1.0, 0.0, 1.0]
+        assert [(step, delta) for step, _, delta in tracker.shifts] == [
+            (20, -1.0), (30, 1.0)]
+
+
+class TestOutcomeIdentity:
+    def test_signals_do_not_change_simulation_results(self):
+        program = build_benchmark("gzip", scale=0.1)
+        config = SystemConfig(cache_capacity_bytes=4096,
+                              cache_eviction_policy="fifo")
+        plain = simulate(program, "net", config, seed=1)
+        tracked = simulate(program, "net", config, seed=1,
+                           signals=SignalConfig(window=1000))
+        assert (MetricReport.from_result(tracked)
+                == MetricReport.from_result(plain))
+        assert tracked.cache_evictions == plain.cache_evictions
