@@ -32,6 +32,7 @@ from repro.bench.regress import (
     format_analysis,
     load_trajectory,
 )
+from repro.bench.service import format_service_record, run_service_bench
 
 __all__ = [
     "BENCH_VERSION",
@@ -51,5 +52,7 @@ __all__ = [
     "analyze_path",
     "analyze_run",
     "format_analysis",
+    "format_service_record",
     "load_trajectory",
+    "run_service_bench",
 ]

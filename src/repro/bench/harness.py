@@ -148,8 +148,15 @@ def run_bench(
     workloads: Optional[Sequence[BenchWorkload]] = None,
     config: Optional[SystemConfig] = None,
     repeats: int = DEFAULT_REPEATS,
+    service: bool = False,
 ) -> Dict[str, object]:
-    """Run the pinned workload set and assemble the bench record."""
+    """Run the pinned workload set and assemble the bench record.
+
+    ``service=True`` additionally boots the grid server against a fresh
+    store and records warm/cold request-latency percentiles under the
+    ``service`` key (see :mod:`repro.bench.service`); the CLI turns it
+    on by default, library callers opt in.
+    """
     if workloads is None:
         workloads = QUICK_WORKLOADS if quick else STANDARD_WORKLOADS
     config = config if config is not None else SystemConfig()
@@ -157,6 +164,11 @@ def run_bench(
     started = time.monotonic()
     for workload in workloads:
         records.append(_run_workload(workload, config, repeats=repeats))
+    service_record = None
+    if service:
+        from repro.bench.service import run_service_bench
+
+        service_record = run_service_bench(quick=quick)
     total_wall = sum(float(r["wall_seconds"]) for r in records)
     total_steps = sum(int(r["steps"]) for r in records)
     return {
@@ -167,6 +179,7 @@ def run_bench(
         "platform": platform.platform(),
         "quick": bool(quick),
         "workloads": records,
+        "service": service_record,
         "totals": {
             "wall_seconds": round(total_wall, 6),
             "steps": total_steps,
@@ -220,4 +233,8 @@ def format_bench_table(run: Dict[str, object],
         f"{totals['wall_seconds']:>9.4f} "
         f"{totals['events_per_second']:>12,.0f} {total_text:>12s}"
     )
+    if run.get("service"):
+        from repro.bench.service import format_service_record
+
+        lines.append(format_service_record(run["service"]))
     return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Service-latency workload for ``repro bench``.
+
+Raw events/s measures how fast one simulation runs; this workload
+measures how fast the *service* answers — the SLO the ROADMAP's
+simulation-as-a-service item asks for.  A real server is booted on a
+loopback socket with a fresh (empty) store, then:
+
+* **cold**: each pinned cell is submitted once, sequentially, so every
+  request pays a full simulation through the job engine;
+* **warm**: the same cells are submitted repeatedly round-robin, so
+  every request is a content-addressed store hit.
+
+p50/p99 of both phases land in ``BENCH_run.json`` under ``service``.
+The record is informational (no baseline gate — wall-clock latency on
+a shared runner is far noisier than throughput ratios), but the
+*shape* is load-bearing: warm p50 collapsing toward cold p50 means the
+store path broke, and the acceptance bar for the service subsystem is
+warm p50 at least 10x under cold p50.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.client import ServiceClient
+from repro.serve.server import ServerThread
+
+#: The pinned service cells: distinct (benchmark, selector) pairs so
+#: cold requests exercise different simulation paths.
+SERVICE_CELLS: Tuple[Tuple[str, str], ...] = (
+    ("gzip", "net"),
+    ("mcf", "lei"),
+    ("vortex", "combined-net"),
+)
+
+#: Cell scale for the standard / quick variants.  Small on purpose:
+#: the workload measures service overhead and store reads, not
+#: simulation throughput (the raw workloads already cover that).
+SERVICE_SCALE = 0.2
+SERVICE_SCALE_QUICK = 0.05
+
+#: Warm requests measured round-robin across the cells.
+WARM_REQUESTS = 60
+WARM_REQUESTS_QUICK = 30
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (``fraction`` in [0, 1]) of ``samples``."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+def _phase_record(samples: List[float]) -> Dict[str, object]:
+    total = sum(samples)
+    return {
+        "requests": len(samples),
+        "p50_ms": round(percentile(samples, 0.50) * 1000, 3),
+        "p99_ms": round(percentile(samples, 0.99) * 1000, 3),
+        "mean_ms": round(total / len(samples) * 1000, 3) if samples else 0.0,
+    }
+
+
+def run_service_bench(
+    quick: bool = False,
+    cells: Optional[Sequence[Tuple[str, str]]] = None,
+    warm_requests: Optional[int] = None,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """Boot a server, measure warm/cold request latency, return the record."""
+    cells = tuple(cells) if cells is not None else SERVICE_CELLS
+    scale = SERVICE_SCALE_QUICK if quick else SERVICE_SCALE
+    if warm_requests is None:
+        warm_requests = WARM_REQUESTS_QUICK if quick else WARM_REQUESTS
+    cold_samples: List[float] = []
+    warm_samples: List[float] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as root:
+        # workers=1 keeps dispatch on the serial in-process path:
+        # sequential cold submissions never batch, so the measurement
+        # has no subprocess-spawn noise in it.
+        with ServerThread(root, workers=1) as handle:
+            with ServiceClient("127.0.0.1", handle.port) as client:
+                for benchmark, selector in cells:
+                    body, latency = client.simulate(
+                        benchmark, selector, scale=scale, seed=seed
+                    )
+                    assert body["source"] == "computed", body["source"]
+                    cold_samples.append(latency)
+                for i in range(warm_requests):
+                    benchmark, selector = cells[i % len(cells)]
+                    body, latency = client.simulate(
+                        benchmark, selector, scale=scale, seed=seed
+                    )
+                    assert body["source"] == "store", body["source"]
+                    warm_samples.append(latency)
+                stats = client.stats()["service"]
+    cold = _phase_record(cold_samples)
+    warm = _phase_record(warm_samples)
+    speedup = (cold["p50_ms"] / warm["p50_ms"]
+               if warm["p50_ms"] > 0 else None)
+    return {
+        "cells": [f"{b}:{s}" for b, s in cells],
+        "scale": scale,
+        "seed": seed,
+        "cold": cold,
+        "warm": warm,
+        "warm_speedup_p50": round(speedup, 1) if speedup else None,
+        "service_stats": stats,
+    }
+
+
+def format_service_record(record: Dict[str, object]) -> str:
+    """One-paragraph rendering for the bench table footer."""
+    cold = record["cold"]
+    warm = record["warm"]
+    speedup = record.get("warm_speedup_p50")
+    return (
+        f"service latency ({len(record['cells'])} cells, scale "
+        f"{record['scale']}): cold p50 {cold['p50_ms']:.1f} ms "
+        f"p99 {cold['p99_ms']:.1f} ms | warm p50 {warm['p50_ms']:.2f} ms "
+        f"p99 {warm['p99_ms']:.2f} ms | warm speedup "
+        f"{speedup if speedup is not None else '-'}x"
+    )

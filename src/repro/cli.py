@@ -15,7 +15,11 @@ Commands:
   through the regression sentinel (:mod:`repro.bench.regress`) without
   re-running anything;
 * ``obs report`` — render the merged fleet-telemetry JSON written by
-  ``run_grid(telemetry_out=...)`` (see ``docs/observability.md``).
+  ``run_grid(telemetry_out=...)`` (see ``docs/observability.md``);
+* ``serve`` — the simulation service: an asyncio HTTP server resolving
+  grid-cell requests through the store / single-flight coalescing /
+  the job engine (see ``docs/service.md``); ``serve --smoke`` boots a
+  throwaway server, checks the cold/warm contract and exits.
 
 ``run`` and ``replay`` accept the observability flags
 ``--trace-events PATH`` (structured JSONL event log),
@@ -197,7 +201,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_bench_run,
     )
 
-    run = run_bench(quick=args.quick, repeats=args.repeats)
+    run = run_bench(quick=args.quick, repeats=args.repeats,
+                    service=not args.no_service)
     deltas = None
     baseline = None if args.no_baseline else load_baseline(
         args.baseline, quick=args.quick)
@@ -298,6 +303,89 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
                                trajectory=trajectory)
     print(format_telemetry_report(doc, analysis=analysis,
                                   markdown=args.markdown))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the grid server (or its smoke check).
+
+    Startup failures — port already bound, store root that is not a
+    directory — exit 2 with a one-line ``error:`` message, matching the
+    ``repro inspect`` / ``repro bench --check`` convention.
+    """
+    import asyncio
+
+    from repro.errors import ServeError, StoreError
+    from repro.obs import JsonlSink, MetricsRegistry, Observer
+    from repro.serve import GridServer, SimulationService, run_smoke
+    from repro.store import ResultStore
+
+    # --store/--port default to None so smoke mode can tell "explicit"
+    # from "unset": unset means a throwaway store and an ephemeral port.
+    store_root = args.store if args.store is not None else ".repro-store"
+    port = args.port if args.port is not None else 8765
+
+    if args.smoke:
+        try:
+            record = run_smoke(
+                store_root=args.store,
+                host=args.host,
+                port=args.port if args.port is not None else 0,
+                latency_out=args.latency_out,
+            )
+        except (ServeError, StoreError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"smoke ok: cold {record['cold_ms']:.1f} ms, warm p50 "
+              f"{record['warm_p50_ms']:.2f} ms "
+              f"({record['warm_speedup']}x), 1 job launched")
+        if args.latency_out:
+            print(f"latency report written to {args.latency_out}",
+                  file=sys.stderr)
+        return 0
+
+    sink = None
+    if args.trace_events:
+        sink = JsonlSink(args.trace_events)
+    observer = Observer(metrics=MetricsRegistry(), sink=sink)
+
+    async def _serve() -> None:
+        store = ResultStore(store_root, observer=observer,
+                            shard_width=args.shard_width,
+                            max_bytes=args.store_max_bytes)
+        service = SimulationService(
+            store,
+            workers=args.workers,
+            job_timeout=args.job_timeout,
+            max_retries=args.max_retries,
+            observer=observer,
+            code_version=args.code_version,
+        )
+        server = GridServer(service, host=args.host, port=port,
+                            observer=observer)
+        await server.start()
+        print(f"serving on http://{server.host}:{server.port} "
+              f"(store: {store_root}, workers: {args.workers})",
+              flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        return 0
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{port}: {exc}",
+              file=sys.stderr)
+        return 2
+    except (StoreError, ServeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        observer.close()
     return 0
 
 
@@ -453,7 +541,46 @@ def build_parser() -> argparse.ArgumentParser:
                             "are re-run; always exits 0)")
     bench.add_argument("--markdown", action="store_true",
                        help="with --analyze: emit the report as Markdown")
+    bench.add_argument("--no-service", action="store_true",
+                       help="skip the service-latency workload (warm/cold "
+                            "request p50/p99 through `repro serve`)")
     bench.set_defaults(func=cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="serve grid-cell simulations over HTTP")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="bind port (default 8765; --smoke defaults to "
+                            "an ephemeral port)")
+    serve.add_argument("--store", metavar="DIR", default=None,
+                       help="result-store root (default .repro-store; "
+                            "--smoke defaults to a throwaway directory)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="max concurrent job-engine workers (default 2)")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job timeout for cold cells (default none)")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="per-job retry budget (default 2)")
+    serve.add_argument("--store-max-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="byte budget enforced by store GC "
+                            "(default unbounded)")
+    serve.add_argument("--shard-width", type=int, default=2,
+                       help="digest chars naming a store shard directory "
+                            "(default 2 = 256 shards)")
+    serve.add_argument("--code-version", default=None,
+                       help="pin the store address component that normally "
+                            "tracks the git SHA")
+    serve.add_argument("--trace-events", metavar="PATH", default=None,
+                       help="write a structured JSONL event log to PATH")
+    serve.add_argument("--smoke", action="store_true",
+                       help="boot a throwaway server, check the cold/warm "
+                            "contract (one job, warm from store), exit")
+    serve.add_argument("--latency-out", metavar="PATH", default=None,
+                       help="with --smoke: write the latency report JSON")
+    serve.set_defaults(func=cmd_serve)
 
     obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)

@@ -101,6 +101,17 @@ class StoreError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """A simulation-service request was invalid or could not be served.
+
+    Raised by :mod:`repro.serve` for malformed request payloads (unknown
+    benchmark, bad config override), for service-lifecycle misuse
+    (resolving through a service that was never started), and by the
+    smoke checker when a service-level expectation fails.  The HTTP
+    layer renders it as a 400 with the message as the error body.
+    """
+
+
 class JobError(ReproError):
     """A job failed permanently in the experiment job engine.
 

@@ -120,6 +120,32 @@ EVENT_KINDS: Dict[str, EventKind] = {
     "store_put": EventKind(
         "store", "debug",
         "A freshly computed result was persisted into the store."),
+    "store_corrupt": EventKind(
+        "store", "warn",
+        "An unreadable store entry was quarantined so it is never "
+        "re-parsed; the cell recomputes as a normal miss."),
+    "store_gc": EventKind(
+        "store", "info",
+        "A store GC pass evicted least-recently-accessed entries to "
+        "get back under the byte budget."),
+    # -- simulation service (repro.serve; step is always 0) --------------
+    "serve_started": EventKind(
+        "serve", "info",
+        "The grid server began accepting requests."),
+    "serve_stopped": EventKind(
+        "serve", "info",
+        "The grid server shut down."),
+    "serve_request": EventKind(
+        "serve", "debug",
+        "An HTTP request reached the grid server."),
+    "serve_response": EventKind(
+        "serve", "debug",
+        "An HTTP response left the grid server; payload carries the "
+        "status, resolution source and latency."),
+    "serve_coalesced": EventKind(
+        "serve", "debug",
+        "A request was deduplicated onto an identical in-flight job "
+        "(single-flight)."),
 }
 
 _RESERVED = ("kind", "step", "category", "severity", "ts", "seq")

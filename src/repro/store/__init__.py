@@ -15,12 +15,13 @@ See ``docs/experiments.md`` for the on-disk layout and semantics.
 """
 
 from repro.store.keys import CellKey, cell_key, default_code_version
-from repro.store.resultstore import ResultStore, StoreStats
+from repro.store.resultstore import GCStats, ResultStore, StoreStats
 
 __all__ = [
     "CellKey",
     "cell_key",
     "default_code_version",
+    "GCStats",
     "ResultStore",
     "StoreStats",
 ]

@@ -1,18 +1,36 @@
 """The on-disk store: one JSON file per content address.
 
-Layout (two-character fan-out keeps directories small at scale)::
+Layout (digest-prefix fan-out keeps directories small at scale)::
 
     <root>/
       ab/
         ab3f...e2.json      # {"store_version": 1, "key": {...}, "report": {...}}
 
+``shard_width`` controls how many digest characters name the shard
+directory: the default of 2 gives 256 shards (plenty up to a few
+hundred thousand entries); a service-scale store can widen it to 3
+(4096 shards) so that millions of cached cells keep per-directory
+listings fast.  Widths are not cross-compatible — an entry written
+under one width is a miss under another — so pick the width when the
+store is created.
+
 Entries are written atomically (temp file + ``os.replace``) so a killed
-run can never leave a half-written report behind; a corrupt or
-unreadable entry is treated as a miss and silently recomputed, because
-the store is a cache, not a source of truth.  Reports round-trip
-through :mod:`repro.analysis.serialize`, whose schema check makes an
-entry written by an incompatible producer read as corrupt (hence a
-miss) instead of as wrong numbers.
+run can never leave a half-written report behind.  A corrupt or
+unreadable entry is treated as a miss — the store is a cache, not a
+source of truth — and is *quarantined* on detection (renamed to
+``*.corrupt``, or removed when the rename fails) so it is never
+re-parsed on every subsequent lookup; the ``store_corrupt_total``
+counter and a ``store_corrupt`` event record each quarantine.  Reports
+round-trip through :mod:`repro.analysis.serialize`, whose schema check
+makes an entry written by an incompatible producer read as corrupt
+(hence a miss) instead of as wrong numbers.
+
+A store can be size-bounded: :meth:`ResultStore.gc` evicts
+least-recently-*accessed* entries (every hit bumps the entry's mtime)
+until the store fits a byte budget, and a store constructed with
+``max_bytes`` runs that pass automatically every ``gc_interval`` puts.
+Evicting is always safe — an evicted cell is deterministic in its key
+and simply recomputes on the next request.
 """
 
 from __future__ import annotations
@@ -21,7 +39,7 @@ import json
 import os
 import tempfile
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import ReproError, StoreError
 from repro.metrics.summary import MetricReport
@@ -31,19 +49,42 @@ from repro.store.keys import CellKey
 #: Bumped on incompatible changes to the entry payload format.
 STORE_VERSION = 1
 
+#: Suffix appended to a quarantined (corrupt) entry file.
+QUARANTINE_SUFFIX = ".corrupt"
+
+#: Length of a hex sha256 digest (entry file stem).
+_DIGEST_LEN = 64
+
 
 @dataclass
 class StoreStats:
-    """Per-instance traffic counters (hits/misses/puts/corrupt)."""
+    """Per-instance traffic counters (hits/misses/puts/corrupt/GC)."""
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     corrupt: int = 0
+    gc_passes: int = 0
+    gc_evicted: int = 0
 
     def as_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
-                "puts": self.puts, "corrupt": self.corrupt}
+                "puts": self.puts, "corrupt": self.corrupt,
+                "gc_passes": self.gc_passes, "gc_evicted": self.gc_evicted}
+
+
+@dataclass
+class GCStats:
+    """What one :meth:`ResultStore.gc` pass did."""
+
+    evicted: int
+    evicted_bytes: int
+    live: int
+    live_bytes: int
+
+    def as_dict(self) -> dict:
+        return {"evicted": self.evicted, "evicted_bytes": self.evicted_bytes,
+                "live": self.live, "live_bytes": self.live_bytes}
 
 
 @dataclass
@@ -52,25 +93,50 @@ class ResultStore:
 
     root: str
     observer: Observer = field(default=NULL_OBSERVER, repr=False)
+    #: Digest characters naming the shard directory (2 = 256 shards,
+    #: 3 = 4096).  All readers/writers of one store must agree.
+    shard_width: int = 2
+    #: Byte budget enforced by automatic GC; ``None`` = unbounded.
+    max_bytes: Optional[int] = None
+    #: Puts between automatic GC passes (amortizes the store walk).
+    gc_interval: int = 64
     stats: StoreStats = field(default_factory=StoreStats, init=False)
+    _puts_since_gc: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if os.path.exists(self.root) and not os.path.isdir(self.root):
             raise StoreError(
                 f"store root exists and is not a directory: {self.root!r}"
             )
+        if not 1 <= self.shard_width <= 8:
+            raise StoreError(
+                f"shard_width must be in 1..8, got {self.shard_width}"
+            )
+        if self.max_bytes is not None and self.max_bytes < 1:
+            raise StoreError(
+                f"max_bytes must be >= 1 or None, got {self.max_bytes}"
+            )
+        if self.gc_interval < 1:
+            raise StoreError(
+                f"gc_interval must be >= 1, got {self.gc_interval}"
+            )
 
     # -- addressing ------------------------------------------------------
     def path_for(self, key: CellKey) -> str:
-        digest = key.digest
-        return os.path.join(self.root, digest[:2], f"{digest}.json")
+        return self._digest_path(key.digest)
+
+    def _digest_path(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:self.shard_width],
+                            f"{digest}.json")
 
     # -- traffic ---------------------------------------------------------
     def get(self, key: CellKey) -> Optional[MetricReport]:
         """The stored report for ``key``, or ``None`` on a miss.
 
         A present-but-unreadable entry (truncated JSON, foreign schema)
-        counts as a miss: the caller recomputes and overwrites it.
+        counts as a miss: it is quarantined so it is never re-parsed,
+        and the caller recomputes and overwrites it.  A hit refreshes
+        the entry's access time (the LRU signal :meth:`gc` evicts by).
         """
         # Imported here: repro.analysis pulls in the figure registry,
         # which imports the grid runner, which needs this module.
@@ -90,12 +156,45 @@ class ResultStore:
             return None
         except (OSError, ValueError, KeyError, TypeError, ReproError):
             self.stats.misses += 1
-            self.stats.corrupt += 1
+            self._quarantine(path)
             return None
         self.stats.hits += 1
+        self._touch(path)
         self.observer.event("store_hit", 0, benchmark=key.benchmark,
                             selector=key.selector, digest=key.digest[:12])
         return report
+
+    def get_digest(self, digest: str) -> Optional[dict]:
+        """The raw entry payload stored under ``digest``, or ``None``.
+
+        Entries are self-describing (the key rides beside the report),
+        so this is the read path for callers that only know the content
+        address — e.g. the service's ``GET /v1/cell/<digest>``.  The
+        same corrupt-entry quarantine as :meth:`get` applies.
+        """
+        digest = digest.lower()
+        if len(digest) != _DIGEST_LEN or any(
+            c not in "0123456789abcdef" for c in digest
+        ):
+            raise StoreError(f"not a sha256 digest: {digest!r}")
+        path = self._digest_path(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("store_version") != STORE_VERSION:
+                raise StoreError(
+                    f"entry version {payload.get('store_version')!r}"
+                )
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, ReproError):
+            self.stats.misses += 1
+            self._quarantine(path)
+            return None
+        self.stats.hits += 1
+        self._touch(path)
+        return payload
 
     def put(self, key: CellKey, report: MetricReport) -> str:
         """Persist ``report`` under ``key`` atomically; returns the path."""
@@ -124,7 +223,107 @@ class ResultStore:
         self.stats.puts += 1
         self.observer.event("store_put", 0, benchmark=key.benchmark,
                             selector=key.selector, digest=key.digest[:12])
+        if self.max_bytes is not None:
+            self._puts_since_gc += 1
+            if self._puts_since_gc >= self.gc_interval:
+                self.gc()
         return path
+
+    # -- corruption ------------------------------------------------------
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry out of the lookup namespace.
+
+        The bytes are kept (renamed to ``*.corrupt``) for forensics;
+        if even the rename fails the file is removed, because the one
+        unacceptable outcome is re-parsing the same corrupt entry on
+        every future lookup.
+        """
+        self.stats.corrupt += 1
+        try:
+            os.replace(path, path + QUARANTINE_SUFFIX)
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self.observer.count("store_corrupt_total")
+        self.observer.event("store_corrupt", 0,
+                            entry=os.path.basename(path))
+
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Refresh the access stamp GC evicts by (best-effort)."""
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+
+    # -- garbage collection ----------------------------------------------
+    def gc(self, max_bytes: Optional[int] = None) -> GCStats:
+        """Evict least-recently-accessed entries down to a byte budget.
+
+        ``max_bytes`` defaults to the store's configured budget.  After
+        the pass the surviving entries total at most the budget — a
+        single entry larger than the whole budget is evicted like any
+        other, so the bound is unconditional.  Empty shard directories
+        left behind are pruned.
+        """
+        budget = max_bytes if max_bytes is not None else self.max_bytes
+        if budget is None:
+            raise StoreError(
+                "gc needs a byte budget: pass max_bytes or construct the "
+                "store with one"
+            )
+        if budget < 1:
+            raise StoreError(f"gc budget must be >= 1, got {budget}")
+        self._puts_since_gc = 0
+        entries: List[Tuple[float, str, int]] = []
+        total = 0
+        for path in self._entry_paths():
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            entries.append((info.st_mtime, path, info.st_size))
+            total += info.st_size
+        evicted = 0
+        evicted_bytes = 0
+        # Oldest access first; path breaks mtime ties deterministically.
+        for _, path, size in sorted(entries):
+            if total <= budget:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+            evicted_bytes += size
+        if evicted:
+            self._prune_empty_shards()
+        self.stats.gc_passes += 1
+        self.stats.gc_evicted += evicted
+        live = len(entries) - evicted
+        if evicted:
+            self.observer.count("store_gc_evicted_total", evicted)
+            self.observer.event("store_gc", 0, evicted=evicted,
+                                evicted_bytes=evicted_bytes,
+                                live=live, live_bytes=total,
+                                budget_bytes=budget)
+        return GCStats(evicted=evicted, evicted_bytes=evicted_bytes,
+                       live=live, live_bytes=total)
+
+    def _prune_empty_shards(self) -> None:
+        if not os.path.isdir(self.root):
+            return
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            try:
+                os.rmdir(shard_dir)  # only succeeds when empty
+            except OSError:
+                pass
 
     # -- maintenance -----------------------------------------------------
     def _entry_paths(self) -> Iterator[str]:
@@ -137,6 +336,16 @@ class ResultStore:
             for name in sorted(os.listdir(shard_dir)):
                 if name.endswith(".json"):
                     yield os.path.join(shard_dir, name)
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by live entries."""
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += os.stat(path).st_size
+            except OSError:
+                pass
+        return total
 
     def __len__(self) -> int:
         return sum(1 for _ in self._entry_paths())

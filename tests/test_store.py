@@ -62,6 +62,7 @@ class TestResultStore:
         assert loaded == report  # dataclass equality: every field exact
         assert store.stats.as_dict() == {
             "hits": 1, "misses": 1, "puts": 1, "corrupt": 0,
+            "gc_passes": 0, "gc_evicted": 0,
         }
 
     def test_layout_is_sharded_by_digest_prefix(self, tmp_path, report):

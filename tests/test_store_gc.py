@@ -1,0 +1,264 @@
+"""Size-bounded GC and corrupt-entry quarantine (repro.store).
+
+The store backs the grid service, so the properties here are the ones
+the service relies on: a GC pass never leaves the store over budget,
+every survivor stays readable, an evicted cell recomputes to the
+bit-identical report, and a corrupt entry is quarantined out of the
+lookup namespace instead of being re-parsed forever.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.errors import StoreError
+from repro.metrics.summary import MetricReport
+from repro.obs import CollectingSink, MetricsRegistry, Observer
+from repro.store import ResultStore, cell_key
+from repro.store.resultstore import QUARANTINE_SUFFIX
+from repro.system.simulator import simulate
+from repro.workloads import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def report():
+    program = build_benchmark("gzip", scale=0.05)
+    return MetricReport.from_result(simulate(program, "net", seed=1))
+
+
+def make_key(seed=1, **overrides):
+    params = dict(benchmark="gzip", selector="net", scale=0.05, seed=seed,
+                  config=SystemConfig(), code_version="v1")
+    params.update(overrides)
+    return cell_key(**params)
+
+
+def fill(store, report, count, start=0):
+    """Put ``count`` entries under distinct seeds; returns their keys."""
+    keys = [make_key(seed=seed) for seed in range(start, start + count)]
+    for key in keys:
+        store.put(key, report)
+    return keys
+
+
+def spread_mtimes(store, keys):
+    """Give every entry a distinct, deterministic access stamp.
+
+    Seed order == access order (seed 0 is the coldest), so LRU eviction
+    order is predictable without sleeping between puts.
+    """
+    base = 1_000_000_000
+    for index, key in enumerate(keys):
+        path = store.path_for(key)
+        os.utime(path, (base + index, base + index))
+
+
+COMMON = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.function_scoped_fixture],
+)
+
+
+class TestGCProperties:
+    @COMMON
+    @given(
+        entries=st.integers(1, 16),
+        keep=st.integers(0, 16),
+        slack=st.integers(0, 512),
+    )
+    def test_budget_respected_and_survivors_readable(
+        self, tmp_path_factory, report, entries, keep, slack
+    ):
+        root = tmp_path_factory.mktemp("gc-prop")
+        store = ResultStore(str(root))
+        keys = fill(store, report, entries)
+        spread_mtimes(store, keys)
+        sizes = [os.stat(store.path_for(key)).st_size for key in keys]
+        budget = max(1, min(keep, entries) * max(sizes) + slack)
+        stats = store.gc(max_bytes=budget)
+        total = store.total_bytes()
+        # Invariant 1: never over budget after a pass, unconditionally
+        # (an entry larger than the whole budget is evicted too).
+        assert total <= budget
+        assert stats.live_bytes == total
+        assert stats.evicted + stats.live == entries
+        # Invariant 2: every survivor reads back bit-identical, and the
+        # survivors are exactly the most recently accessed entries.
+        survivors = [key for key in keys if store.get(key) is not None]
+        assert len(survivors) == stats.live
+        expected = keys[entries - stats.live:]
+        assert [key.digest for key in survivors] \
+            == [key.digest for key in expected]
+        assert store.stats.corrupt == 0
+
+    @COMMON
+    @given(entries=st.integers(2, 12), accessed=st.integers(0, 11))
+    def test_eviction_is_lru_by_access(
+        self, tmp_path_factory, report, entries, accessed
+    ):
+        root = tmp_path_factory.mktemp("gc-lru")
+        store = ResultStore(str(root))
+        keys = fill(store, report, entries)
+        spread_mtimes(store, keys)
+        # Re-access the coldest entry: a hit must bump it to the top of
+        # the LRU order, so it survives a pass that evicts half.
+        victim = keys[min(accessed, entries - 1)]
+        assert store.get(victim) is not None
+        entry_bytes = os.stat(store.path_for(victim)).st_size
+        store.gc(max_bytes=max(1, (entries // 2) * entry_bytes))
+        if entries // 2 >= 1:
+            assert store.get(victim) is not None
+
+    def test_evicted_cell_recomputes_bit_identical(self, tmp_path, report):
+        store = ResultStore(str(tmp_path))
+        key = make_key()
+        store.put(key, report)
+        store.gc(max_bytes=1)
+        assert len(store) == 0
+        assert store.get(key) is None
+        # Deterministic cells make eviction safe: recompute and compare.
+        program = build_benchmark("gzip", scale=0.05)
+        recomputed = MetricReport.from_result(
+            simulate(program, "net", seed=1)
+        )
+        assert recomputed == report
+        store.put(key, recomputed)
+        assert store.get(key) == report
+
+
+class TestGCMechanics:
+    def test_thousand_cell_corpus_held_under_budget(self, tmp_path, report):
+        store = ResultStore(str(tmp_path))
+        keys = fill(store, report, 1000)
+        entry_bytes = os.stat(store.path_for(keys[0])).st_size
+        budget = 100 * entry_bytes
+        stats = store.gc(max_bytes=budget)
+        assert store.total_bytes() <= budget
+        # Entry sizes vary by a few bytes across seeds, so the exact
+        # survivor count floats right around the budgeted 100.
+        assert 90 <= stats.live <= 100
+        assert stats.evicted + stats.live == 1000
+        assert len(store) == stats.live
+        # Every survivor across the shard fan-out reads back intact.
+        alive = [key for key in keys if store.get(key) is not None]
+        assert len(alive) == stats.live
+
+    def test_auto_gc_on_put_keeps_store_bounded(self, tmp_path, report):
+        store = ResultStore(str(tmp_path), max_bytes=8192, gc_interval=4)
+        fill(store, report, 32)
+        # Interval-amortized: at most gc_interval-1 puts of slop above
+        # the budget between passes.
+        entry_bytes = os.stat(
+            store.path_for(make_key(seed=31))
+        ).st_size
+        assert store.total_bytes() <= 8192 + 3 * entry_bytes
+        assert store.stats.gc_passes >= 1
+        assert store.stats.gc_evicted > 0
+
+    def test_gc_emits_event_and_counter(self, tmp_path, report):
+        sink = CollectingSink()
+        registry = MetricsRegistry()
+        store = ResultStore(
+            str(tmp_path), observer=Observer(sink=sink, metrics=registry)
+        )
+        fill(store, report, 4)
+        stats = store.gc(max_bytes=1)
+        assert stats.evicted == 4
+        events = sink.by_kind("store_gc")
+        assert len(events) == 1
+        assert events[0].get("evicted") == 4
+        counter = registry.counter("store_gc_evicted_total")
+        assert counter.value() == 4
+
+    def test_empty_shards_pruned_after_eviction(self, tmp_path, report):
+        store = ResultStore(str(tmp_path))
+        fill(store, report, 8)
+        assert any(os.scandir(tmp_path))
+        store.gc(max_bytes=1)
+        assert list(os.scandir(tmp_path)) == []
+
+    def test_gc_without_budget_rejected(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        with pytest.raises(StoreError, match="byte budget"):
+            store.gc()
+        with pytest.raises(StoreError, match="budget"):
+            store.gc(max_bytes=0)
+
+    def test_bad_construction_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="shard_width"):
+            ResultStore(str(tmp_path), shard_width=0)
+        with pytest.raises(StoreError, match="max_bytes"):
+            ResultStore(str(tmp_path), max_bytes=0)
+        with pytest.raises(StoreError, match="gc_interval"):
+            ResultStore(str(tmp_path), gc_interval=0)
+
+    def test_wider_shards_fan_out_and_round_trip(self, tmp_path, report):
+        store = ResultStore(str(tmp_path), shard_width=3)
+        key = make_key()
+        path = store.put(key, report)
+        assert os.path.basename(os.path.dirname(path)) == key.digest[:3]
+        assert store.get(key) == report
+
+
+class TestQuarantine:
+    def test_corrupt_entry_quarantined_with_counter(self, tmp_path, report):
+        sink = CollectingSink()
+        registry = MetricsRegistry()
+        store = ResultStore(
+            str(tmp_path), observer=Observer(sink=sink, metrics=registry)
+        )
+        key = make_key()
+        path = store.put(key, report)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"torn')
+        assert store.get(key) is None
+        # The bytes move out of the lookup namespace (kept for
+        # forensics) so the entry is never re-parsed...
+        assert not os.path.exists(path)
+        assert os.path.exists(path + QUARANTINE_SUFFIX)
+        assert registry.counter("store_corrupt_total").value() == 1
+        assert len(sink.by_kind("store_corrupt")) == 1
+        # ...and the next lookup is a plain miss, not another corruption.
+        assert store.get(key) is None
+        assert store.stats.corrupt == 1
+        # Recompute-and-overwrite heals the entry.
+        store.put(key, report)
+        assert store.get(key) == report
+
+    def test_quarantined_entry_is_invisible_to_gc_and_len(
+        self, tmp_path, report
+    ):
+        store = ResultStore(str(tmp_path))
+        key = make_key()
+        path = store.put(key, report)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json")
+        store.get(key)
+        assert len(store) == 0
+        assert store.total_bytes() == 0
+
+    def test_get_digest_round_trip_and_quarantine(self, tmp_path, report):
+        store = ResultStore(str(tmp_path))
+        key = make_key()
+        path = store.put(key, report)
+        payload = store.get_digest(key.digest)
+        assert payload["digest"] == key.digest
+        assert payload["key"] == key.to_dict()
+        assert store.get_digest(key.digest.upper()) is not None
+        assert store.get_digest("f" * 64) is None
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"torn')
+        assert store.get_digest(key.digest) is None
+        assert os.path.exists(path + QUARANTINE_SUFFIX)
+
+    def test_get_digest_rejects_non_digests(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        with pytest.raises(StoreError, match="sha256"):
+            store.get_digest("abc")
+        with pytest.raises(StoreError, match="sha256"):
+            store.get_digest("z" * 64)
