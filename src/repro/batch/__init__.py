@@ -1,0 +1,32 @@
+"""Batched fleet execution: many grid cells per vectorized sweep.
+
+The batched backend runs an entire experiment grid or seed-stability
+sweep as a *fleet* — one lane per (benchmark, selector, scale, seed)
+cell — advancing every trace-walking lane in lockstep over
+structure-of-arrays state, numpy-backed when the ``repro[fast]`` extra
+is installed and pure Python otherwise.  The serial fused pipeline
+remains the bit-identity oracle: per-cell reports and store digests
+are identical by construction and by test.  See ``docs/batching.md``.
+"""
+
+from repro.batch.backend import (
+    HAVE_NUMPY,
+    available_backends,
+    get_backend,
+)
+from repro.batch.fleet import (
+    BatchCell,
+    FleetResult,
+    build_fleet_program,
+    run_fleet,
+)
+
+__all__ = [
+    "HAVE_NUMPY",
+    "available_backends",
+    "get_backend",
+    "BatchCell",
+    "FleetResult",
+    "build_fleet_program",
+    "run_fleet",
+]

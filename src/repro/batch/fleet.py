@@ -1,0 +1,146 @@
+"""Fleet assembly: run many grid cells as one batched kernel pass.
+
+:func:`run_fleet` is the public face of :mod:`repro.batch`: hand it a
+list of :class:`BatchCell` coordinates (benchmark, selector, scale,
+seed) and it executes them all inside one :class:`FleetKernel`,
+returning per-cell :class:`~repro.metrics.summary.MetricReport` and
+:class:`~repro.system.results.RunResult` objects that are
+**bit-identical** to what the serial pipeline produces for the same
+coordinates.  Lanes never interact — every lane has its own cache,
+selector, RNG stream and edge profile — so any partition of a cell
+list into fleets yields the same per-cell results (the hypothesis
+property in ``tests/test_batch_properties.py``).
+
+Programs are shared: cells with the same ``(benchmark, scale)`` walk
+one immutable :class:`~repro.program.program.Program` instance (blocks
+are read-only during simulation; all mutable per-run state lives in
+the lane).  Benchmark names accept the same ``micro:`` prefix as the
+bench harness, building a motif program instead of a SPEC model.
+
+Observability happens at batch granularity — ``fleet_started``, one
+``fleet_lane_finished`` per cell, ``fleet_finished`` — matching the
+job-engine convention that fleet-level events carry step 0 and order
+by their ``ts``/``seq`` stamps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.batch.backend import get_backend
+from repro.batch.kernel import DEFAULT_QUOTA, FleetKernel
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.metrics.summary import MetricReport
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.system.results import RunResult
+from repro.workloads import build_benchmark
+from repro.workloads.micro import build_micro
+
+#: Iterations of a full-scale micro benchmark (the bench harness's
+#: scaling convention: ``scale`` multiplies this).
+MICRO_BASE_ITERATIONS = 6000
+
+
+@dataclass(frozen=True)
+class BatchCell:
+    """One grid-cell coordinate: what a fleet lane simulates."""
+
+    benchmark: str
+    selector: str
+    scale: float = 1.0
+    seed: int = 1
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet run produced."""
+
+    backend: str
+    lanes: int
+    rounds: int
+    #: Aggregate simulation steps across every lane.
+    steps: int
+    wall_seconds: float
+    reports: Dict[BatchCell, MetricReport] = field(default_factory=dict)
+    results: Dict[BatchCell, RunResult] = field(default_factory=dict)
+
+    @property
+    def events_per_second(self) -> float:
+        """Aggregate simulated events per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.steps / self.wall_seconds
+
+
+def build_fleet_program(benchmark: str, scale: float):
+    """Build a lane's program: a SPEC model or a ``micro:`` motif."""
+    if benchmark.startswith("micro:"):
+        iterations = max(1, round(MICRO_BASE_ITERATIONS * scale))
+        return build_micro(benchmark[len("micro:"):], iterations=iterations)
+    return build_benchmark(benchmark, scale=scale)
+
+
+def run_fleet(
+    cells: Iterable[BatchCell],
+    config: Optional[SystemConfig] = None,
+    backend: str = "auto",
+    max_steps: Optional[int] = None,
+    observer: Optional[Observer] = None,
+    quota: int = DEFAULT_QUOTA,
+) -> FleetResult:
+    """Run every cell as one batched fleet; results match the serial
+    pipeline bit for bit.
+
+    ``backend`` is ``"auto"`` (numpy when installed, else the pure
+    Python fallback), ``"numpy"`` or ``"python"`` — see
+    :func:`repro.batch.backend.get_backend`.  ``max_steps`` bounds
+    every lane (default: the engine's standard budget); ``quota`` caps
+    interp/CFG steps per lane per kernel round (a scheduling knob —
+    it cannot change results, only wall time).
+    """
+    backend = get_backend(backend)
+    config = config if config is not None else SystemConfig()
+    obs = observer if observer is not None else NULL_OBSERVER
+    cell_list: Tuple[BatchCell, ...] = tuple(cells)
+    if not cell_list:
+        raise ConfigError("run_fleet needs at least one cell")
+    seen = set()
+    for cell in cell_list:
+        if cell in seen:
+            raise ConfigError(f"duplicate fleet cell {cell!r}")
+        seen.add(cell)
+
+    programs: Dict[Tuple[str, float], object] = {}
+    for cell in cell_list:
+        key = (cell.benchmark, cell.scale)
+        if key not in programs:
+            programs[key] = build_fleet_program(cell.benchmark, cell.scale)
+
+    obs.event("fleet_started", 0, lanes=len(cell_list), backend=backend)
+    started = time.perf_counter()
+    kernel = FleetKernel(cell_list, programs, config, backend,
+                         max_steps=max_steps, quota=quota)
+    rounds = kernel.run()
+    wall = time.perf_counter() - started
+
+    fleet = FleetResult(backend=backend, lanes=len(cell_list),
+                        rounds=rounds, steps=0, wall_seconds=wall)
+    total_steps = 0
+    for lane in kernel.lanes:
+        cell = lane.cell
+        fleet.reports[cell] = lane.report
+        fleet.results[cell] = lane.result
+        steps = lane.engine.steps_executed
+        total_steps += steps
+        obs.event(
+            "fleet_lane_finished", 0,
+            benchmark=cell.benchmark, selector=cell.selector,
+            scale=cell.scale, seed=cell.seed, steps=steps,
+        )
+    fleet.steps = total_steps
+    obs.event("fleet_finished", 0, lanes=len(cell_list), backend=backend,
+              rounds=rounds, steps=total_steps, wall_seconds=wall)
+    return fleet

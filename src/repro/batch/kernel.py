@@ -1,0 +1,819 @@
+"""The fleet kernel: lockstep SoA execution of many simulation lanes.
+
+One :class:`FleetKernel` advances every lane of a fleet (one lane per
+grid cell) to completion.  The hot per-lane scalars live in
+structure-of-arrays columns indexed by lane slot:
+
+========== ======== =====================================================
+column     dtype    meaning
+========== ======== =====================================================
+l_steps    int64    the lane's step counter (the fused loop's ``steps``)
+l_max      int64    the lane's step budget (``max_steps``)
+l_walk     int64    instructions walked in the current region stint
+l_gpos     int64    global walk-table program counter (arena position)
+l_mode     int8     M_SCALAR / M_VEC / M_DONE (see lane lifecycle)
+l_cinst    int64    cache instructions banked by vectorized transitions
+l_trans    int64    region transitions banked by vectorized transitions
+rng_states uint64   the lane's SplitMix64 state word
+========== ======== =====================================================
+
+Every lane's installed trace tables are concatenated into a global
+*arena*: one row per walk-table position, holding the position's
+instruction count, static-run metadata, decision kind and parameters,
+and walked-edge counters.  A lane walking a trace is just an index
+``l_gpos`` into the arena; a vector round (:meth:`_vector_round`)
+advances **all** trace-walking lanes at once — static-run hops, then
+one decision each, grouped by decision kind and evaluated with numpy
+array ops.  *Linked* region exits — the overwhelming majority on
+trace-friendly workloads (10-100x the true cache exits) — also stay
+vectorized: the arena mirrors every table's trace-to-trace link slots
+as arena-base columns (``a_ltk``/``a_lfl``, kept in sync through
+:attr:`~repro.cache.dispatch.DispatchTable.on_link_patch`), so a
+linked transition is a fancy-indexed ``l_gpos`` assignment plus
+pending-counter updates, folded into the ``Region`` objects before
+anything can observe them.  Only genuinely divergent work drops to
+per-lane Python — scalar decisions (call/return stack effects,
+dynamic targets, unknown branch models) and unlinked exits (selector
+callbacks may install/evict regions) — then rejoins the next round.
+
+The pure-Python backend keeps the same lane lifecycle and per-lane
+scalar code but replaces the vector rounds with a per-lane trace walk
+(:meth:`repro.batch.lane.Lane.run_trace_scalar`); the arena is not
+built at all.  Either way, every decision replicates the fused
+reference loop bit for bit — ``tests/test_batch.py`` holds a fleet
+lane equal to a serial ``simulate`` run for the same cell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.batch.backend import (
+    K_BERN,
+    K_CALL,
+    K_CONST,
+    K_LOOP,
+    K_LOOPJ,
+    K_PERIODIC,
+    K_RET,
+    K_SCALAR,
+    M_SCALAR,
+    M_VEC,
+    O_ADV,
+    O_CYC,
+    O_EXIT,
+    numpy_module,
+    vector_next_u64,
+    vector_random,
+)
+from repro.batch.lane import Lane
+from repro.behavior.rng import _MASK64
+from repro.errors import ReproError
+
+#: Outcome sentinel for scalar-kind decisions (handled per lane, never
+#: matched by the vectorized O_ADV/O_CYC/O_EXIT apply passes).
+_O_DEFER = 3
+
+#: Outcome sentinel for a RETURN that leaves the region: the popped
+#: target is dynamic, so the exit goes per-lane with the popped id.
+_O_RETX = 4
+
+#: Default interp/CFG steps granted per lane per kernel round.  Large
+#: enough to amortize the per-round bookkeeping across the fleet,
+#: small enough that interpreting lanes rejoin the vector rounds
+#: promptly after a region install.
+DEFAULT_QUOTA = 512
+
+#: Below this many trace-walking lanes, a vector round's fixed numpy
+#: overhead exceeds per-lane Python stepping — the run loop falls back
+#: to :meth:`Lane.run_trace_scalar` so a fleet's last stragglers do
+#: not pay array-dispatch cost per simulated step.
+SCALAR_CUTOVER = 3
+
+#: Vector iterations per round.  Active lanes advance up to this many
+#: hop-and-decide cycles before the round's Python complement runs;
+#: lanes whose next action needs Python (budget exhaustion, scalar-kind
+#: decisions, unlinked exits) drop out of the active set and wait.
+#: Iterating inside the round amortizes the fixed cost of a numpy
+#: sweep — a few dozen small array kernels — over several decisions
+#: per lane instead of exactly one.
+VEC_ITERS = 8
+
+
+class FleetKernel:
+    """Advance a fleet of lanes to completion over shared SoA state."""
+
+    def __init__(
+        self,
+        cells,
+        programs: Dict[Tuple[str, float], object],
+        config,
+        backend: str,
+        max_steps: Optional[int] = None,
+        quota: int = DEFAULT_QUOTA,
+    ) -> None:
+        self.backend = backend
+        self.vectorized = backend == "numpy"
+        self.quota = quota
+        self.rounds = 0
+        #: Lane whose Python-side code is (or was last) executing; the
+        #: vector sweeps themselves cannot raise ``ReproError``, so an
+        #: escaping error is always attributable to this lane.
+        self._err_lane: Optional[Lane] = None
+        n = len(cells)
+
+        np = numpy_module() if self.vectorized else None
+        self._np = np
+        if self.vectorized:
+            self.l_steps = np.zeros(n, dtype=np.int64)
+            self.l_max = np.zeros(n, dtype=np.int64)
+            self.l_walk = np.zeros(n, dtype=np.int64)
+            self.l_gpos = np.zeros(n, dtype=np.int64)
+            self.l_mode = np.full(n, M_SCALAR, dtype=np.int8)
+            self.l_cinst = np.zeros(n, dtype=np.int64)
+            self.l_trans = np.zeros(n, dtype=np.int64)
+            self.l_depth = np.zeros(n, dtype=np.int64)
+            self.l_dlim = np.zeros(n, dtype=np.int64)
+            #: SoA call stack — ``stk[lane, depth]`` holds a pushed
+            #: return site's block id; allocated on the first
+            #: call/return decider (:meth:`ensure_stack`).
+            self.stk = None
+            self.rng_states = np.zeros(n, dtype=np.uint64)
+            # Branch-model site slots (loop countdowns, periodic
+            # cursors) and the flattened periodic patterns, shared
+            # between the vector rounds and the lanes' closures.
+            self.site = np.zeros(64, dtype=np.int64)
+            self.pat_arena = np.zeros(64, dtype=bool)
+            self._init_arena(np)
+        else:
+            self.l_steps = [0] * n
+            self.l_max = [0] * n
+            self.l_walk = [0] * n
+            self.l_gpos = [0] * n
+            self.l_mode = [M_SCALAR] * n
+            self.rng_states = [0] * n
+            self.site: List[int] = []
+            self.pat_arena = None
+        self._site_len = 0
+
+        for i, cell in enumerate(cells):
+            self.rng_states[i] = cell.seed & _MASK64
+
+        self.lanes: List[Lane] = []
+        for i, cell in enumerate(cells):
+            program = programs[(cell.benchmark, cell.scale)]
+            lane = Lane(self, i, cell, program, config, max_steps)
+            self.l_max[i] = lane.max_steps
+            if self.vectorized:
+                self.l_dlim[i] = lane.engine.max_call_depth
+            self.lanes.append(lane)
+        self.remaining = n
+
+    # -- arena management (numpy backend) ---------------------------------
+    _ARENA_I64 = ("a_cnt", "a_run_len", "a_run_insts", "a_base", "a_tbl",
+                  "a_pi", "a_slot", "a_pat", "a_adv", "a_cyc", "a_run",
+                  "a_ltk", "a_lfl", "a_xtk", "a_xfl")
+    _ARENA_I8 = ("a_kind", "a_tcode", "a_fcode")
+    #: Per-table pending counters (indexed by ``arena_tidx``): vector
+    #: rounds bank region-counter updates here instead of touching
+    #: ``Region`` objects per transition; :meth:`fold_table_pending`
+    #: folds them before anything else can observe the region.
+    _TBL_I64 = ("a_tblcyc", "t_ec", "t_xc", "t_insts")
+
+    def _init_arena(self, np, cap: int = 256) -> None:
+        for name in self._ARENA_I64:
+            setattr(self, name, np.zeros(cap, dtype=np.int64))
+        for name in self._ARENA_I8:
+            setattr(self, name, np.zeros(cap, dtype=np.int8))
+        self.a_pf = np.zeros(cap, dtype=np.float64)
+        for name in self._TBL_I64:
+            setattr(self, name, np.zeros(64, dtype=np.int64))
+        self._arena_len = 0
+        self._arena_cap = cap
+        self._table_count = 0
+        #: Trace tables by ``arena_tidx`` — lets the Python complement
+        #: derive a lane's current table from ``a_tbl[l_gpos]`` after
+        #: vectorized linked transitions moved it.
+        self.tables: List[object] = []
+        #: ``id(link list) -> (is_taken_column, arena base)`` — resolves
+        #: an ``on_link_patch`` callback's site to its mirror cell in
+        #: ``a_ltk``/``a_lfl``.  The lists are kept alive by their
+        #: table (itself kept by ``dispatch.trace_tables``), so ids
+        #: cannot be recycled.
+        self._link_cols: Dict[int, Tuple[bool, int]] = {}
+
+    @staticmethod
+    def _grown(np, array, cap: int):
+        fresh = np.zeros(cap, dtype=array.dtype)
+        fresh[: array.shape[0]] = array
+        return fresh
+
+    def _arena_reserve(self, n: int) -> int:
+        np = self._np
+        need = self._arena_len + n
+        if need > self._arena_cap:
+            cap = self._arena_cap
+            while cap < need:
+                cap *= 2
+            for name in self._ARENA_I64 + self._ARENA_I8 + ("a_pf",):
+                setattr(self, name, self._grown(np, getattr(self, name), cap))
+            self._arena_cap = cap
+        base = self._arena_len
+        self._arena_len = need
+        return base
+
+    def ensure_stack(self, max_depth: int) -> None:
+        """Allocate (or deepen) the SoA call stack for every lane."""
+        np = self._np
+        n = self.l_steps.shape[0]
+        if self.stk is None:
+            self.stk = np.zeros((n, max_depth), dtype=np.int32)
+        elif self.stk.shape[1] < max_depth:
+            fresh = np.zeros((n, max_depth), dtype=np.int32)
+            fresh[:, : self.stk.shape[1]] = self.stk
+            self.stk = fresh
+
+    def alloc_site(self) -> int:
+        """Reserve one zero-initialized branch-model state slot."""
+        slot = self._site_len
+        self._site_len += 1
+        if self.vectorized:
+            if slot >= self.site.shape[0]:
+                self.site = self._grown(self._np, self.site,
+                                        self.site.shape[0] * 2)
+        else:
+            self.site.append(0)
+        return slot
+
+    def alloc_pattern(self, pattern: Tuple[bool, ...]) -> int:
+        """Intern a periodic pattern into the flat pattern arena."""
+        if not self.vectorized:
+            return -1
+        np = self._np
+        n = len(pattern)
+        base = getattr(self, "_pat_len", 0)
+        need = base + n
+        cap = self.pat_arena.shape[0]
+        if need > cap:
+            while cap < need:
+                cap *= 2
+            self.pat_arena = self._grown(np, self.pat_arena, cap)
+        self.pat_arena[base:need] = pattern
+        self._pat_len = need
+        return base
+
+    def register_table(self, lane: Lane, table) -> None:
+        """Append a freshly compiled trace table to the global arena.
+
+        Called from :class:`~repro.batch.lane.LaneDispatch` on every
+        trace compile (install or ``table_for``).  Per position the
+        decision kind is classified from the lane's descriptors
+        (:meth:`Lane._make_decider`), and the two outcome codes are
+        precomputed from the table topology with the reference walker's
+        exact check order — advance to the next path position first,
+        then taken-cycle-back to the top, else exit.
+        """
+        if not self.vectorized:
+            return
+        n = table.path_len
+        base = self._arena_reserve(n)
+        tidx = self._table_count
+        self._table_count += 1
+        if tidx >= self.a_tblcyc.shape[0]:
+            for name in self._TBL_I64:
+                setattr(self, name, self._grown(
+                    self._np, getattr(self, name),
+                    getattr(self, name).shape[0] * 2))
+        table.arena_base = base
+        table.arena_tidx = tidx
+        self.tables.append(table)
+        # Mirror the table's patchable link slots as arena columns so
+        # the vector rounds can chase trace-to-trace links without
+        # Python: seed from current residency (compile just wired the
+        # slots), then stay in sync through ``on_link_patch``.
+        self._link_cols[id(table.link_taken)] = (True, base)
+        self._link_cols[id(table.link_fall)] = (False, base)
+        a_ltk = self.a_ltk
+        a_lfl = self.a_lfl
+        for i in range(n):
+            lt = table.link_taken[i]
+            a_ltk[base + i] = (
+                lt.arena_base if lt is not None and lt.is_trace else -1
+            )
+            lf = table.link_fall[i]
+            a_lfl[base + i] = (
+                lf.arena_base if lf is not None and lf.is_trace else -1
+            )
+
+        path = table.path
+        path0 = table.path0
+        deciders = table.deciders
+        counts = table.counts
+        run_len = table.run_len
+        run_insts = table.run_insts
+        vec_desc = lane.vec_desc
+        a_cnt = self.a_cnt
+        a_run_len = self.a_run_len
+        a_run_insts = self.a_run_insts
+        a_base = self.a_base
+        a_tbl = self.a_tbl
+        a_kind = self.a_kind
+        a_tcode = self.a_tcode
+        a_fcode = self.a_fcode
+        a_pf = self.a_pf
+        a_pi = self.a_pi
+        a_slot = self.a_slot
+        a_pat = self.a_pat
+        for i in range(n):
+            j = base + i
+            a_cnt[j] = counts[i]
+            a_run_len[j] = run_len[i]
+            a_run_insts[j] = run_insts[i]
+            a_base[j] = base
+            a_tbl[j] = tidx
+            nxt = path[i + 1] if i + 1 < n else None
+            decide = deciders[i]
+            if decide.__class__ is tuple:
+                taken, target = decide
+                a_kind[j] = K_CONST
+                a_pi[j] = 1 if taken else 0
+                if nxt is not None and target is nxt:
+                    a_tcode[j] = O_ADV
+                elif taken and target is path0:
+                    a_tcode[j] = O_CYC
+                else:
+                    a_tcode[j] = O_EXIT
+                continue
+            desc = vec_desc[path[i].block_id]
+            if desc is None:
+                a_kind[j] = K_SCALAR
+                continue
+            kind, pf, pi, slot, pat_base = desc
+            a_kind[j] = kind
+            a_pf[j] = pf
+            a_pi[j] = pi
+            a_slot[j] = slot
+            a_pat[j] = pat_base
+            if kind == K_RET:
+                # A RETURN's outcome is decided by comparing the popped
+                # block id against per-position topology, not by the
+                # tcode/fcode columns: a_pi holds the next path
+                # position's id (-1 past the end), a_slot the top's.
+                a_pi[j] = nxt.block_id if nxt is not None else -1
+                a_slot[j] = path0.block_id
+                continue
+            term = path[i].terminator
+            taken_target = term.taken_target
+            fall_target = path[i].fallthrough
+            if nxt is not None and taken_target is nxt:
+                a_tcode[j] = O_ADV
+            elif taken_target is path0:
+                a_tcode[j] = O_CYC
+            else:
+                a_tcode[j] = O_EXIT
+            if nxt is not None and fall_target is nxt:
+                a_fcode[j] = O_ADV
+            else:
+                a_fcode[j] = O_EXIT
+
+    def link_patched(self, site, table) -> None:
+        """``on_link_patch`` hook: mirror a link-slot patch in the arena.
+
+        Called by a lane's dispatch after every install/retire patch;
+        sites living in CFG records (not mirrored) resolve to nothing.
+        A slot mirrors the linked table's arena base when the link is a
+        trace-to-trace jump the vector rounds can take, -1 otherwise
+        (unlinked, or linked to a CFG table — that transition must
+        rebind the lane to scalar CFG walking, so it stays in Python).
+        """
+        info = self._link_cols.get(id(site.container))
+        if info is None:
+            return
+        is_taken, base = info
+        if table is not None and table.is_trace:
+            mirrored = table.arena_base
+        else:
+            mirrored = -1
+        column = self.a_ltk if is_taken else self.a_lfl
+        column[base + site.key] = mirrored
+
+    def fold_table_pending(self, table) -> None:
+        """Fold the table's pending vector counts into its region.
+
+        Vector rounds bank cycle-backs, entries, exits and executed
+        instructions in per-table counters instead of touching
+        ``Region`` objects; this folds the pending counts into the
+        region — called before any selector callback or metric read
+        can observe it.
+        """
+        if not self.vectorized:
+            return
+        tidx = table.arena_tidx
+        if tidx < 0:
+            return
+        region = table.region
+        pending = int(self.a_tblcyc[tidx])
+        if pending:
+            region.cycle_backs += pending
+            self.a_tblcyc[tidx] = 0
+        pending = int(self.t_ec[tidx])
+        if pending:
+            region.entry_count += pending
+            self.t_ec[tidx] = 0
+        pending = int(self.t_xc[tidx])
+        if pending:
+            region.exit_count += pending
+            self.t_xc[tidx] = 0
+        pending = int(self.t_insts[tidx])
+        if pending:
+            region.executed_instructions += pending
+            self.t_insts[tidx] = 0
+
+    def transfer_arena(self, table, edge_profile: Dict) -> None:
+        """Move the table's arena walked-edge counters into its lists.
+
+        The vector rounds count advances, cycle-backs, static-run hits
+        and linked-exit departures in arena columns; at lane finish
+        those merge into the table's own ``adv``/``cyc``/``run_hits``
+        lists (which the scalar paths increment directly) so
+        ``fold_edges`` sees the exact total the fused loop would have
+        recorded, and the exit edges fold straight into the lane's
+        shared ``edge_profile`` (the exit edge is fully determined by
+        the position and direction; dict equality does not see
+        insertion order).
+        """
+        if not self.vectorized:
+            return
+        base = table.arena_base
+        if base < 0:
+            return
+        np = self._np
+        end = base + table.path_len
+        for column, target in (
+            (self.a_adv[base:end], table.adv),
+            (self.a_cyc[base:end], table.cyc),
+            (self.a_run[base:end], table.run_hits),
+        ):
+            if column.any():
+                for i in np.nonzero(column)[0]:
+                    target[int(i)] += int(column[i])
+                column[:] = 0
+        path = table.path
+        get = edge_profile.get
+        column = self.a_xtk[base:end]
+        if column.any():
+            for i in np.nonzero(column)[0]:
+                block = path[int(i)]
+                edge = (block, block.terminator.taken_target)
+                edge_profile[edge] = get(edge, 0) + int(column[i])
+            column[:] = 0
+        column = self.a_xfl[base:end]
+        if column.any():
+            for i in np.nonzero(column)[0]:
+                block = path[int(i)]
+                edge = (block, block.fallthrough)
+                edge_profile[edge] = get(edge, 0) + int(column[i])
+            column[:] = 0
+
+    def lane_done(self, lane: Lane) -> None:
+        self.remaining -= 1
+
+    # -- the run loop ------------------------------------------------------
+    def run(self) -> int:
+        """Advance every lane to completion; returns the round count.
+
+        An escaping :class:`ReproError` is enriched with the failing
+        lane's ``(benchmark, selector, step)`` — the same context the
+        serial pipeline attaches in ``Simulator.run`` — so a fleet
+        abort is diagnosable like a serial one.  ``step`` is the lane's
+        cache clock at failure; both pipelines advance the clock lazily
+        (only observers read it), so it can trail the serial context by
+        the distance to the last advancement point.
+        """
+        try:
+            return self._run_rounds()
+        except ReproError as exc:
+            lane = self._err_lane
+            if lane is not None:
+                exc.with_context(
+                    benchmark=lane.program.name,
+                    selector=lane.cell.selector,
+                    step=lane.cache.now,
+                )
+            raise
+
+    def _run_rounds(self) -> int:
+        quota = self.quota
+        lanes = self.lanes
+        rounds = 0
+        if self.vectorized:
+            while self.remaining:
+                rounds += 1
+                n_vec = int((self.l_mode == M_VEC).sum())
+                if n_vec >= SCALAR_CUTOVER:
+                    self._vector_round()
+                elif n_vec:
+                    for lane in lanes:
+                        if lane.mode == M_VEC:
+                            self._err_lane = lane
+                            lane.run_trace_scalar(quota)
+                for lane in lanes:
+                    if lane.mode == M_SCALAR:
+                        self._err_lane = lane
+                        lane.run_scalar(quota)
+        else:
+            while self.remaining:
+                rounds += 1
+                for lane in lanes:
+                    if lane.mode == M_SCALAR:
+                        self._err_lane = lane
+                        lane.run_scalar(quota)
+                    if lane.mode == M_VEC:
+                        self._err_lane = lane
+                        lane.run_trace_scalar(quota)
+        self.rounds = rounds
+        return rounds
+
+    def _vector_round(self) -> None:
+        """Up to ``VEC_ITERS`` lockstep sweeps over trace-walking lanes.
+
+        Each iteration mirrors exactly one pass of the fused loop's
+        trace section per active lane: consume the static run at the
+        lane's position (or pend its budget-clipped prefix), re-check
+        the step budget, evaluate one decision, then apply advances,
+        cycle-backs and linked region-to-region transitions in place.
+        Lanes whose next action needs Python — budget exhaustion,
+        scalar-kind or stack-limit decisions, unlinked exits — leave
+        the active set and queue their pending work; the queued
+        complement runs once, after the loop, when every vectorized
+        write has landed.  A selector callback inside the complement
+        may install a region and reallocate the arena, which is why the
+        complement must come last: the iteration loop's hoisted arena
+        references are valid precisely because nothing reallocates
+        before it finishes.
+        """
+        np = self._np
+        l_steps = self.l_steps
+        l_max = self.l_max
+        l_walk = self.l_walk
+        l_gpos = self.l_gpos
+        l_depth = self.l_depth
+        l_dlim = self.l_dlim
+        l_cinst = self.l_cinst
+        l_trans = self.l_trans
+        rng_states = self.rng_states
+        site = self.site
+        pat_arena = self.pat_arena
+        stk = self.stk
+        a_run_len = self.a_run_len
+        a_run_insts = self.a_run_insts
+        a_run = self.a_run
+        a_cnt = self.a_cnt
+        a_kind = self.a_kind
+        a_tcode = self.a_tcode
+        a_fcode = self.a_fcode
+        a_pf = self.a_pf
+        a_pi = self.a_pi
+        a_slot = self.a_slot
+        a_pat = self.a_pat
+        a_adv = self.a_adv
+        a_cyc = self.a_cyc
+        a_base = self.a_base
+        a_tbl = self.a_tbl
+        a_tblcyc = self.a_tblcyc
+        a_ltk = self.a_ltk
+        a_lfl = self.a_lfl
+        a_xtk = self.a_xtk
+        a_xfl = self.a_xfl
+        t_ec = self.t_ec
+        t_xc = self.t_xc
+        t_insts = self.t_insts
+
+        act = np.nonzero(self.l_mode == M_VEC)[0]
+        pend_clip: List[int] = []  # lane -> _partial_span
+        pend_fin: List[int] = []  # lane -> _finish
+        pend_defer: List[tuple] = []  # (lane, gpos, steps)
+        pend_exit: List[tuple] = []  # (lane, gpos, taken, steps)
+        pend_ret: List[tuple] = []  # (lane, gpos, target_id, steps)
+
+        n0 = act.size
+        for _ in range(VEC_ITERS):
+            # Stop early once most lanes have diverged: a sweep's fixed
+            # cost is per iteration, so iterating over a shrunken
+            # active set buys little — run the queued complement and
+            # let everyone rejoin next round.
+            if act.size < SCALAR_CUTOVER or 4 * act.size < n0:
+                break
+            gp = l_gpos[act]
+            span = a_run_len[gp]
+            clip = span > (l_max[act] - l_steps[act])
+            if clip.any():
+                pend_clip.extend(act[clip].tolist())
+                keep = ~clip
+                act = act[keep]
+                gp = gp[keep]
+                span = span[keep]
+            hop = span > 0
+            if hop.any():
+                hop_lanes = act[hop]
+                hop_pos = gp[hop]
+                hop_span = span[hop]
+                l_steps[hop_lanes] += hop_span
+                l_walk[hop_lanes] += a_run_insts[hop_pos]
+                a_run[hop_pos] += 1
+                new_pos = hop_pos + hop_span
+                l_gpos[hop_lanes] = new_pos
+                gp[hop] = new_pos
+
+            # Budget re-check between hop and decision (the fused
+            # loop's ``while steps < max_steps`` head).
+            done = l_steps[act] >= l_max[act]
+            if done.any():
+                pend_fin.extend(act[done].tolist())
+                keep = ~done
+                act = act[keep]
+                gp = gp[keep]
+            if not act.size:
+                break
+
+            l_steps[act] += 1
+            l_walk[act] += a_cnt[gp]
+            kind = a_kind[gp]
+            outcome = np.full(act.size, _O_DEFER, dtype=np.int8)
+            taken = np.zeros(act.size, dtype=bool)
+
+            mask = kind == K_CONST
+            if mask.any():
+                g = gp[mask]
+                outcome[mask] = a_tcode[g]
+                taken[mask] = a_pi[g] != 0
+            mask = kind == K_BERN
+            if mask.any():
+                g = gp[mask]
+                draw = vector_random(rng_states, act[mask])
+                t = draw < a_pf[g]
+                outcome[mask] = np.where(t, a_tcode[g], a_fcode[g])
+                taken[mask] = t
+            mask = kind == K_LOOP
+            if mask.any():
+                g = gp[mask]
+                slots = a_slot[g]
+                left = site[slots]
+                left = np.where(left == 0, a_pi[g], left) - 1
+                t = left > 0
+                site[slots] = np.where(t, left, 0)
+                outcome[mask] = np.where(t, a_tcode[g], a_fcode[g])
+                taken[mask] = t
+            mask = kind == K_PERIODIC
+            if mask.any():
+                g = gp[mask]
+                slots = a_slot[g]
+                cursor = site[slots]
+                site[slots] = (cursor + 1) % a_pi[g]
+                t = pat_arena[a_pat[g] + cursor]
+                outcome[mask] = np.where(t, a_tcode[g], a_fcode[g])
+                taken[mask] = t
+            mask = kind == K_LOOPJ
+            if mask.any():
+                mi = np.nonzero(mask)[0]
+                g = gp[mi]
+                slots = a_slot[g]
+                left = site[slots]
+                need = left == 0
+                if need.any():
+                    # Activation start: draw the trip count — one
+                    # SplitMix64 word each, ``lo + word % span``.
+                    draws = vector_next_u64(rng_states, act[mi[need]])
+                    gn = g[need]
+                    jspan = a_pat[gn].astype(np.uint64)
+                    left[need] = a_pi[gn] + (
+                        draws % jspan).astype(np.int64)
+                left = left - 1
+                t = left > 0
+                site[slots] = np.where(t, left, 0)
+                outcome[mi] = np.where(t, a_tcode[g], a_fcode[g])
+                taken[mi] = t
+            mask = kind == K_CALL
+            if mask.any():
+                mi = np.nonzero(mask)[0]
+                g = gp[mi]
+                ln = act[mi]
+                d = l_depth[ln]
+                ok = d < l_dlim[ln]
+                # Overflow lanes stay deferred; the lane's closure
+                # raises the canonical error.
+                oki = mi[ok]
+                if oki.size:
+                    lnk = ln[ok]
+                    gk = g[ok]
+                    stk[lnk, d[ok]] = a_pi[gk]
+                    l_depth[lnk] = d[ok] + 1
+                    outcome[oki] = a_tcode[gk]
+                    taken[oki] = True
+            mask = kind == K_RET
+            if mask.any():
+                mi = np.nonzero(mask)[0]
+                g = gp[mi]
+                ln = act[mi]
+                d = l_depth[ln]
+                has = d > 0
+                # Empty-stack returns (from main) stay deferred; the
+                # lane's closure sees depth 0 and ends the program.
+                hi = mi[has]
+                if hi.size:
+                    gh = g[has]
+                    lnh = ln[has]
+                    dh = d[has] - 1
+                    tgt = stk[lnh, dh].astype(np.int64)
+                    l_depth[lnh] = dh
+                    adv = tgt == a_pi[gh]
+                    cyc = ~adv & (tgt == a_slot[gh])
+                    outcome[hi] = np.where(
+                        adv, O_ADV, np.where(cyc, O_CYC, _O_RETX))
+                    taken[hi] = True
+                    retx = ~adv & ~cyc
+                    if retx.any():
+                        rl = lnh[retx]
+                        pend_ret.extend(zip(
+                            rl.tolist(), gh[retx].tolist(),
+                            tgt[retx].tolist(), l_steps[rl].tolist()))
+
+            adv_m = outcome == O_ADV
+            if adv_m.any():
+                g = gp[adv_m]
+                a_adv[g] += 1
+                l_gpos[act[adv_m]] = g + 1
+            cyc_m = outcome == O_CYC
+            if cyc_m.any():
+                g = gp[cyc_m]
+                a_cyc[g] += 1
+                a_tblcyc[a_tbl[g]] += 1
+                l_gpos[act[cyc_m]] = a_base[g]
+            cont = adv_m | cyc_m
+
+            defer = outcome == _O_DEFER
+            if defer.any():
+                dl = act[defer]
+                pend_defer.extend(zip(
+                    dl.tolist(), gp[defer].tolist(),
+                    l_steps[dl].tolist()))
+
+            exit_js = np.nonzero(outcome == O_EXIT)[0]
+            if exit_js.size:
+                # Linked exits — direct region-to-region jumps — stay
+                # vectorized: bank the exited stint in the per-table
+                # pending counters, count the departure edge, and move
+                # the lane to the linked table's arena base.  (All
+                # fancy indices here are unique: a lane decides once
+                # per iteration and tables are never shared across
+                # lanes.)
+                ge = gp[exit_js]
+                tkn = taken[exit_js]
+                link = np.where(tkn, a_ltk[ge], a_lfl[ge])
+                linked_m = link >= 0
+                if linked_m.any():
+                    lg = ge[linked_m]
+                    lane_ids = act[exit_js[linked_m]]
+                    lb = link[linked_m]
+                    t_old = a_tbl[lg]
+                    w = l_walk[lane_ids]
+                    t_xc[t_old] += 1
+                    t_insts[t_old] += w
+                    l_cinst[lane_ids] += w
+                    l_walk[lane_ids] = 0
+                    tk = tkn[linked_m]
+                    a_xtk[lg[tk]] += 1
+                    a_xfl[lg[~tk]] += 1
+                    t_ec[a_tbl[lb]] += 1
+                    l_trans[lane_ids] += 1
+                    l_gpos[lane_ids] = lb
+                    cont[exit_js[linked_m]] = True
+                    exit_js = exit_js[~linked_m]
+                if exit_js.size:
+                    el = act[exit_js]
+                    pend_exit.extend(zip(
+                        el.tolist(), gp[exit_js].tolist(),
+                        taken[exit_js].tolist(),
+                        l_steps[el].tolist()))
+            act = act[cont]
+
+        # Per-lane Python complement (divergent work), after every
+        # vectorized write above has landed.  A lane appears at most
+        # once across the queues: pending a lane removed it from the
+        # active set, so nothing below observes stale column state.
+        lanes = self.lanes
+        for li in pend_clip:
+            self._err_lane = lanes[li]
+            lanes[li]._partial_span()
+        for li in pend_fin:
+            self._err_lane = lanes[li]
+            lanes[li]._finish()
+        for li, gpos, steps in pend_defer:
+            self._err_lane = lanes[li]
+            lanes[li]._trace_decide_scalar(gpos, steps)
+        for li, gpos, tk, steps in pend_exit:
+            self._err_lane = lanes[li]
+            lanes[li]._trace_exit_vec(gpos, tk, steps)
+        for li, gpos, tid, steps in pend_ret:
+            self._err_lane = lanes[li]
+            lanes[li]._trace_ret_exit(gpos, tid, steps)

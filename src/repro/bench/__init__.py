@@ -26,6 +26,7 @@ from repro.bench.harness import (
     run_bench,
     write_bench_run,
 )
+from repro.bench.batch import format_batched_record, run_batched_bench
 from repro.bench.regress import (
     analyze_path,
     analyze_run,
@@ -52,7 +53,9 @@ __all__ = [
     "analyze_path",
     "analyze_run",
     "format_analysis",
+    "format_batched_record",
     "format_service_record",
     "load_trajectory",
+    "run_batched_bench",
     "run_service_bench",
 ]

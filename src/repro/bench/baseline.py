@@ -92,12 +92,25 @@ def compare_to_baseline(run: Dict[str, object],
             skipped.append(record["name"])
             continue
         comparable[record["name"]] = _ratios(record, reference)
+    # The batched-fleet record compares only when both runs carried one
+    # for the same fleet on the same array substrate; a baseline pinned
+    # before the batched workload existed (or without numpy) simply
+    # contributes no ratio — never a failure.
+    batched = None
+    run_batched = run.get("batched")
+    base_batched = baseline.get("batched")
+    if run_batched and base_batched and all(
+        run_batched.get(field) == base_batched.get(field)
+        for field in ("benchmark", "selector", "lanes", "scale", "backend")
+    ):
+        batched = _ratios(run_batched, base_batched)
     return {
         "baseline_git_sha": baseline.get("git_sha"),
         "baseline_created_at": baseline.get("created_at"),
         "comparable": bool(comparable),
         "skipped": skipped,
         "workloads": comparable,
+        "batched": batched,
         "totals": _ratios(run.get("totals", {}), baseline.get("totals", {})),
     }
 
@@ -117,5 +130,12 @@ def regression_failures(deltas: Dict[str, object],
             failures.append(
                 f"{name}: events/s at "
                 f"{100 * ratio['events_per_second_ratio']:.0f}% of baseline"
+            )
+    batched = deltas.get("batched")
+    if batched is not None:
+        ratio = batched["events_per_second_ratio"]
+        if ratio < 1.0 - tolerance:
+            failures.append(
+                f"batched fleet: events/s at {100 * ratio:.0f}% of baseline"
             )
     return failures

@@ -1,0 +1,126 @@
+"""Batched-fleet bench workload: the ``batched`` key of BENCH_run.json.
+
+One pinned trace-friendly fleet — ``micro:linked_chain`` under the NET
+selector, one lane per seed — measured twice: every cell through the
+serial fused pipeline, then all cells as a single
+:func:`repro.batch.run_fleet` sweep.  The record carries both walls and
+both aggregate events/sec plus their ratio (``speedup``), and the
+harness refuses to report a number unless every lane's
+:class:`~repro.metrics.summary.MetricReport` equals its serial twin —
+the bit-identity contract of ``docs/batching.md``, enforced on every
+bench run, not only in the test suite.
+
+The linked-chain fleet is the workload where batching earns its keep:
+region-to-region transitions dominate (the trace-linking fast path),
+so nearly every simulated step stays inside the vectorized rounds.
+Interp-heavy fleets spend their time in the per-lane scalar
+complement and gain little — ``docs/batching.md`` quantifies both.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.config import SystemConfig
+from repro.errors import ReproError
+from repro.metrics.summary import MetricReport
+from repro.system.simulator import simulate
+
+#: The pinned fleet: (benchmark, selector, lanes, scale).  Lane ``i``
+#: runs seed ``i`` — a seed-stability-shaped sweep.  The quick variant
+#: trims per-lane work, not lane count: fleet-level speedup needs wide
+#: fleets, and CI checks the quick number against the quick baseline.
+BATCHED_BENCHMARK = "micro:linked_chain"
+BATCHED_SELECTOR = "net"
+BATCHED_LANES = 1024
+BATCHED_SCALE = 0.5
+BATCHED_SCALE_QUICK = 0.15
+
+
+def run_batched_bench(
+    quick: bool = False,
+    config: Optional[SystemConfig] = None,
+    lanes: int = BATCHED_LANES,
+    scale: Optional[float] = None,
+    backend: str = "auto",
+) -> Dict[str, object]:
+    """Measure the pinned fleet serial-vs-batched; returns its record.
+
+    The ``wall_seconds`` / ``events_per_second`` fields describe the
+    *batched* pass (so baseline ratio math treats the record like any
+    workload); the serial reference rides along as ``serial_*`` and
+    ``speedup`` is their throughput ratio.  Raises
+    :class:`~repro.errors.ReproError` if any lane's report differs
+    from its serial twin.
+    """
+    from repro.batch import BatchCell, build_fleet_program, get_backend, run_fleet
+
+    config = config if config is not None else SystemConfig()
+    if scale is None:
+        scale = BATCHED_SCALE_QUICK if quick else BATCHED_SCALE
+    cells = [
+        BatchCell(BATCHED_BENCHMARK, BATCHED_SELECTOR, scale=scale, seed=seed)
+        for seed in range(lanes)
+    ]
+
+    program = build_fleet_program(BATCHED_BENCHMARK, scale)
+    serial_reports = {}
+    serial_steps = 0
+    started = time.perf_counter()
+    for cell in cells:
+        result = simulate(program, cell.selector, config, seed=cell.seed)
+        serial_steps += (result.stats.interp_steps + result.stats.cache_steps)
+        serial_reports[cell] = MetricReport.from_result(result)
+    serial_wall = time.perf_counter() - started
+
+    fleet = run_fleet(cells, config=config, backend=backend)
+    mismatched = [
+        cell for cell in cells
+        if fleet.reports[cell] != serial_reports[cell]
+    ]
+    if mismatched or fleet.steps != serial_steps:
+        first = mismatched[0] if mismatched else cells[0]
+        raise ReproError(
+            f"batched bench fleet is not bit-identical to the serial "
+            f"pipeline ({len(mismatched)} of {lanes} lanes differ; "
+            f"first: {first.benchmark}/{first.selector} seed "
+            f"{first.seed}) — the kernel is broken, refusing to "
+            f"report a throughput number"
+        )
+
+    batched_wall = fleet.wall_seconds
+    return {
+        "name": "chain-net-fleet",
+        "benchmark": BATCHED_BENCHMARK,
+        "selector": BATCHED_SELECTOR,
+        "lanes": lanes,
+        "scale": scale,
+        "backend": fleet.backend,
+        "requested_backend": get_backend(backend),
+        "rounds": fleet.rounds,
+        "steps": fleet.steps,
+        "wall_seconds": round(float(batched_wall), 6),
+        "events_per_second": (
+            round(fleet.steps / batched_wall, 1) if batched_wall > 0 else 0.0
+        ),
+        "serial_wall_seconds": round(float(serial_wall), 6),
+        "serial_events_per_second": (
+            round(serial_steps / serial_wall, 1) if serial_wall > 0 else 0.0
+        ),
+        "speedup": (
+            round(serial_wall / batched_wall, 3) if batched_wall > 0 else 0.0
+        ),
+        "identical": True,
+    }
+
+
+def format_batched_record(record: Dict[str, object]) -> str:
+    """One summary line for the bench table."""
+    return (
+        f"batched fleet {record['benchmark']}/{record['selector']} "
+        f"({record['lanes']} lanes, {record['backend']}): "
+        f"{record['events_per_second']:,.0f} events/s batched vs "
+        f"{record['serial_events_per_second']:,.0f} serial "
+        f"({record['speedup']}x, bit-identical)"
+    )

@@ -149,6 +149,7 @@ def run_bench(
     config: Optional[SystemConfig] = None,
     repeats: int = DEFAULT_REPEATS,
     service: bool = False,
+    batched: bool = False,
 ) -> Dict[str, object]:
     """Run the pinned workload set and assemble the bench record.
 
@@ -156,6 +157,11 @@ def run_bench(
     store and records warm/cold request-latency percentiles under the
     ``service`` key (see :mod:`repro.bench.service`); the CLI turns it
     on by default, library callers opt in.
+
+    ``batched=True`` additionally measures the pinned batched fleet —
+    serial fused versus one vectorized sweep, with an in-harness
+    bit-identity assertion — under the ``batched`` key (see
+    :mod:`repro.bench.batch`); same CLI-on/library-off default.
     """
     if workloads is None:
         workloads = QUICK_WORKLOADS if quick else STANDARD_WORKLOADS
@@ -169,6 +175,11 @@ def run_bench(
         from repro.bench.service import run_service_bench
 
         service_record = run_service_bench(quick=quick)
+    batched_record = None
+    if batched:
+        from repro.bench.batch import run_batched_bench
+
+        batched_record = run_batched_bench(quick=quick)
     total_wall = sum(float(r["wall_seconds"]) for r in records)
     total_steps = sum(int(r["steps"]) for r in records)
     return {
@@ -180,6 +191,7 @@ def run_bench(
         "quick": bool(quick),
         "workloads": records,
         "service": service_record,
+        "batched": batched_record,
         "totals": {
             "wall_seconds": round(total_wall, 6),
             "steps": total_steps,
@@ -237,4 +249,13 @@ def format_bench_table(run: Dict[str, object],
         from repro.bench.service import format_service_record
 
         lines.append(format_service_record(run["service"]))
+    if run.get("batched"):
+        from repro.bench.batch import format_batched_record
+
+        batched_line = format_batched_record(run["batched"])
+        delta = (deltas or {}).get("batched")
+        if delta is not None:
+            ratio = delta["events_per_second_ratio"]
+            batched_line += f" [{(ratio - 1) * 100:+.1f}% vs baseline]"
+        lines.append(batched_line)
     return "\n".join(lines)

@@ -131,6 +131,7 @@ class TraceWalkTable:
         "region", "path", "path_len", "path0", "deciders", "counts",
         "offsets", "sizes", "run_len", "run_insts", "dyn_exit",
         "link_taken", "link_fall", "adv", "cyc", "run_hits", "sites",
+        "arena_base", "arena_tidx",
     )
 
     def __init__(self, region: Region) -> None:
@@ -156,6 +157,11 @@ class TraceWalkTable:
         #: ``(target block id, site)`` for every link slot this table
         #: registered — unregistered again when the table is retired.
         self.sites: List[Tuple[int, _LinkSite]] = []
+        #: Position of this table in a batched-execution arena (set by
+        #: :meth:`repro.batch.kernel.FleetKernel.register_table`); -1
+        #: outside batched runs.
+        self.arena_base = -1
+        self.arena_tidx = -1
 
     def fold_edges(self, edge_profile: Dict) -> None:
         """Fold the batched walked-edge counts into ``edge_profile``."""
@@ -237,6 +243,11 @@ class DispatchTable:
         #: (tables of evicted regions keep their walked-edge counts).
         self.trace_tables: List[TraceWalkTable] = []
         self._link_sites: Dict[int, List[_LinkSite]] = {}
+        #: Optional ``hook(site, table_or_None)`` invoked after every
+        #: link-slot patch — a mirror point for layers that shadow the
+        #: link slots elsewhere (the batched kernel keeps arena link
+        #: columns in sync through it).  ``None`` costs nothing.
+        self.on_link_patch: Optional[Callable] = None
 
     # -- compilation -----------------------------------------------------
     def _register(
@@ -343,8 +354,11 @@ class DispatchTable:
         table = self.compile(region)
         entry_id = region.entry.block_id
         self.tables_by_entry[entry_id] = table
+        hook = self.on_link_patch
         for site in self._link_sites.get(entry_id, ()):
             site.container[site.key] = table
+            if hook is not None:
+                hook(site, table)
         return table
 
     def retire(self, region: Region) -> None:
@@ -355,8 +369,11 @@ class DispatchTable:
         if table is None or table.region is not region:
             return
         self.tables_by_entry[entry_id] = None
+        hook = self.on_link_patch
         for site in self._link_sites.get(entry_id, ()):
             site.container[site.key] = None
+            if hook is not None:
+                hook(site, None)
         link_sites = self._link_sites
         for tid, site in table.sites:
             sites = link_sites.get(tid)

@@ -16,6 +16,8 @@ Commands:
   re-running anything;
 * ``obs report`` — render the merged fleet-telemetry JSON written by
   ``run_grid(telemetry_out=...)`` (see ``docs/observability.md``);
+* ``fleet`` — run a (benchmark x selector x seed) grid as one batched
+  fleet through the vectorized kernel (see ``docs/batching.md``);
 * ``serve`` — the simulation service: an asyncio HTTP server resolving
   grid-cell requests through the store / single-flight coalescing /
   the job engine (see ``docs/service.md``); ``serve --smoke`` boots a
@@ -202,7 +204,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
 
     run = run_bench(quick=args.quick, repeats=args.repeats,
-                    service=not args.no_service)
+                    service=not args.no_service,
+                    batched=not args.no_batched)
     deltas = None
     baseline = None if args.no_baseline else load_baseline(
         args.baseline, quick=args.quick)
@@ -360,6 +363,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_retries=args.max_retries,
             observer=observer,
             code_version=args.code_version,
+            backend=args.backend,
         )
         server = GridServer(service, host=args.host, port=port,
                             observer=observer)
@@ -386,6 +390,48 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     finally:
         observer.close()
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """``repro fleet``: run a (benchmark x selector x seed) grid batched.
+
+    One lane per cell through the vectorized fleet kernel — the CLI
+    face of :func:`repro.batch.run_fleet`.  Reports aggregate
+    throughput plus a per-cell metric line; every cell's numbers are
+    bit-identical to what ``repro run`` prints for it.
+    """
+    from repro.batch import BatchCell, run_fleet
+    from repro.errors import ConfigError
+
+    benchmarks = (args.benchmarks.split(",") if args.benchmarks
+                  else list(benchmark_names()))
+    selectors = (args.selectors.split(",") if args.selectors
+                 else ["net", "lei"])
+    cells = [
+        BatchCell(bench, selector, scale=args.scale, seed=seed)
+        for bench in benchmarks
+        for selector in selectors
+        for seed in range(args.seed, args.seed + args.seeds)
+    ]
+    try:
+        fleet = run_fleet(cells, config=_config_from(args),
+                          backend=args.backend)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{fleet.lanes} lanes ({fleet.backend} backend): "
+          f"{fleet.steps:,} events in {fleet.wall_seconds:.2f}s "
+          f"({fleet.events_per_second:,.0f} events/s, "
+          f"{fleet.rounds} rounds)")
+    print(f"{'benchmark':<22s} {'selector':<14s} {'seed':>4s} "
+          f"{'hit%':>7s} {'regions':>8s} {'transitions':>12s}")
+    for cell in cells:
+        report = fleet.reports[cell]
+        print(f"{cell.benchmark:<22s} {cell.selector:<14s} "
+              f"{cell.seed:>4d} {100 * report.hit_rate:>7.2f} "
+              f"{report.region_count:>8d} "
+              f"{report.region_transitions:>12d}")
     return 0
 
 
@@ -544,6 +590,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-service", action="store_true",
                        help="skip the service-latency workload (warm/cold "
                             "request p50/p99 through `repro serve`)")
+    bench.add_argument("--no-batched", action="store_true",
+                       help="skip the batched-fleet workload (serial vs "
+                            "vectorized sweep with bit-identity check; "
+                            "see docs/batching.md)")
     bench.set_defaults(func=cmd_bench)
 
     serve = sub.add_parser(
@@ -573,6 +623,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--code-version", default=None,
                        help="pin the store address component that normally "
                             "tracks the git SHA")
+    serve.add_argument("--backend", default="serial",
+                       choices=("serial", "batched", "batched-numpy",
+                                "batched-python"),
+                       help="cold-dispatch backend: per-cell job engine, "
+                            "or one vectorized fleet per batch (results "
+                            "are bit-identical; see docs/batching.md)")
     serve.add_argument("--trace-events", metavar="PATH", default=None,
                        help="write a structured JSONL event log to PATH")
     serve.add_argument("--smoke", action="store_true",
@@ -595,6 +651,32 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument("--markdown", action="store_true",
                             help="emit the report as Markdown")
     obs_report.set_defaults(func=cmd_obs_report)
+
+    fleet = sub.add_parser(
+        "fleet", help="run a (benchmark x selector x seed) grid batched")
+    fleet.add_argument("--benchmarks", default=None, metavar="CSV",
+                       help="comma-separated benchmarks (accepts "
+                            "micro:<motif>; default: all SPEC stand-ins)")
+    fleet.add_argument("--selectors", default=None, metavar="CSV",
+                       help="comma-separated selectors (default net,lei)")
+    fleet.add_argument("--scale", type=float, default=0.1,
+                       help="workload scale factor (default 0.1)")
+    fleet.add_argument("--seed", type=int, default=1,
+                       help="first execution seed (default 1)")
+    fleet.add_argument("--seeds", type=int, default=1, metavar="N",
+                       help="seeds per (benchmark, selector) pair, "
+                            "counting up from --seed (default 1)")
+    fleet.add_argument("--backend", default="auto",
+                       choices=("auto", "numpy", "python"),
+                       help="array backend (default auto: numpy when "
+                            "installed; see docs/batching.md)")
+    fleet.add_argument("--cache-capacity", type=int, default=None,
+                       metavar="BYTES",
+                       help="bound every lane's code cache "
+                            "(default unbounded)")
+    fleet.add_argument("--eviction", choices=("flush", "fifo"),
+                       default="flush", help="bounded-cache policy")
+    fleet.set_defaults(func=cmd_fleet)
 
     regions = sub.add_parser("regions", help="dump the selected regions")
     _add_common(regions)

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple, Union
 
 from repro.config import SystemConfig
+from repro.errors import ConfigError
 from repro.experiments.manifest import build_manifest, write_manifest
 from repro.jobs.engine import Job, JobEngine
 from repro.jobs.faults import FaultInjector
@@ -26,6 +27,10 @@ from repro.selection.registry import SELECTOR_NAMES
 from repro.store import ResultStore, cell_key
 from repro.system.simulator import simulate
 from repro.workloads import benchmark_names, build_benchmark
+
+#: ``run_grid`` execution backends: the job-engine path, or one fleet
+#: through :mod:`repro.batch` (optionally pinning the array substrate).
+GRID_BACKENDS = ("serial", "batched", "batched-numpy", "batched-python")
 
 
 def _grid_cell(
@@ -91,6 +96,7 @@ def run_grid(
     telemetry: bool = False,
     telemetry_out: Optional[str] = None,
     telemetry_ring: Optional[int] = None,
+    backend: str = "serial",
 ) -> ExperimentGrid:
     """Simulate every cell and compute its metric report.
 
@@ -126,8 +132,39 @@ def run_grid(
     merged document as JSON (consumed by ``repro obs report``);
     ``telemetry_ring`` sizes each worker's event-tail ring buffer
     (metrics and profile data are never dropped regardless).
+
+    ``backend="batched"`` computes every missing cell as one fleet
+    through :func:`repro.batch.run_fleet` instead of the job engine —
+    vectorized over SoA state when numpy is installed, bit-identical
+    to the serial run either way (``batched-numpy``/``batched-python``
+    pin the array substrate; see ``docs/batching.md``).  The store
+    interaction is unchanged: cached cells are served from disk and
+    fresh ones persisted.  ``workers`` is ignored (a fleet is one
+    process); per-worker ``telemetry`` and the reference pipeline
+    (``fast=False``) need per-cell workers and are ConfigErrors.
     """
     started = time.monotonic()
+    if backend not in GRID_BACKENDS:
+        raise ConfigError(
+            f"unknown grid backend {backend!r}: expected one of "
+            f"{', '.join(GRID_BACKENDS)}"
+        )
+    batched = backend != "serial"
+    if batched and (telemetry or telemetry_out is not None):
+        raise ConfigError(
+            "telemetry requires per-cell workers: use backend='serial' "
+            "(batched lanes run unobserved; fleet progress is reported "
+            "at batch granularity)"
+        )
+    if batched and not fast:
+        raise ConfigError(
+            "fast=False pins the reference pull-generator pipeline, "
+            "which has no batched equivalent: use backend='serial'"
+        )
+    if batched and faults is not None:
+        raise ConfigError(
+            "fault injection drives the job engine: use backend='serial'"
+        )
     config = config if config is not None else SystemConfig()
     bench_list = tuple(benchmarks) if benchmarks is not None else benchmark_names()
     selector_list = tuple(selectors) if selectors is not None else SELECTOR_NAMES
@@ -163,7 +200,20 @@ def run_grid(
                 continue
         missing.append(cell)
 
-    if missing:
+    if missing and batched:
+        from repro.batch import BatchCell, run_fleet
+
+        fleet_cells = [BatchCell(bench, selector, scale=scale, seed=seed)
+                       for bench, selector in missing]
+        fleet_backend = backend[len("batched-"):] if "-" in backend else "auto"
+        result = run_fleet(fleet_cells, config=config,
+                           backend=fleet_backend, observer=obs)
+        for fleet_cell, cell in zip(fleet_cells, missing):
+            report = result.reports[fleet_cell]
+            reports[cell] = report
+            if store is not None:
+                store.put(keys[cell], report)
+    elif missing:
         jobs = [
             Job(f"{bench}:{selector}",
                 (bench, selector, scale, seed, config, fast))
@@ -200,7 +250,8 @@ def run_grid(
         fleet.write(telemetry_out)
 
     if manifest_dir is not None:
-        extra = {"workers": workers, "cells": len(cells)}
+        extra = {"workers": workers, "cells": len(cells),
+                 "backend": backend}
         if store is not None:
             extra["store"] = store.stats.as_dict()
         write_manifest(manifest_dir, build_manifest(

@@ -146,6 +146,20 @@ EVENT_KINDS: Dict[str, EventKind] = {
         "serve", "debug",
         "A request was deduplicated onto an identical in-flight job "
         "(single-flight)."),
+    # -- batched fleet execution (repro.batch; step is always 0, batch
+    # -- granularity — per-step events are a serial-pipeline concern) ----
+    "fleet_started": EventKind(
+        "fleet", "info",
+        "A batched fleet run began; payload carries the lane count and "
+        "the array backend."),
+    "fleet_lane_finished": EventKind(
+        "fleet", "debug",
+        "One fleet lane retired (halted or exhausted its step budget); "
+        "payload carries the lane's cell and step count."),
+    "fleet_finished": EventKind(
+        "fleet", "info",
+        "A batched fleet run completed; payload carries rounds, "
+        "aggregate steps and wall time."),
 }
 
 _RESERVED = ("kind", "step", "category", "severity", "ts", "seq")

@@ -1,0 +1,277 @@
+"""Tests for the vectorized batched fleet (repro.batch).
+
+The batched backend's contract is *bit-identity*: for every cell it
+must produce exactly the MetricReport the serial pipeline produces.
+These tests enforce that across benchmarks, selectors, bounded caches
+under eviction, step budgets, both array substrates, and the error
+path — plus the SplitMix64 lane-RNG equivalence the whole scheme
+rests on.  See ``docs/batching.md``.
+"""
+
+import os
+
+import pytest
+
+from repro.batch import (
+    BatchCell,
+    HAVE_NUMPY,
+    available_backends,
+    build_fleet_program,
+    get_backend,
+    run_fleet,
+)
+from repro.batch import backend as backend_mod
+from repro.batch.backend import LaneRng
+from repro.behavior.rng import SplitMix64
+from repro.config import SystemConfig
+from repro.errors import ConfigError, ExecutionError
+from repro.execution.engine import ExecutionEngine
+from repro.metrics.summary import MetricReport
+from repro.obs import CollectingSink, Observer
+from repro.system.simulator import simulate
+
+BACKENDS = available_backends()
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+
+def serial_report(cell: BatchCell, config=None, max_steps=None) -> MetricReport:
+    """The oracle: one serial fused-pipeline run of the same cell."""
+    program = build_fleet_program(cell.benchmark, cell.scale)
+    result = simulate(program, cell.selector, config, seed=cell.seed,
+                      max_steps=max_steps)
+    return MetricReport.from_result(result)
+
+
+def assert_fleet_matches_serial(cells, config=None, backend="auto",
+                                max_steps=None):
+    fleet = run_fleet(cells, config=config, backend=backend,
+                      max_steps=max_steps)
+    for cell in cells:
+        assert fleet.reports[cell] == serial_report(
+            cell, config=config, max_steps=max_steps
+        ), f"batched report diverged from serial for {cell!r}"
+    return fleet
+
+
+class TestBackendResolution:
+    def test_auto_prefers_numpy_when_available(self):
+        assert get_backend("auto") == BACKENDS[0]
+
+    def test_python_always_available(self):
+        assert get_backend("python") == "python"
+        assert "python" in BACKENDS
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            get_backend("cuda")
+
+    def test_explicit_numpy_without_numpy_is_an_error(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "HAVE_NUMPY", False)
+        with pytest.raises(ConfigError, match="numpy"):
+            get_backend("numpy")
+        # auto degrades silently — that's the whole point of "auto".
+        assert get_backend("auto") == "python"
+
+
+@needs_numpy
+class TestLaneRngEquivalence:
+    """LaneRng over a shared state column == the scalar SplitMix64."""
+
+    def _pair(self, seed):
+        import numpy as np
+
+        states = np.zeros(4, dtype=np.uint64)
+        states[2] = np.uint64(seed)
+        return SplitMix64(seed), LaneRng(states, 2), states
+
+    @pytest.mark.parametrize("seed", [0, 1, 42, 2**64 - 1, 0xDEADBEEF])
+    def test_scalar_methods_match(self, seed):
+        scalar, lane, _ = self._pair(seed)
+        for _ in range(50):
+            assert lane.next_u64() == scalar.next_u64()
+            assert lane.random() == scalar.random()
+            assert lane.randint(3, 17) == scalar.randint(3, 17)
+            assert lane.bernoulli(0.3) == scalar.bernoulli(0.3)
+        weights = (0.2, 0.5, 1.0)
+        for _ in range(20):
+            assert (lane.weighted_index(weights)
+                    == scalar.weighted_index(weights))
+
+    def test_fork_matches(self):
+        scalar, lane, _ = self._pair(7)
+        assert lane.fork().next_u64() == scalar.fork().next_u64()
+
+    def test_vector_draws_match_lane_draws(self):
+        import numpy as np
+
+        from repro.batch.backend import vector_next_u64, vector_random
+
+        seeds = [0, 5, 99, 2**63, 12345, 8, 8, 1]
+        states = np.array(seeds, dtype=np.uint64)
+        mirror = states.copy()
+        idx = np.arange(len(seeds), dtype=np.int64)
+        vec_f = vector_random(states, idx)
+        vec_u = vector_next_u64(states, idx)
+        for i, seed in enumerate(seeds):
+            lane = LaneRng(mirror, i)
+            assert vec_f[i] == lane.random()
+            assert vec_u[i] == lane.next_u64()
+        # The shared column advanced identically on both paths.
+        assert (states == mirror).all()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestFleetBitIdentity:
+    def test_micro_motifs_all_selectors(self, backend):
+        cells = [
+            BatchCell(f"micro:{motif}", selector, scale=0.3, seed=seed)
+            for motif in ("figure2", "figure4", "self_loop", "linked_chain",
+                          "recursion")
+            for selector in ("net", "lei", "combined-net")
+            for seed in (1, 9)
+        ]
+        assert_fleet_matches_serial(cells, backend=backend)
+
+    def test_spec_benchmarks(self, backend):
+        cells = [
+            BatchCell(bench, selector, scale=0.05, seed=3)
+            for bench in ("gzip", "mcf")
+            for selector in ("net", "lei")
+        ]
+        assert_fleet_matches_serial(cells, backend=backend)
+
+    @pytest.mark.parametrize("policy", ["flush", "fifo"])
+    def test_bounded_cache_under_eviction(self, backend, policy):
+        config = SystemConfig(cache_capacity_bytes=2000,
+                              cache_eviction_policy=policy)
+        cells = [
+            BatchCell(bench, "net", scale=0.05, seed=7)
+            for bench in ("gzip", "bzip2")
+        ] + [BatchCell("micro:linked_chain", "lei", scale=0.5, seed=7)]
+        assert_fleet_matches_serial(cells, config=config, backend=backend)
+
+    @pytest.mark.parametrize("max_steps", [1, 7, 997])
+    def test_step_budget_truncation(self, backend, max_steps):
+        cells = [
+            BatchCell("micro:alternating", "net", scale=0.3, seed=1),
+            BatchCell("gzip", "lei", scale=0.05, seed=2),
+        ]
+        assert_fleet_matches_serial(cells, backend=backend,
+                                    max_steps=max_steps)
+
+
+@needs_numpy
+def test_numpy_and_python_backends_agree():
+    cells = [
+        BatchCell("micro:figure3", sel, scale=0.3, seed=s)
+        for sel in ("net", "lei") for s in (1, 2)
+    ]
+    by_numpy = run_fleet(cells, backend="numpy")
+    by_python = run_fleet(cells, backend="python")
+    assert by_numpy.backend == "numpy"
+    assert by_python.backend == "python"
+    for cell in cells:
+        assert by_numpy.reports[cell] == by_python.reports[cell]
+
+
+class TestFleetValidation:
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ConfigError, match="at least one cell"):
+            run_fleet([])
+
+    def test_duplicate_cell_rejected(self):
+        cell = BatchCell("gzip", "net", scale=0.05, seed=1)
+        with pytest.raises(ConfigError, match="duplicate"):
+            run_fleet([cell, cell])
+
+
+class TestFleetResultAndEvents:
+    def test_fleet_result_aggregates(self):
+        cells = [BatchCell("micro:self_loop", "net", scale=0.3, seed=s)
+                 for s in (1, 2, 3)]
+        fleet = run_fleet(cells)
+        assert fleet.lanes == 3
+        assert fleet.rounds >= 1
+        assert fleet.wall_seconds > 0
+        per_lane = [fleet.results[c].stats.interp_steps
+                    + fleet.results[c].stats.cache_steps for c in cells]
+        assert fleet.steps == sum(per_lane)
+        assert fleet.events_per_second > 0
+
+    def test_obs_events_at_batch_granularity(self):
+        sink = CollectingSink()
+        cells = [BatchCell("micro:figure2", "net", scale=0.3, seed=s)
+                 for s in (1, 2)]
+        run_fleet(cells, observer=Observer(sink=sink))
+        started = sink.by_kind("fleet_started")
+        finished = sink.by_kind("fleet_finished")
+        lanes = sink.by_kind("fleet_lane_finished")
+        assert len(started) == len(finished) == 1
+        assert started[0].payload["lanes"] == 2
+        assert len(lanes) == 2
+        assert {e.payload["seed"] for e in lanes} == {1, 2}
+        assert finished[0].payload["steps"] > 0
+
+
+class TestErrorContextParity:
+    """A fleet abort carries the same diagnostic context as a serial one."""
+
+    @pytest.fixture
+    def tiny_call_depth(self, monkeypatch):
+        orig = ExecutionEngine.__init__
+
+        def patched(self, *args, **kwargs):
+            kwargs["max_call_depth"] = 3
+            orig(self, *args, **kwargs)
+
+        monkeypatch.setattr(ExecutionEngine, "__init__", patched)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_call_overflow_matches_serial(self, tiny_call_depth, backend):
+        program = build_fleet_program("micro:recursion", 0.3)
+        with pytest.raises(ExecutionError) as serial_exc:
+            simulate(program, "net", seed=2)
+        cells = [BatchCell("micro:recursion", "net", scale=0.3, seed=s)
+                 for s in (2, 3, 4, 5)]
+        with pytest.raises(ExecutionError) as fleet_exc:
+            run_fleet(cells, backend=backend)
+        # Same canonical message body...
+        assert (str(fleet_exc.value).split(" [")[0]
+                == str(serial_exc.value).split(" [")[0])
+        # ...and the same context keys: benchmark, selector and the
+        # failing lane's cache clock (clock advancement is lazy in both
+        # pipelines, so the step may trail serial's by a point or two).
+        assert fleet_exc.value.context["benchmark"] == "micro_recursion"
+        assert fleet_exc.value.context["selector"] == "net"
+        serial_step = serial_exc.value.context["step"]
+        assert abs(fleet_exc.value.context["step"] - serial_step) <= 2
+
+
+class TestGridStoreDigestIdentity:
+    """run_grid(backend="batched") persists byte-identical store files."""
+
+    def _store_files(self, root):
+        files = {}
+        for dirpath, _, names in os.walk(root):
+            for name in names:
+                path = os.path.join(dirpath, name)
+                with open(path, "rb") as handle:
+                    files[os.path.relpath(path, root)] = handle.read()
+        return files
+
+    def test_batched_grid_store_matches_serial(self, tmp_path):
+        from repro.experiments.runner import run_grid
+
+        kwargs = dict(
+            scale=0.05, seed=5, benchmarks=("gzip", "bzip2"),
+            selectors=("net", "lei"), code_version="v1",
+        )
+        serial = run_grid(store=str(tmp_path / "serial"),
+                          backend="serial", **kwargs)
+        batched = run_grid(store=str(tmp_path / "batched"),
+                           backend="batched", **kwargs)
+        assert serial.reports == batched.reports
+        serial_files = self._store_files(str(tmp_path / "serial"))
+        batched_files = self._store_files(str(tmp_path / "batched"))
+        assert serial_files == batched_files

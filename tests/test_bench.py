@@ -119,9 +119,12 @@ class TestBaselineComparison:
 
 
 class TestBenchCli:
+    # --no-batched keeps CLI tests off the 1024-lane fleet workload;
+    # the fleet record itself is covered by TestBatchedBench below.
     def test_quick_bench_writes_run_file(self, tmp_path, capsys):
         out = tmp_path / "BENCH_run.json"
-        code = cli_main(["bench", "--quick", "--out", str(out)])
+        code = cli_main(["bench", "--quick", "--no-batched",
+                         "--out", str(out)])
         assert code == 0
         run = json.loads(out.read_text())
         assert run["quick"] is True
@@ -137,7 +140,7 @@ class TestBenchCli:
     def test_no_baseline_flag(self, tmp_path):
         out = tmp_path / "BENCH_run.json"
         code = cli_main(["bench", "--quick", "--no-baseline",
-                         "--out", str(out)])
+                         "--no-batched", "--out", str(out)])
         assert code == 0
         assert json.loads(out.read_text())["baseline"] is None
 
@@ -148,7 +151,86 @@ class TestBenchCli:
             record["events_per_second"] *= 1000.0
         baseline_path = tmp_path / "impossible.json"
         baseline_path.write_text(json.dumps(fast))
-        code = cli_main(["bench", "--quick", "--check",
+        code = cli_main(["bench", "--quick", "--check", "--no-batched",
                          "--baseline", str(baseline_path),
                          "--out", str(tmp_path / "run.json")])
         assert code == 1
+
+
+class TestBatchedBench:
+    """The batched-fleet bench record and its baseline comparison."""
+
+    @pytest.fixture(scope="class")
+    def fleet_record(self):
+        from repro.bench import run_batched_bench
+
+        # A small fleet: the record shape and the in-harness identity
+        # assertion are what's under test, not throughput.
+        return run_batched_bench(lanes=8, scale=0.05)
+
+    def test_record_schema(self, fleet_record):
+        assert fleet_record["name"] == "chain-net-fleet"
+        assert fleet_record["lanes"] == 8
+        assert fleet_record["identical"] is True
+        assert fleet_record["steps"] > 0
+        assert fleet_record["events_per_second"] > 0
+        assert fleet_record["serial_events_per_second"] > 0
+        assert fleet_record["speedup"] > 0
+        assert fleet_record["backend"] in ("numpy", "python")
+
+    def test_format_renders_one_line(self, fleet_record):
+        from repro.bench import format_batched_record
+
+        line = format_batched_record(fleet_record)
+        assert "batched fleet" in line
+        assert fleet_record["benchmark"] in line
+        assert "\n" not in line
+
+    def test_baseline_without_batched_record_compares_none(self, tiny_run,
+                                                           fleet_record):
+        run = json.loads(json.dumps(tiny_run))
+        run["batched"] = fleet_record
+        deltas = compare_to_baseline(run, tiny_run)
+        assert deltas["batched"] is None
+        assert regression_failures(deltas) == []
+
+    def test_matching_batched_records_compare(self, tiny_run, fleet_record):
+        run = json.loads(json.dumps(tiny_run))
+        run["batched"] = fleet_record
+        deltas = compare_to_baseline(run, run)
+        assert deltas["batched"]["events_per_second_ratio"] == 1.0
+
+    def test_fleet_shape_mismatch_compares_none(self, tiny_run,
+                                                fleet_record):
+        run = json.loads(json.dumps(tiny_run))
+        run["batched"] = fleet_record
+        other = json.loads(json.dumps(run))
+        other["batched"]["lanes"] = 1024
+        deltas = compare_to_baseline(run, other)
+        assert deltas["batched"] is None
+
+    def test_batched_regression_is_flagged(self, tiny_run, fleet_record):
+        run = json.loads(json.dumps(tiny_run))
+        run["batched"] = fleet_record
+        slower = json.loads(json.dumps(run))
+        slower["batched"]["events_per_second"] /= 3
+        failures = regression_failures(compare_to_baseline(slower, run))
+        assert any("batched fleet" in failure for failure in failures)
+
+    def test_cli_records_batched_run(self, tmp_path, monkeypatch):
+        # Patch the fleet workload down to test size; the CLI default
+        # (batched on) must thread the record into the run file.
+        import repro.bench.batch as batch_mod
+
+        real = batch_mod.run_batched_bench
+        monkeypatch.setattr(
+            batch_mod, "run_batched_bench",
+            lambda quick=False: real(lanes=8, scale=0.05),
+        )
+        out = tmp_path / "run.json"
+        code = cli_main(["bench", "--quick", "--no-baseline",
+                         "--out", str(out)])
+        assert code == 0
+        run = json.loads(out.read_text())
+        assert run["batched"]["name"] == "chain-net-fleet"
+        assert run["batched"]["identical"] is True

@@ -1,0 +1,86 @@
+"""The documentation link set stays resolvable (tools/check_doc_links.py).
+
+Runs the CI link checker in-process against the real repository — a
+stale cross-reference fails here before it fails the pipeline — plus
+unit coverage of the checker's own parsing rules on a fixture tree.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOOLS_DIR = os.path.join(REPO_ROOT, "tools")
+sys.path.insert(0, TOOLS_DIR)
+
+import check_doc_links  # noqa: E402
+
+
+class TestRepositoryDocs:
+    def test_all_intra_repo_links_resolve(self):
+        problems = check_doc_links.broken_links(REPO_ROOT)
+        assert problems == [], (
+            "broken documentation links:\n" + "\n".join(problems)
+        )
+
+    def test_scan_covers_the_doc_set(self):
+        files = check_doc_links.doc_files(REPO_ROOT)
+        assert "README.md" in files
+        assert os.path.join("docs", "batching.md") in files
+        assert os.path.join("docs", "api.md") in files
+
+    def test_cli_exit_zero_on_clean_tree(self):
+        result = subprocess.run(
+            [sys.executable,
+             os.path.join(TOOLS_DIR, "check_doc_links.py"), REPO_ROOT],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "doc links OK" in result.stdout
+
+
+class TestCheckerRules:
+    def _tree(self, tmp_path, readme):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "real.md").write_text("# real\n")
+        (tmp_path / "README.md").write_text(readme)
+        return str(tmp_path)
+
+    def test_missing_target_is_reported_with_location(self, tmp_path):
+        root = self._tree(tmp_path, "intro\nsee [gone](docs/missing.md)\n")
+        problems = check_doc_links.broken_links(root)
+        assert problems == ["README.md:2: docs/missing.md"]
+
+    def test_resolvable_relative_links_pass(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            "[ok](docs/real.md) and [anchored](docs/real.md#section)\n",
+        )
+        (tmp_path / "docs" / "linked.md").write_text(
+            "[up](../README.md) [sibling](real.md)\n"
+        )
+        assert check_doc_links.broken_links(root) == []
+
+    def test_external_and_anchor_links_are_skipped(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            "[w](https://example.com/x.md) [m](mailto:a@b.c) [a](#here)\n",
+        )
+        assert check_doc_links.broken_links(root) == []
+
+    def test_code_fences_are_ignored(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            "```\n[not a link](nope.md)\n```\n[real](docs/real.md)\n",
+        )
+        assert check_doc_links.broken_links(root) == []
+
+    def test_cli_exit_one_lists_breakage(self, tmp_path):
+        root = self._tree(tmp_path, "[gone](missing.md)\n")
+        result = subprocess.run(
+            [sys.executable,
+             os.path.join(TOOLS_DIR, "check_doc_links.py"), root],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 1
+        assert "missing.md" in result.stdout

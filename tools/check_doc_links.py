@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Verify that intra-repository markdown links resolve.
+
+Scans the repo's documentation set (``docs/*.md`` plus the top-level
+markdown files) for ``[text](target)`` links, resolves each relative
+target against the file that contains it, and reports every target
+that does not exist.  External links (``http://``, ``https://``,
+``mailto:``) and pure in-page anchors (``#section``) are skipped;
+a ``path#fragment`` target is checked for the path only — fragment
+validity is the renderer's problem, existence is ours.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link, ``file:line: target``).  Run from anywhere::
+
+    python tools/check_doc_links.py [repo-root]
+
+Used by CI next to the test suite; ``tests/test_docs_links.py`` runs
+the same scan in-process so a broken link fails ``pytest`` locally
+before it fails the pipeline.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+#: Top-level files scanned in addition to everything under docs/.
+ROOT_DOCS = ("README.md", "ROADMAP.md", "DESIGN.md", "CHANGES.md",
+             "EXPERIMENTS.md", "PAPER.md", "PAPERS.md")
+
+#: Markdown inline links: [text](target).  Images ([!...]) match too —
+#: a missing image is as broken as a missing page.  Reference-style
+#: definitions are rare in this repo and intentionally out of scope.
+_LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files(root: str) -> List[str]:
+    """The markdown files the checker owns, repo-relative, sorted."""
+    files = [name for name in ROOT_DOCS
+             if os.path.isfile(os.path.join(root, name))]
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                files.append(os.path.join("docs", name))
+    return files
+
+
+def iter_links(path: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every inline link in a file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        in_fence = False
+        for line_number, line in enumerate(handle, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK.finditer(line):
+                yield line_number, match.group(1)
+
+
+def broken_links(root: str) -> List[str]:
+    """Every unresolvable intra-repo link, as ``file:line: target``."""
+    problems: List[str] = []
+    for rel in doc_files(root):
+        path = os.path.join(root, rel)
+        for line_number, target in iter_links(path):
+            if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            candidate = target.split("#", 1)[0]
+            if not candidate:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), candidate)
+            )
+            if not os.path.exists(resolved):
+                problems.append(f"{rel}:{line_number}: {target}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    root = argv[1] if len(argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    problems = broken_links(root)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} broken documentation link(s)",
+              file=sys.stderr)
+        return 1
+    checked = len(doc_files(root))
+    print(f"doc links OK ({checked} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
