@@ -24,6 +24,7 @@ in ``tests/test_batch.py`` pins this against the scalar class.
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Sequence
 
 from repro.behavior.rng import SplitMix64, _INV_2_64, _MASK64
@@ -68,20 +69,58 @@ def numpy_module():
     return _numpy
 
 
+#: Environment override for backend resolution.  ``auto`` requests
+#: resolve to its value, and :func:`available_backends` narrows to it —
+#: which is how CI runs the whole fleet bit-identity suite once per
+#: substrate (``REPRO_BATCH_BACKEND=python`` gates the pure-Python
+#: fallback, not just imports it).  Explicit ``get_backend("numpy")`` /
+#: ``("python")`` calls ignore the variable.
+ENV_BACKEND = "REPRO_BATCH_BACKEND"
+
+
+def _env_backend() -> Optional[str]:
+    value = os.environ.get(ENV_BACKEND, "").strip().lower()
+    if value in ("", "auto"):
+        return None
+    if value in ("numpy", "python"):
+        return value
+    raise ConfigError(
+        f"{ENV_BACKEND}={value!r} is not a batch backend: expected "
+        f"'auto', 'numpy' or 'python'"
+    )
+
+
 def available_backends() -> tuple:
-    """Backends usable in this interpreter, preferred first."""
+    """Backends usable in this interpreter, preferred first.
+
+    Honors ``REPRO_BATCH_BACKEND``: a forced substrate narrows the
+    tuple to it, so backend-parametrized suites run exactly the forced
+    substrate (forcing ``numpy`` without numpy installed raises at
+    :func:`get_backend` time and is not narrowed here).
+    """
+    forced = _env_backend()
+    if forced == "python":
+        return ("python",)
+    if forced == "numpy" and HAVE_NUMPY:
+        return ("numpy",)
     return ("numpy", "python") if HAVE_NUMPY else ("python",)
 
 
 def get_backend(name: str = "auto") -> str:
     """Resolve a backend request to ``"numpy"`` or ``"python"``.
 
-    ``"auto"`` prefers numpy and silently falls back; asking for
-    ``"numpy"`` explicitly without the ``repro[fast]`` extra installed
-    is a :class:`~repro.errors.ConfigError`.
+    ``"auto"`` prefers numpy and silently falls back — unless
+    ``REPRO_BATCH_BACKEND`` forces a substrate, which ``auto`` then
+    resolves to.  Asking for ``"numpy"`` (explicitly or through the
+    environment) without the ``repro[fast]`` extra installed is a
+    :class:`~repro.errors.ConfigError`.
     """
     if name == "auto":
-        return "numpy" if HAVE_NUMPY else "python"
+        forced = _env_backend()
+        if forced is not None:
+            name = forced
+        else:
+            return "numpy" if HAVE_NUMPY else "python"
     if name == "numpy":
         if not HAVE_NUMPY:
             raise ConfigError(
@@ -111,24 +150,26 @@ class LaneRng:
     consumption pattern exactly.
     """
 
-    __slots__ = ("states", "index")
+    __slots__ = ("states", "index", "_read")
 
     def __init__(self, states, index: int) -> None:
         self.states = states
         self.index = index
+        # numpy's ``item()`` yields a Python int in one C call —
+        # measurably cheaper than scalar ``__getitem__`` + int(); a
+        # list's plain ``__getitem__`` already returns an int.
+        self._read = getattr(states, "item", states.__getitem__)
 
     def next_u64(self) -> int:
-        states = self.states
-        state = (int(states[self.index]) + GAMMA) & _MASK64
-        states[self.index] = state
+        state = (self._read(self.index) + GAMMA) & _MASK64
+        self.states[self.index] = state
         z = ((state ^ (state >> 30)) * MIX1) & _MASK64
         z = ((z ^ (z >> 27)) * MIX2) & _MASK64
         return z ^ (z >> 31)
 
     def random(self) -> float:
-        states = self.states
-        state = (int(states[self.index]) + GAMMA) & _MASK64
-        states[self.index] = state
+        state = (self._read(self.index) + GAMMA) & _MASK64
+        self.states[self.index] = state
         z = ((state ^ (state >> 30)) * MIX1) & _MASK64
         z = ((z ^ (z >> 27)) * MIX2) & _MASK64
         return (z ^ (z >> 31)) * _INV_2_64

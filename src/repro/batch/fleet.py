@@ -90,6 +90,7 @@ def run_fleet(
     max_steps: Optional[int] = None,
     observer: Optional[Observer] = None,
     quota: int = DEFAULT_QUOTA,
+    compaction: bool = True,
 ) -> FleetResult:
     """Run every cell as one batched fleet; results match the serial
     pipeline bit for bit.
@@ -98,8 +99,9 @@ def run_fleet(
     Python fallback), ``"numpy"`` or ``"python"`` — see
     :func:`repro.batch.backend.get_backend`.  ``max_steps`` bounds
     every lane (default: the engine's standard budget); ``quota`` caps
-    interp/CFG steps per lane per kernel round (a scheduling knob —
-    it cannot change results, only wall time).
+    interp/CFG steps per lane per kernel round and ``compaction``
+    toggles periodic lane re-sorting by mode (both are scheduling
+    knobs — they cannot change results, only wall time).
     """
     backend = get_backend(backend)
     config = config if config is not None else SystemConfig()
@@ -122,7 +124,8 @@ def run_fleet(
     obs.event("fleet_started", 0, lanes=len(cell_list), backend=backend)
     started = time.perf_counter()
     kernel = FleetKernel(cell_list, programs, config, backend,
-                         max_steps=max_steps, quota=quota)
+                         max_steps=max_steps, quota=quota,
+                         compaction=compaction)
     rounds = kernel.run()
     wall = time.perf_counter() - started
 

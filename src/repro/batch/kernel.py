@@ -67,8 +67,11 @@ from repro.batch.backend import (
     vector_random,
 )
 from repro.batch.lane import Lane
+from repro.behavior.models import NeverTaken
 from repro.behavior.rng import _MASK64
+from repro.cache.dispatch import REC_LINK_FALL, REC_LINK_TAKEN
 from repro.errors import ReproError
+from repro.isa.opcodes import BranchKind
 
 #: Outcome sentinel for scalar-kind decisions (handled per lane, never
 #: matched by the vectorized O_ADV/O_CYC/O_EXIT apply passes).
@@ -77,6 +80,16 @@ _O_DEFER = 3
 #: Outcome sentinel for a RETURN that leaves the region: the popped
 #: target is dynamic, so the exit goes per-lane with the popped id.
 _O_RETX = 4
+
+#: Outcome code stamped on every CFG arena position: the transfer's
+#: destination is not positional (advance/cycle) but a per-direction
+#: precomputed successor (``a_tnext``/``a_fnext``, -1 = leaves the
+#: region) — applied by the vector round's CFG pass.
+_O_CFG = 5
+
+#: CFG constant-run chain cap — bounds registration cost and keeps one
+#: hop's step count small relative to any step budget.
+_CFG_RUN_CAP = 256
 
 #: Default interp/CFG steps granted per lane per kernel round.  Large
 #: enough to amortize the per-round bookkeeping across the fleet,
@@ -87,8 +100,11 @@ DEFAULT_QUOTA = 512
 #: Below this many trace-walking lanes, a vector round's fixed numpy
 #: overhead exceeds per-lane Python stepping — the run loop falls back
 #: to :meth:`Lane.run_trace_scalar` so a fleet's last stragglers do
-#: not pay array-dispatch cost per simulated step.
-SCALAR_CUTOVER = 3
+#: not pay array-dispatch cost per simulated step.  48 is empirical:
+#: sweeps over chain, SPEC and mixed fleets put the crossover between
+#: ~24 (homogeneous, run-dominated tables) and ~96 (divergent mixed
+#: fleets); 48 is within noise of the best setting for each shape.
+SCALAR_CUTOVER = 48
 
 #: Vector iterations per round.  Active lanes advance up to this many
 #: hop-and-decide cycles before the round's Python complement runs;
@@ -98,6 +114,13 @@ SCALAR_CUTOVER = 3
 #: sweep — a few dozen small array kernels — over several decisions
 #: per lane instead of exactly one.
 VEC_ITERS = 8
+
+#: Lane-compaction cadence (in kernel rounds).  Every this-many rounds
+#: the kernel checks whether the vector-mode lanes have fragmented —
+#: interleaved with scalar/done lanes — and, if so, stably re-sorts
+#: the lane slots by int-coded mode so the vector sweeps gather from a
+#: dense, cache-friendly index range instead of a scattered one.
+COMPACT_EVERY = 16
 
 
 class FleetKernel:
@@ -111,11 +134,20 @@ class FleetKernel:
         backend: str,
         max_steps: Optional[int] = None,
         quota: int = DEFAULT_QUOTA,
+        compaction: bool = True,
     ) -> None:
         self.backend = backend
         self.vectorized = backend == "numpy"
         self.quota = quota
+        #: Lane compaction is a pure scheduling knob (lanes are
+        #: independent, so slot order cannot change results) — but it
+        #: is toggleable so the property suite can prove exactly that.
+        self.compaction = compaction and self.vectorized
+        self.compactions = 0
         self.rounds = 0
+        #: Per-program interp constant-decision span tables, shared by
+        #: every lane of the program (see :meth:`interp_spans`).
+        self._interp_spans: Dict[int, list] = {}
         #: Lane whose Python-side code is (or was last) executing; the
         #: vector sweeps themselves cannot raise ``ReproError``, so an
         #: escaping error is always attributable to this lane.
@@ -170,10 +202,15 @@ class FleetKernel:
         self.remaining = n
 
     # -- arena management (numpy backend) ---------------------------------
-    _ARENA_I64 = ("a_cnt", "a_run_len", "a_run_insts", "a_base", "a_tbl",
-                  "a_pi", "a_slot", "a_pat", "a_adv", "a_cyc", "a_run",
-                  "a_ltk", "a_lfl", "a_xtk", "a_xfl")
-    _ARENA_I8 = ("a_kind", "a_tcode", "a_fcode")
+    #: ``a_tnext``/``a_fnext`` are CFG-only: the absolute arena
+    #: position an internal taken/fall transfer lands on (-1 = the
+    #: transfer leaves the region); ``a_tcyc``/``a_fcyc`` flag the
+    #: internal transfer that cycles back to the region entry.
+    _ARENA_I64 = ("a_cnt", "a_run_len", "a_run_insts", "a_rdst", "a_base",
+                  "a_tbl", "a_pi", "a_slot", "a_pat", "a_adv", "a_cyc",
+                  "a_run", "a_ltk", "a_lfl", "a_xtk", "a_xfl", "a_tnext",
+                  "a_fnext")
+    _ARENA_I8 = ("a_kind", "a_tcode", "a_fcode", "a_tcyc", "a_fcyc")
     #: Per-table pending counters (indexed by ``arena_tidx``): vector
     #: rounds bank region-counter updates here instead of touching
     #: ``Region`` objects per transition; :meth:`fold_table_pending`
@@ -191,16 +228,25 @@ class FleetKernel:
         self._arena_len = 0
         self._arena_cap = cap
         self._table_count = 0
-        #: Trace tables by ``arena_tidx`` — lets the Python complement
-        #: derive a lane's current table from ``a_tbl[l_gpos]`` after
-        #: vectorized linked transitions moved it.
+        #: ``arena_tidx -> {row_offset: ((row, taken), ...)}`` — a CFG
+        #: table's constant-decision runs, for expanding the banked
+        #: ``a_run`` hit counts into walked edges at transfer time.
+        self._cfg_run_edges: Dict[int, dict] = {}
+        #: Walk tables (trace and CFG) by ``arena_tidx`` — lets the
+        #: Python complement derive a lane's current table from
+        #: ``a_tbl[l_gpos]`` after vectorized linked transitions moved
+        #: it.
         self.tables: List[object] = []
-        #: ``id(link list) -> (is_taken_column, arena base)`` — resolves
-        #: an ``on_link_patch`` callback's site to its mirror cell in
-        #: ``a_ltk``/``a_lfl``.  The lists are kept alive by their
-        #: table (itself kept by ``dispatch.trace_tables``), so ids
-        #: cannot be recycled.
-        self._link_cols: Dict[int, Tuple[bool, int]] = {}
+        #: ``id(site container) -> (mode, base)`` — resolves an
+        #: ``on_link_patch`` callback's site to its mirror cell in
+        #: ``a_ltk``/``a_lfl``.  Mode 0/1: a trace table's
+        #: ``link_taken``/``link_fall`` list, ``base`` its arena base
+        #: (the site key is the path position).  Mode 2: a CFG record,
+        #: ``base`` the record's absolute arena position (the site key
+        #: picks the column).  The containers are kept alive by their
+        #: table (itself kept by ``dispatch.trace_tables`` /
+        #: ``dispatch.cfg_tables``), so ids cannot be recycled.
+        self._link_cols: Dict[int, Tuple[int, int]] = {}
 
     @staticmethod
     def _grown(np, array, cap: int):
@@ -286,24 +332,24 @@ class FleetKernel:
                     getattr(self, name).shape[0] * 2))
         table.arena_base = base
         table.arena_tidx = tidx
+        table.arena_entry = base
         self.tables.append(table)
         # Mirror the table's patchable link slots as arena columns so
-        # the vector rounds can chase trace-to-trace links without
+        # the vector rounds can chase region-to-region links without
         # Python: seed from current residency (compile just wired the
-        # slots), then stay in sync through ``on_link_patch``.
-        self._link_cols[id(table.link_taken)] = (True, base)
-        self._link_cols[id(table.link_fall)] = (False, base)
+        # slots), then stay in sync through ``on_link_patch``.  Both
+        # trace and CFG targets mirror (every compiled table has an
+        # arena entry position), so linked transitions never force a
+        # lane off the vector path.
+        self._link_cols[id(table.link_taken)] = (0, base)
+        self._link_cols[id(table.link_fall)] = (1, base)
         a_ltk = self.a_ltk
         a_lfl = self.a_lfl
         for i in range(n):
             lt = table.link_taken[i]
-            a_ltk[base + i] = (
-                lt.arena_base if lt is not None and lt.is_trace else -1
-            )
+            a_ltk[base + i] = lt.arena_entry if lt is not None else -1
             lf = table.link_fall[i]
-            a_lfl[base + i] = (
-                lf.arena_base if lf is not None and lf.is_trace else -1
-            )
+            a_lfl[base + i] = lf.arena_entry if lf is not None else -1
 
         path = table.path
         path0 = table.path0
@@ -315,6 +361,7 @@ class FleetKernel:
         a_cnt = self.a_cnt
         a_run_len = self.a_run_len
         a_run_insts = self.a_run_insts
+        a_rdst = self.a_rdst
         a_base = self.a_base
         a_tbl = self.a_tbl
         a_kind = self.a_kind
@@ -329,6 +376,7 @@ class FleetKernel:
             a_cnt[j] = counts[i]
             a_run_len[j] = run_len[i]
             a_run_insts[j] = run_insts[i]
+            a_rdst[j] = j + run_len[i]
             a_base[j] = base
             a_tbl[j] = tidx
             nxt = path[i + 1] if i + 1 < n else None
@@ -376,26 +424,175 @@ class FleetKernel:
             else:
                 a_fcode[j] = O_EXIT
 
+    def register_cfg_table(self, lane: Lane, table) -> None:
+        """Append a freshly compiled CFG table to the global arena.
+
+        One arena row per block, in ``block_list`` order.  CFG rows
+        reuse the trace rows' decision kinds (the decision itself does
+        not care about region shape) but stamp ``_O_CFG`` as both
+        outcome codes: the destination of a CFG transfer is not
+        positional but a per-direction precomputed successor —
+        ``a_tnext``/``a_fnext`` hold the absolute arena position of an
+        *internal* taken/fall target (-1 when the transfer leaves the
+        region), replicating the reference walker's stays-internal
+        check, and ``a_tcyc``/``a_fcyc`` flag the internal transfer
+        that lands on the region entry (a cycle-back).  Dynamic-target
+        blocks and RETURNs classify scalar: their successor depends on
+        run state (an observed-edge set membership, a popped stack
+        frame), so they defer to the lane's own closure.
+        """
+        if not self.vectorized:
+            return
+        block_list = table.block_list
+        n = len(block_list)
+        base = self._arena_reserve(n)
+        tidx = self._table_count
+        self._table_count += 1
+        if tidx >= self.a_tblcyc.shape[0]:
+            for name in self._TBL_I64:
+                setattr(self, name, self._grown(
+                    self._np, getattr(self, name),
+                    getattr(self, name).shape[0] * 2))
+        table.arena_base = base
+        table.arena_tidx = tidx
+        table.arena_entry = base + table.entry_pos
+        self.tables.append(table)
+
+        index_of = table.index_of
+        blocks = table.blocks
+        entry = table.entry
+        records = table.records
+        vec_desc = lane.vec_desc
+        a_cnt = self.a_cnt
+        a_base = self.a_base
+        a_tbl = self.a_tbl
+        a_kind = self.a_kind
+        a_tcode = self.a_tcode
+        a_fcode = self.a_fcode
+        a_pf = self.a_pf
+        a_pi = self.a_pi
+        a_slot = self.a_slot
+        a_pat = self.a_pat
+        a_tnext = self.a_tnext
+        a_fnext = self.a_fnext
+        a_tcyc = self.a_tcyc
+        a_fcyc = self.a_fcyc
+        a_ltk = self.a_ltk
+        a_lfl = self.a_lfl
+        for i, block in enumerate(block_list):
+            j = base + i
+            rec = records[block]
+            a_cnt[j] = rec[1]
+            a_base[j] = base
+            a_tbl[j] = tidx
+            a_tnext[j] = -1
+            a_fnext[j] = -1
+            lt = rec[REC_LINK_TAKEN]
+            a_ltk[j] = lt.arena_entry if lt is not None else -1
+            lf = rec[REC_LINK_FALL]
+            a_lfl[j] = lf.arena_entry if lf is not None else -1
+            if rec[7]:  # REC_DYNAMIC: successor needs the dynamic target
+                a_kind[j] = K_SCALAR
+                continue
+            self._link_cols[id(rec)] = (2, j)
+            term = block.terminator
+            tt = term.taken_target
+            if tt is not None and tt in blocks:
+                a_tnext[j] = base + index_of[tt]
+                if tt is entry:
+                    a_tcyc[j] = 1
+            fall = block.fallthrough
+            if fall is not None and fall in blocks:
+                a_fnext[j] = base + index_of[fall]
+                if fall is entry:
+                    a_fcyc[j] = 1
+            decide = rec[0]  # REC_DECIDE
+            if decide.__class__ is tuple:
+                a_kind[j] = K_CONST
+                a_pi[j] = 1 if decide[0] else 0
+                a_tcode[j] = _O_CFG
+                a_fcode[j] = _O_CFG
+                continue
+            desc = vec_desc[block.block_id]
+            if desc is None or desc[0] == K_RET:
+                # K_RET pops a dynamic return site — for a trace the
+                # outcome reduces to two id compares against fixed
+                # positions, but a CFG's stays-internal check is a set
+                # membership over the popped block, so it goes scalar.
+                a_kind[j] = K_SCALAR
+                continue
+            kind, pf, pi, slot, pat_base = desc
+            a_kind[j] = kind
+            a_pf[j] = pf
+            a_pi[j] = pi
+            a_slot[j] = slot
+            a_pat[j] = pat_base
+            a_tcode[j] = _O_CFG
+            a_fcode[j] = _O_CFG
+
+        # Second pass: constant-decision chains become static runs, the
+        # CFG analogue of a trace's ``run_len`` — a maximal sequence of
+        # K_CONST rows whose fixed direction stays internal without
+        # cycling back to the entry.  A vector hop consumes the whole
+        # chain in one iteration (``a_rdst`` holds the landing row);
+        # the walked edges bank as one ``a_run`` hit per chain head and
+        # expand at transfer time (``_cfg_run_edges``).  Cycle-back and
+        # external edges end a chain *before* the row that takes them,
+        # so hops never touch region counters.
+        a_run_len = self.a_run_len
+        a_run_insts = self.a_run_insts
+        a_rdst = self.a_rdst
+        run_edges: Dict[int, tuple] = {}
+        for i in range(n):
+            j = base + i
+            if a_kind[j] != K_CONST or a_tcode[j] != _O_CFG:
+                continue
+            steps = 0
+            insts = 0
+            edges = []
+            row = j
+            seen = set()
+            while (a_kind[row] == K_CONST and a_tcode[row] == _O_CFG
+                   and row not in seen and steps < _CFG_RUN_CAP):
+                taken = a_pi[row] != 0
+                nxt = a_tnext[row] if taken else a_fnext[row]
+                cyc = a_tcyc[row] if taken else a_fcyc[row]
+                if nxt < 0 or cyc:
+                    break
+                seen.add(row)
+                steps += 1
+                insts += int(a_cnt[row])
+                edges.append((int(row - base), bool(taken)))
+                row = int(nxt)
+            if steps:
+                a_run_len[j] = steps
+                a_run_insts[j] = insts
+                a_rdst[j] = row
+                run_edges[i] = tuple(edges)
+        if run_edges:
+            self._cfg_run_edges[tidx] = run_edges
+
     def link_patched(self, site, table) -> None:
         """``on_link_patch`` hook: mirror a link-slot patch in the arena.
 
-        Called by a lane's dispatch after every install/retire patch;
-        sites living in CFG records (not mirrored) resolve to nothing.
-        A slot mirrors the linked table's arena base when the link is a
-        trace-to-trace jump the vector rounds can take, -1 otherwise
-        (unlinked, or linked to a CFG table — that transition must
-        rebind the lane to scalar CFG walking, so it stays in Python).
+        Called by a lane's dispatch after every install/retire patch.
+        A slot mirrors the linked table's arena *entry* position (trace
+        or CFG — both are vector-walkable), -1 when unlinked; the site
+        resolves through ``_link_cols``' mode scheme — trace tables
+        mirror per path position (the site key), CFG records per
+        direction column (the site key picks taken vs fall).
         """
         info = self._link_cols.get(id(site.container))
         if info is None:
             return
-        is_taken, base = info
-        if table is not None and table.is_trace:
-            mirrored = table.arena_base
+        mode, base = info
+        mirrored = table.arena_entry if table is not None else -1
+        if mode == 2:
+            column = self.a_ltk if site.key == REC_LINK_TAKEN else self.a_lfl
+            column[base] = mirrored
         else:
-            mirrored = -1
-        column = self.a_ltk if is_taken else self.a_lfl
-        column[base + site.key] = mirrored
+            column = self.a_ltk if mode == 0 else self.a_lfl
+            column[base + site.key] = mirrored
 
     def fold_table_pending(self, table) -> None:
         """Fold the table's pending vector counts into its region.
@@ -448,29 +645,53 @@ class FleetKernel:
         if base < 0:
             return
         np = self._np
-        end = base + table.path_len
-        for column, target in (
-            (self.a_adv[base:end], table.adv),
-            (self.a_cyc[base:end], table.cyc),
-            (self.a_run[base:end], table.run_hits),
-        ):
-            if column.any():
-                for i in np.nonzero(column)[0]:
-                    target[int(i)] += int(column[i])
-                column[:] = 0
-        path = table.path
+        if table.is_trace:
+            blocks_seq = table.path
+            end = base + table.path_len
+            for column, target in (
+                (self.a_adv[base:end], table.adv),
+                (self.a_cyc[base:end], table.cyc),
+                (self.a_run[base:end], table.run_hits),
+            ):
+                if column.any():
+                    for i in np.nonzero(column)[0]:
+                        target[int(i)] += int(column[i])
+                    column[:] = 0
+        else:
+            # CFG rows bank every walked edge — internal moves and
+            # linked departures alike — in the two direction columns
+            # (the walked edge is the same (block, direction-target)
+            # pair either way); there are no positional advance/cycle
+            # counters to merge.  Constant-run hops bank one ``a_run``
+            # hit per chain head instead, expanded here through the
+            # chain's recorded edge list.
+            blocks_seq = table.block_list
+            end = base + len(blocks_seq)
+            run_edges = self._cfg_run_edges.get(table.arena_tidx)
+            if run_edges:
+                column = self.a_run[base:end]
+                if column.any():
+                    for i in np.nonzero(column)[0]:
+                        hits = int(column[i])
+                        for row, tk in run_edges[int(i)]:
+                            block = blocks_seq[row]
+                            edge = (block, block.terminator.taken_target
+                                    if tk else block.fallthrough)
+                            edge_profile[edge] = (
+                                edge_profile.get(edge, 0) + hits)
+                    column[:] = 0
         get = edge_profile.get
         column = self.a_xtk[base:end]
         if column.any():
             for i in np.nonzero(column)[0]:
-                block = path[int(i)]
+                block = blocks_seq[int(i)]
                 edge = (block, block.terminator.taken_target)
                 edge_profile[edge] = get(edge, 0) + int(column[i])
             column[:] = 0
         column = self.a_xfl[base:end]
         if column.any():
             for i in np.nonzero(column)[0]:
-                block = path[int(i)]
+                block = blocks_seq[int(i)]
                 edge = (block, block.fallthrough)
                 edge_profile[edge] = get(edge, 0) + int(column[i])
             column[:] = 0
@@ -507,20 +728,31 @@ class FleetKernel:
         lanes = self.lanes
         rounds = 0
         if self.vectorized:
+            np = self._np
             while self.remaining:
                 rounds += 1
-                n_vec = int((self.l_mode == M_VEC).sum())
-                if n_vec >= SCALAR_CUTOVER:
+                vec_idx = np.nonzero(self.l_mode == M_VEC)[0]
+                # The emptiness check matters when the cutover is 0
+                # (forced-vector runs): an all-interp round has no
+                # vector lanes to sweep or compact.
+                if vec_idx.size and vec_idx.size >= SCALAR_CUTOVER:
+                    if (self.compaction and rounds % COMPACT_EVERY == 0
+                            and int(vec_idx[-1]) - int(vec_idx[0]) + 1
+                            > 2 * vec_idx.size):
+                        self._compact()
                     self._vector_round()
-                elif n_vec:
-                    for lane in lanes:
-                        if lane.mode == M_VEC:
-                            self._err_lane = lane
-                            lane.run_trace_scalar(quota)
-                for lane in lanes:
-                    if lane.mode == M_SCALAR:
+                else:
+                    # Lanes only ever change their own mode, so a
+                    # snapshot of the slot indices stays valid across
+                    # the sweep.
+                    for li in vec_idx.tolist():
+                        lane = lanes[li]
                         self._err_lane = lane
-                        lane.run_scalar(quota)
+                        lane.run_trace_scalar(quota)
+                for li in np.nonzero(self.l_mode == M_SCALAR)[0].tolist():
+                    lane = lanes[li]
+                    self._err_lane = lane
+                    lane.run_scalar(quota)
         else:
             while self.remaining:
                 rounds += 1
@@ -533,6 +765,55 @@ class FleetKernel:
                         lane.run_trace_scalar(quota)
         self.rounds = rounds
         return rounds
+
+    def _compact(self) -> None:
+        """Stably re-sort lane slots by mode for dense vector sweeps.
+
+        Long-running divergent fleets fragment: vector-mode lanes end
+        up interleaved with interpreting and retired ones, so every
+        sweep gathers from a scattered index range.  Re-sorting the
+        slots by int-coded mode (scalar, vector, done) restores a dense
+        active set.  Lanes are mutually independent and this runs only
+        at a round boundary (no pending vector work), so slot order is
+        pure scheduling — results are bit-identical either way, which
+        the property suite proves by toggling ``compaction``.  Every
+        per-lane column moves; the arrays are permuted in place so the
+        ``LaneRng`` adapters' ``states`` reference stays valid, and
+        each lane's ``idx``/``rng.index`` is re-pointed (the decision
+        closures read them dynamically).
+        """
+        np = self._np
+        order = np.argsort(self.l_mode, kind="stable")
+        if bool((order == np.arange(order.size)).all()):
+            return
+        for name in ("l_steps", "l_max", "l_walk", "l_gpos", "l_mode",
+                     "l_cinst", "l_trans", "l_depth", "l_dlim",
+                     "rng_states"):
+            array = getattr(self, name)
+            array[:] = array[order]
+        if self.stk is not None:
+            self.stk[:] = self.stk[order]
+        lanes = self.lanes
+        # In-place permutation: the run loop holds a reference to this
+        # list across rounds.
+        lanes[:] = [lanes[int(j)] for j in order]
+        for i, lane in enumerate(lanes):
+            lane.idx = i
+            lane.rng.index = i
+        self.compactions += 1
+
+    def interp_spans(self, program) -> list:
+        """The program's interp span table, memoized across its lanes.
+
+        Keyed by ``id(program)`` — every lane of a (benchmark, scale)
+        cell shares one finalized ``Program`` object, which the lanes
+        keep alive for the kernel's lifetime.
+        """
+        spans = self._interp_spans.get(id(program))
+        if spans is None:
+            spans = _build_interp_spans(program)
+            self._interp_spans[id(program)] = spans
+        return spans
 
     def _vector_round(self) -> None:
         """Up to ``VEC_ITERS`` lockstep sweeps over trace-walking lanes.
@@ -567,6 +848,7 @@ class FleetKernel:
         stk = self.stk
         a_run_len = self.a_run_len
         a_run_insts = self.a_run_insts
+        a_rdst = self.a_rdst
         a_run = self.a_run
         a_cnt = self.a_cnt
         a_kind = self.a_kind
@@ -585,6 +867,10 @@ class FleetKernel:
         a_lfl = self.a_lfl
         a_xtk = self.a_xtk
         a_xfl = self.a_xfl
+        a_tnext = self.a_tnext
+        a_fnext = self.a_fnext
+        a_tcyc = self.a_tcyc
+        a_fcyc = self.a_fcyc
         t_ec = self.t_ec
         t_xc = self.t_xc
         t_insts = self.t_insts
@@ -621,7 +907,10 @@ class FleetKernel:
                 l_steps[hop_lanes] += hop_span
                 l_walk[hop_lanes] += a_run_insts[hop_pos]
                 a_run[hop_pos] += 1
-                new_pos = hop_pos + hop_span
+                # ``a_rdst`` unifies the two run shapes: trace rows
+                # land positionally (j + run_len), CFG rows on their
+                # constant chain's precomputed landing row.
+                new_pos = a_rdst[hop_pos]
                 l_gpos[hop_lanes] = new_pos
                 gp[hop] = new_pos
 
@@ -642,20 +931,23 @@ class FleetKernel:
             outcome = np.full(act.size, _O_DEFER, dtype=np.int8)
             taken = np.zeros(act.size, dtype=bool)
 
-            mask = kind == K_CONST
-            if mask.any():
+            # One bincount replaces eight mask.any() reductions: only
+            # kinds actually present pay for a mask build + gather.
+            kcnt = np.bincount(kind, minlength=8)
+            if kcnt[K_CONST]:
+                mask = kind == K_CONST
                 g = gp[mask]
                 outcome[mask] = a_tcode[g]
                 taken[mask] = a_pi[g] != 0
-            mask = kind == K_BERN
-            if mask.any():
+            if kcnt[K_BERN]:
+                mask = kind == K_BERN
                 g = gp[mask]
                 draw = vector_random(rng_states, act[mask])
                 t = draw < a_pf[g]
                 outcome[mask] = np.where(t, a_tcode[g], a_fcode[g])
                 taken[mask] = t
-            mask = kind == K_LOOP
-            if mask.any():
+            if kcnt[K_LOOP]:
+                mask = kind == K_LOOP
                 g = gp[mask]
                 slots = a_slot[g]
                 left = site[slots]
@@ -664,8 +956,8 @@ class FleetKernel:
                 site[slots] = np.where(t, left, 0)
                 outcome[mask] = np.where(t, a_tcode[g], a_fcode[g])
                 taken[mask] = t
-            mask = kind == K_PERIODIC
-            if mask.any():
+            if kcnt[K_PERIODIC]:
+                mask = kind == K_PERIODIC
                 g = gp[mask]
                 slots = a_slot[g]
                 cursor = site[slots]
@@ -673,8 +965,8 @@ class FleetKernel:
                 t = pat_arena[a_pat[g] + cursor]
                 outcome[mask] = np.where(t, a_tcode[g], a_fcode[g])
                 taken[mask] = t
-            mask = kind == K_LOOPJ
-            if mask.any():
+            if kcnt[K_LOOPJ]:
+                mask = kind == K_LOOPJ
                 mi = np.nonzero(mask)[0]
                 g = gp[mi]
                 slots = a_slot[g]
@@ -693,8 +985,8 @@ class FleetKernel:
                 site[slots] = np.where(t, left, 0)
                 outcome[mi] = np.where(t, a_tcode[g], a_fcode[g])
                 taken[mi] = t
-            mask = kind == K_CALL
-            if mask.any():
+            if kcnt[K_CALL]:
+                mask = kind == K_CALL
                 mi = np.nonzero(mask)[0]
                 g = gp[mi]
                 ln = act[mi]
@@ -710,8 +1002,8 @@ class FleetKernel:
                     l_depth[lnk] = d[ok] + 1
                     outcome[oki] = a_tcode[gk]
                     taken[oki] = True
-            mask = kind == K_RET
-            if mask.any():
+            if kcnt[K_RET]:
+                mask = kind == K_RET
                 mi = np.nonzero(mask)[0]
                 g = gp[mi]
                 ln = act[mi]
@@ -738,27 +1030,63 @@ class FleetKernel:
                             rl.tolist(), gh[retx].tolist(),
                             tgt[retx].tolist(), l_steps[rl].tolist()))
 
-            adv_m = outcome == O_ADV
-            if adv_m.any():
+            ocnt = np.bincount(outcome, minlength=6)
+            if ocnt[O_ADV]:
+                adv_m = outcome == O_ADV
                 g = gp[adv_m]
                 a_adv[g] += 1
                 l_gpos[act[adv_m]] = g + 1
-            cyc_m = outcome == O_CYC
-            if cyc_m.any():
+            if ocnt[O_CYC]:
+                cyc_m = outcome == O_CYC
                 g = gp[cyc_m]
                 a_cyc[g] += 1
                 a_tblcyc[a_tbl[g]] += 1
                 l_gpos[act[cyc_m]] = a_base[g]
-            cont = adv_m | cyc_m
+            # O_ADV(0) and O_CYC(1) continue; everything else drops out
+            # unless a pass below re-admits it.
+            cont = outcome <= O_CYC
 
-            defer = outcome == _O_DEFER
-            if defer.any():
+            cfg_ext = False
+            if ocnt[_O_CFG]:
+                cfg_m = outcome == _O_CFG
+                # CFG successor pass: internal transfers move to the
+                # precomputed per-direction arena position, bank the
+                # walked edge (and the entry cycle-back, when flagged);
+                # external transfers demote to O_EXIT and fall through
+                # to the shared exit pass below — a CFG departure chases
+                # links and banks stint counters exactly like a trace's.
+                ci = np.nonzero(cfg_m)[0]
+                g = gp[cfg_m]
+                tk = taken[cfg_m]
+                nxt = np.where(tk, a_tnext[g], a_fnext[g])
+                internal = nxt >= 0
+                if internal.any():
+                    gi = g[internal]
+                    tki = tk[internal]
+                    a_xtk[gi[tki]] += 1
+                    a_xfl[gi[~tki]] += 1
+                    cyc_flags = np.where(
+                        tki, a_tcyc[gi], a_fcyc[gi]).astype(np.int64)
+                    a_tblcyc[a_tbl[gi]] += cyc_flags
+                    l_gpos[act[ci[internal]]] = nxt[internal]
+                    cont[ci[internal]] = True
+                external = ~internal
+                if external.any():
+                    outcome[ci[external]] = O_EXIT
+                    cfg_ext = True
+
+            if ocnt[_O_DEFER]:
+                defer = outcome == _O_DEFER
                 dl = act[defer]
                 pend_defer.extend(zip(
                     dl.tolist(), gp[defer].tolist(),
                     l_steps[dl].tolist()))
 
-            exit_js = np.nonzero(outcome == O_EXIT)[0]
+            # Fresh scan, not ``ocnt[O_EXIT]`` alone: the CFG pass just
+            # rewrote external transfers to O_EXIT in place.
+            exit_js = (np.nonzero(outcome == O_EXIT)[0]
+                       if ocnt[O_EXIT] or cfg_ext
+                       else np.empty(0, dtype=np.int64))
             if exit_js.size:
                 # Linked exits — direct region-to-region jumps — stay
                 # vectorized: bank the exited stint in the per-table
@@ -817,3 +1145,64 @@ class FleetKernel:
         for li, gpos, tid, steps in pend_ret:
             self._err_lane = lanes[li]
             lanes[li]._trace_ret_exit(gpos, tid, steps)
+
+
+#: Interp-span chain cap: bounds construction cost and keeps a single
+#: span application's step count small relative to any step budget.
+_SPAN_CAP = 256
+
+
+def _build_interp_spans(program) -> List[Optional[tuple]]:
+    """Constant-decision interp spans, indexed by head block id.
+
+    A span is a maximal chain of *never-taken constant* blocks — plain
+    fallthroughs, or conditionals whose model is exactly
+    :class:`~repro.behavior.models.NeverTaken` — with a live
+    fallthrough target.  Interpreting such a block does fixed work with
+    a statically known outcome: record the fallthrough edge, bump the
+    interp counters, move on.  Crucially the branch is *not taken*, so
+    the interpreter's cache-entry check and selector taken-callbacks
+    never run; the only per-step observer is ``observe_interpreted``,
+    which the lane gates on selector quiescence before applying a span
+    (see ``Lane.run_scalar``).  Taken constants (jumps, always-taken
+    conditionals) end a span: their targets are cache-entry candidates,
+    which depend on run-time residency.
+
+    Entries are ``(steps, insts, edges, final_block)`` — chain length,
+    summed instruction count, the walked ``(block, fallthrough)``
+    edges, and the first non-eligible block, where scalar stepping
+    resumes.  Chains shorter than 2 stay ``None`` (the scalar step is
+    already cheap).  All fields are lane-independent, so one table
+    serves every lane of the program.
+    """
+    blocks = program.blocks
+    spans: List[Optional[tuple]] = [None] * len(blocks)
+
+    def eligible(block) -> bool:
+        if block.fallthrough is None:
+            return False
+        term = block.terminator
+        kind = term.kind
+        if kind is BranchKind.FALLTHROUGH:
+            return True
+        return kind is BranchKind.COND and type(term.model) is NeverTaken
+
+    for head in blocks:
+        if not eligible(head):
+            continue
+        steps = 0
+        insts = 0
+        edges = []
+        seen = set()
+        block = head
+        while (eligible(block) and block not in seen
+               and steps < _SPAN_CAP):
+            seen.add(block)
+            nxt = block.fallthrough
+            steps += 1
+            insts += block.bundle.count
+            edges.append((block, nxt))
+            block = nxt
+        if steps >= 2:
+            spans[head.block_id] = (steps, insts, tuple(edges), block)
+    return spans

@@ -54,19 +54,24 @@ from repro.obs.observer import NULL_OBSERVER
 from repro.program.cfg import BasicBlock
 from repro.program.program import Program
 from repro.selection.base import RegionSelector
+from repro.selection.net import NETSelector
 from repro.selection.registry import make_selector
 from repro.system.results import RunResult, RunStats
 from repro.system.simulator import _raw_hook
 
 
+def _never_idle() -> bool:
+    """Quiescence predicate for selectors with unknown interp hooks."""
+    return False
+
+
 class LaneDispatch(DispatchTable):
-    """Dispatch table that registers trace tables with the kernel arena.
+    """Dispatch table that registers walk tables with the kernel arena.
 
     Compilation (install, or ``table_for`` on a selector-returned
-    region) routes through :meth:`compile`; every fresh trace table is
-    handed to the kernel so its columns join the global SoA arena and
-    the vector rounds can walk it.  CFG tables stay scalar-stepped and
-    need no arena presence.
+    region) routes through :meth:`compile`; every fresh table — trace
+    *and* CFG — is handed to the kernel so its columns join the global
+    SoA arena and the vector rounds can walk it.
     """
 
     def __init__(self, program: Program, decider_for, lane: "Lane") -> None:
@@ -79,7 +84,21 @@ class LaneDispatch(DispatchTable):
         table = super().compile(region)
         if table.is_trace:
             self._lane.kernel.register_table(self._lane, table)
+        else:
+            self._lane.kernel.register_cfg_table(self._lane, table)
         return table
+
+    def retire(self, region):
+        # Fold the table's pending vector counts *before* the region
+        # loses residency: a bounded cache snapshots region stats at
+        # the eviction moment (metrics, ``cache_evicted`` events), and
+        # counts folded after that would resurrect the retired region's
+        # totals.  Folding zeroes the pending slots, so the fold at
+        # lane finish sees nothing to double-count.
+        table = self.tables_by_entry[region.entry.block_id]
+        if table is not None and table.region is region:
+            self._lane.kernel.fold_table_pending(table)
+        super().retire(region)
 
 
 class Lane:
@@ -92,6 +111,7 @@ class Lane:
         "stats", "edge_profile", "edge_get",
         "observe_interpreted", "on_cache_enter", "on_interpreted_taken",
         "on_cache_exit", "on_taken_raw", "on_enter_raw",
+        "interp_idle", "ispan_hits",
         "block", "region", "cur_table", "cur_base", "trace_pos",
         "cur_records", "cur_blocks", "cur_entry",
         "interp_steps", "interp_insts", "cache_insts",
@@ -165,6 +185,24 @@ class Lane:
         self.on_cache_exit = selector.on_cache_exit
         self.on_taken_raw = _raw_hook(selector, "on_interpreted_taken")
         self.on_enter_raw = _raw_hook(selector, "on_cache_enter")
+
+        # Interp span batching (see ``_build_interp_spans``) is legal
+        # only while no observer would see the individual steps:
+        # ``interp_idle`` is None when the selector has no interpreted
+        # hook at all (always idle — the LEI family), a quiescence
+        # predicate when the hook is exactly NET's recorder-gated one
+        # (idle while nothing records), else a constant False (BOA and
+        # other subclasses keep real per-step state).
+        if self.observe_interpreted is None:
+            self.interp_idle = None
+        elif (getattr(self.observe_interpreted, "__func__", None)
+                is NETSelector.observe_interpreted):
+            self.interp_idle = selector.interp_quiescent
+        else:
+            self.interp_idle = _never_idle
+        #: Applied-span counts by head block id; the walked edges fold
+        #: into ``edge_profile`` at finish (order-insensitive sums).
+        self.ispan_hits: Dict[int, int] = {}
 
         self.block: Optional[BasicBlock] = program.entry
         self.region = None
@@ -308,17 +346,21 @@ class Lane:
                     K_CALL, 0.0, site_block.block_id, -1, -1
                 )
 
-                def decide_call(step, _k=kernel, _i=self.idx,
+                # The lane's slot can move under compaction, so the
+                # closure reads ``idx`` through the lane each call
+                # instead of capturing its current value.
+                def decide_call(step, _k=kernel, _lane=self,
                                 _limit=self.engine.max_call_depth,
                                 _pid=site_block.block_id, _r=result):
-                    depth = int(_k.l_depth[_i])
+                    i = _lane.idx
+                    depth = _k.l_depth.item(i)
                     if depth >= _limit:
                         raise ExecutionError(
                             f"call stack overflow (depth {_limit}); "
                             "does a recursive workload lack a base case?"
                         )
-                    _k.stk[_i, depth] = _pid
-                    _k.l_depth[_i] = depth + 1
+                    _k.stk[i, depth] = _pid
+                    _k.l_depth[i] = depth + 1
                     return _r
 
                 return decide_call
@@ -327,15 +369,16 @@ class Lane:
                 self.vec_desc[block.block_id] = (K_RET, 0.0, 0, -1, -1)
                 blocks = self.dispatch.interner.blocks
 
-                def decide_ret(step, _k=kernel, _i=self.idx,
+                def decide_ret(step, _k=kernel, _lane=self,
                                _blocks=blocks):
-                    depth = int(_k.l_depth[_i])
+                    i = _lane.idx
+                    depth = _k.l_depth.item(i)
                     if depth == 0:
                         # Returning from main: target None ends the
                         # program (CallStack.pop's contract).
                         return (True, None)
-                    _k.l_depth[_i] = depth - 1
-                    return (True, _blocks[int(_k.stk[_i, depth - 1])])
+                    _k.l_depth[i] = depth - 1
+                    return (True, _blocks[_k.stk.item(i, depth - 1)])
 
                 return decide_ret
         return self.engine._decider_for(block, self.stack, self.ctx)
@@ -374,6 +417,9 @@ class Lane:
         on_taken_raw = self.on_taken_raw
         on_enter_raw = self.on_enter_raw
         dispatch = self.dispatch
+        interp_spans = kernel.interp_spans(self.program)
+        interp_idle = self.interp_idle
+        ispan_hits = self.ispan_hits
 
         while quota > 0:
             quota -= 1
@@ -387,6 +433,30 @@ class Lane:
                 return
 
             if region is None:
+                # ---- constant-decision span (batched interp) ------------
+                span = interp_spans[block.block_id]
+                if span is not None and (interp_idle is None
+                                         or interp_idle()):
+                    span_steps = span[0]
+                    if steps + span_steps <= max_steps:
+                        # Never-taken constants: no cache-entry check,
+                        # no taken-callbacks, and the interpreted-step
+                        # observer is absent or provably idle — the
+                        # whole chain advances as one bookkeeping
+                        # update.  The walked edges bank by span head
+                        # and fold at finish; the clock lands exactly
+                        # where stepping would have left it.
+                        steps += span_steps
+                        interp_steps += span_steps
+                        interp_insts += span[1]
+                        head_id = block.block_id
+                        ispan_hits[head_id] = (
+                            ispan_hits.get(head_id, 0) + 1
+                        )
+                        if observe_interpreted is not None:
+                            cache.now = steps
+                        block = span[3]
+                        continue
                 # ---- one interpreted step -------------------------------
                 steps += 1
                 decide = deciders[block.block_id]
@@ -532,6 +602,9 @@ class Lane:
         applies the outcome exactly as the fused loop's trace section.
         """
         table = self._sync_vec(gpos)
+        if not table.is_trace:
+            self._cfg_decide_scalar(table, gpos, steps)
+            return
         pos = gpos - self.cur_base
         kernel = self.kernel
         decide = table.deciders[pos]
@@ -553,17 +626,74 @@ class Lane:
             return
         self._trace_leave(table, pos, taken, target, steps)
 
+    def _cfg_decide_scalar(self, table, gpos: int, steps: int) -> None:
+        """One scalar-kind CFG decision (numpy backend).
+
+        The CFG counterpart of :meth:`_trace_decide_scalar` — dynamic
+        targets, RETURN pops and unknown models evaluate the lane's own
+        closure here, then apply the reference walker's stays-internal
+        check verbatim (observed-edge set for dynamic blocks, the block
+        set otherwise).  Internal moves record their edge directly (the
+        vector pass banks them by arena row instead; the profile is an
+        order-insensitive sum either way).
+        """
+        pos = gpos - self.cur_base
+        block = table.block_list[pos]
+        rec = table.records[block]
+        decide = rec[0]  # REC_DECIDE
+        if decide.__class__ is tuple:
+            taken, target = decide
+        else:
+            taken, target = decide(steps)
+        if target is not None and (
+                (target in rec[2])  # REC_STAY
+                if taken else (target in table.blocks)):
+            edge = (block, target)
+            prior = self.edge_get(edge)
+            self.edge_profile[edge] = 1 if prior is None else prior + 1
+            if target is table.entry:
+                self.region.cycle_backs += 1
+            self.kernel.l_gpos[self.idx] = (
+                self.cur_base + table.index_of[target]
+            )
+            self.block = target
+            return
+        self._cfg_leave(table, block, rec, taken, target, steps)
+
+    def _cfg_leave(self, table, block, rec, taken: bool, target,
+                   steps: int) -> None:
+        """Resolve a CFG exit's link slot and leave the region."""
+        if rec[7]:  # REC_DYNAMIC
+            linked = (self.tables_by_entry[target.block_id]
+                      if target is not None else None)
+        elif taken:
+            linked = rec[5]  # REC_LINK_TAKEN
+        else:
+            linked = rec[6]  # REC_LINK_FALL
+        self._leave(block, taken, target, linked, steps)
+
     def _trace_exit_vec(self, gpos: int, taken: bool, steps: int) -> None:
-        """Apply a vector-evaluated trace decision that leaves the region.
+        """Apply a vector-evaluated decision that leaves the region.
 
         The decision itself (and any RNG consumption) already happened
         in the vector round; only the branch *direction* is needed to
         recover the target — never re-evaluate the closure.  Only
         *unlinked* exits land here (the round takes linked ones
         vectorized), so a selector callback follows in ``_leave``.
+        CFG rows land here too (the round demotes their external
+        transfers to the shared exit outcome); their vector-walkable
+        kinds are never dynamic, so the direction determines the
+        target the same way.
         """
         table = self._sync_vec(gpos)
         pos = gpos - self.cur_base
+        if not table.is_trace:
+            block = table.block_list[pos]
+            target = (block.terminator.taken_target if taken
+                      else block.fallthrough)
+            self._cfg_leave(table, block, table.records[block], taken,
+                            target, steps)
+            return
         decide = table.deciders[pos]
         if decide.__class__ is tuple:
             taken, target = decide
@@ -599,17 +729,20 @@ class Lane:
         self._leave(table.path[pos], taken, target, linked, steps)
 
     def run_trace_scalar(self, quota: int) -> None:
-        """Walk the current trace table per lane, in Python.
+        """Walk trace and CFG tables per lane, in Python.
 
-        The fused loop's trace section verbatim — static-run hops, one
-        decision per iteration — against the table's own flat tuples,
-        bounded by ``quota`` iterations per kernel round.  This is the
-        python backend's only trace walker, and the numpy backend's
-        straggler path: when too few lanes remain in trace mode for a
-        vector round to pay for itself, the kernel steps them here
-        (positions translate through ``cur_base``; walked-edge counts
-        go to the table's own lists, which merge with the arena's at
-        fold time).
+        The fused loop's cache sections verbatim — static-run hops, one
+        decision per iteration, and *inline* linked region-to-region
+        transitions — bounded by ``quota`` decisions per kernel round.
+        This is the python backend's only trace walker, and the numpy
+        backend's straggler path: when too few lanes remain in vector
+        mode for a vector round to pay for itself, the kernel steps
+        them here at fused-loop speed.  The hot counters live in locals
+        across region transitions (a linked jump costs a table-local
+        rebind, exactly like the reference loop — not a kernel round
+        trip); they flush to the kernel columns only at the round
+        boundary, at unlinked exits (selector callbacks may install or
+        evict), and at lane retirement.
         """
         kernel = self.kernel
         i = self.idx
@@ -621,73 +754,189 @@ class Lane:
         else:
             table = self.cur_table
             pos = self.trace_pos
-        path = table.path
-        path_len = table.path_len
-        path0 = table.path0
-        deciders = table.deciders
-        counts = table.counts
-        run_len = table.run_len
-        run_insts = table.run_insts
-        run_hits = table.run_hits
-        adv = table.adv
-        cyc = table.cyc
         region = self.region
         steps = int(kernel.l_steps[i])
         walk = int(kernel.l_walk[i])
         max_steps = self.max_steps
-        while quota > 0:
-            quota -= 1
-            if steps >= max_steps:
+        stats = self.stats
+        edge_profile = self.edge_profile
+        edge_get = self.edge_get
+        tables_by_entry = self.tables_by_entry
+        block = self.block
+        while True:
+            if not table.is_trace and not vectorized:
+                # The python backend walks CFG regions in scalar mode
+                # (run_scalar's CFG section): an inline transition that
+                # lands on a CFG table hands the lane over.
+                self.cur_records = table.records
+                self.cur_blocks = table.blocks
+                self.cur_entry = table.entry
+                self._set_mode(M_SCALAR)
                 break
-            span = run_len[pos]
-            if span:
-                remaining = max_steps - steps
-                if span <= remaining:
-                    batch_insts = run_insts[pos]
-                    run_hits[pos] += 1
+            left = False
+            taken = False
+            target = None
+            if table.is_trace:
+                path = table.path
+                path_len = table.path_len
+                path0 = table.path0
+                deciders = table.deciders
+                counts = table.counts
+                run_len = table.run_len
+                run_insts = table.run_insts
+                run_hits = table.run_hits
+                adv = table.adv
+                cyc = table.cyc
+                while quota > 0:
+                    quota -= 1
+                    if steps >= max_steps:
+                        break
+                    span = run_len[pos]
+                    if span:
+                        remaining = max_steps - steps
+                        if span <= remaining:
+                            batch_insts = run_insts[pos]
+                            run_hits[pos] += 1
+                        else:
+                            span = remaining
+                            batch_insts = 0
+                            for j in range(pos, pos + span):
+                                batch_insts += counts[j]
+                                adv[j] += 1
+                        steps += span
+                        walk += batch_insts
+                        pos += span
+                        continue
+                    steps += 1
+                    decide = deciders[pos]
+                    if decide.__class__ is tuple:
+                        taken, target = decide
+                    else:
+                        taken, target = decide(steps)
+                    walk += counts[pos]
+                    next_position = pos + 1
+                    if (next_position < path_len
+                            and target is path[next_position]):
+                        adv[pos] += 1
+                        pos = next_position
+                        continue
+                    if taken and target is path0:
+                        cyc[pos] += 1
+                        region.cycle_backs += 1
+                        pos = 0
+                        continue
+                    left = True
+                    break
+                block = path[pos]
+                if not left:
+                    break
+                if target is None:
+                    linked = None
+                elif table.dyn_exit[pos]:
+                    linked = tables_by_entry[target.block_id]
+                elif taken:
+                    linked = table.link_taken[pos]
                 else:
-                    span = remaining
-                    batch_insts = 0
-                    for j in range(pos, pos + span):
-                        batch_insts += counts[j]
-                        adv[j] += 1
-                steps += span
-                walk += batch_insts
-                pos += span
-                continue
-            steps += 1
-            decide = deciders[pos]
-            if decide.__class__ is tuple:
-                taken, target = decide
+                    linked = table.link_fall[pos]
             else:
-                taken, target = decide(steps)
-            walk += counts[pos]
-            next_position = pos + 1
-            if next_position < path_len and target is path[next_position]:
-                adv[pos] += 1
-                pos = next_position
+                records = table.records
+                blocks = table.blocks
+                entry = table.entry
+                block = table.block_list[pos]
+                rec = None
+                while quota > 0:
+                    quota -= 1
+                    if steps >= max_steps:
+                        break
+                    rec = records[block]
+                    steps += 1
+                    decide = rec[0]  # REC_DECIDE
+                    if decide.__class__ is tuple:
+                        taken, target = decide
+                    else:
+                        taken, target = decide(steps)
+                    walk += rec[1]  # REC_COUNT
+                    if target is not None and (
+                            (target in rec[2])  # REC_STAY
+                            if taken else (target in blocks)):
+                        edge = (block, target)
+                        prior = edge_get(edge)
+                        edge_profile[edge] = (
+                            1 if prior is None else prior + 1)
+                        if target is entry:
+                            region.cycle_backs += 1
+                        block = target
+                        continue
+                    left = True
+                    break
+                pos = table.index_of[block]
+                if not left:
+                    break
+                if rec[7]:  # REC_DYNAMIC
+                    linked = (tables_by_entry[target.block_id]
+                              if target is not None else None)
+                elif taken:
+                    linked = rec[5]  # REC_LINK_TAKEN
+                else:
+                    linked = rec[6]  # REC_LINK_FALL
+
+            if linked is not None:
+                # Linked exit stub, inline: the fused loop's direct
+                # region-to-region jump.  Nothing can observe the
+                # departed region here (selector callbacks only run at
+                # unlinked exits, and eviction folds pending counts in
+                # ``LaneDispatch.retire``), so banked vector counts
+                # need no fold on this path.
+                edge = (block, target)
+                prior = edge_get(edge)
+                edge_profile[edge] = 1 if prior is None else prior + 1
+                region.exit_count += 1
+                region.executed_instructions += walk
+                self.cache_insts += walk
+                walk = 0
+                stats.region_transitions += 1
+                region = linked.region
+                self.region = region
+                self.cur_table = linked
+                region.entry_count += 1
+                pos = 0 if linked.is_trace else linked.entry_pos
+                if vectorized:
+                    self.cur_base = linked.arena_base
+                table = linked
+                block = target
                 continue
-            if taken and target is path0:
-                cyc[pos] += 1
-                region.cycle_backs += 1
-                pos = 0
-                continue
+            # Unlinked exit (or program end): flush and take the shared
+            # slow path — selector callbacks may install or evict.
             kernel.l_steps[i] = steps
             kernel.l_walk[i] = walk
             if vectorized:
                 kernel.l_gpos[i] = self.cur_base + pos
             else:
                 self.trace_pos = pos
-            self.block = path[pos]
-            self._trace_leave(table, pos, taken, target, steps)
-            return
+            self.block = block
+            self._leave(block, taken, target, None, steps)
+            if self.mode != M_VEC:
+                return
+            # (LEI) immediate re-entry into a fresh region: rebind and
+            # keep walking the remaining quota.
+            region = self.region
+            table = self.cur_table
+            walk = 0
+            block = self.block
+            if vectorized:
+                pos = int(kernel.l_gpos[i]) - self.cur_base
+            else:
+                pos = self.trace_pos
+            if quota <= 0:
+                break
+
         kernel.l_steps[i] = steps
         kernel.l_walk[i] = walk
         if vectorized:
             kernel.l_gpos[i] = self.cur_base + pos
         else:
             self.trace_pos = pos
-        self.block = path[pos]
+        self.block = block
         if steps >= max_steps:
             self._finish()
 
@@ -705,16 +954,40 @@ class Lane:
         steps = int(kernel.l_steps[i])
         span = self.max_steps - steps
         pos = gpos - self.cur_base
-        counts = table.counts
-        adv = table.adv
-        batch_insts = 0
-        for j in range(pos, pos + span):
-            batch_insts += counts[j]
-            adv[j] += 1
+        if table.is_trace:
+            counts = table.counts
+            adv = table.adv
+            batch_insts = 0
+            for j in range(pos, pos + span):
+                batch_insts += counts[j]
+                adv[j] += 1
+            kernel.l_steps[i] = steps + span
+            kernel.l_walk[i] += batch_insts
+            kernel.l_gpos[i] += span
+            self.block = table.path[pos + span]
+            self._finish()
+            return
+        # CFG constant-run clip: replay the chain step by step.  Chain
+        # edges are constant-decided, internal and non-cycling by
+        # construction, so only walked edges and instruction counts
+        # accrue — no region counters, no cycle checks.
+        records = table.records
+        block = table.block_list[pos]
+        edge_profile = self.edge_profile
+        edge_get = self.edge_get
+        walk = 0
+        for _ in range(span):
+            rec = records[block]
+            taken, target = rec[0]
+            walk += rec[1]
+            edge = (block, target)
+            prior = edge_get(edge)
+            edge_profile[edge] = 1 if prior is None else prior + 1
+            block = target
         kernel.l_steps[i] = steps + span
-        kernel.l_walk[i] += batch_insts
-        kernel.l_gpos[i] += span
-        self.block = table.path[pos + span]
+        kernel.l_walk[i] += walk
+        kernel.l_gpos[i] = self.cur_base + table.index_of[block]
+        self.block = block
         self._finish()
 
     # -- region transitions ------------------------------------------------
@@ -724,7 +997,7 @@ class Lane:
         kernel = self.kernel
         i = self.idx
         region = self.region
-        if self.cur_table is not None and self.cur_table.is_trace:
+        if self.cur_table is not None:
             # Vector rounds bank region-counter updates per table; the
             # counts must be exact before any selector callback can
             # observe the region.
@@ -785,6 +1058,12 @@ class Lane:
             else:
                 self.trace_pos = 0
             self._set_mode(M_VEC)
+        elif kernel.vectorized:
+            # CFG regions walk vectorized too: enter at the entry
+            # block's arena row and join the next vector round.
+            self.cur_base = table.arena_base
+            kernel.l_gpos[i] = table.arena_entry
+            self._set_mode(M_VEC)
         else:
             self.cur_records = table.records
             self.cur_blocks = table.blocks
@@ -840,6 +1119,21 @@ class Lane:
             kernel.fold_table_pending(table)
             kernel.transfer_arena(table, self.edge_profile)
             table.fold_edges(self.edge_profile)
+        for table in self.dispatch.cfg_tables:
+            kernel.fold_table_pending(table)
+            kernel.transfer_arena(table, self.edge_profile)
+        if self.ispan_hits:
+            # Interp spans banked their walked edges by head block;
+            # replay each span's edge list, weighted by its hit count.
+            spans = kernel.interp_spans(self.program)
+            edge_profile = self.edge_profile
+            edge_get = self.edge_get
+            for head_id, hits in self.ispan_hits.items():
+                for edge in spans[head_id][2]:
+                    prior = edge_get(edge)
+                    edge_profile[edge] = (
+                        hits if prior is None else prior + hits
+                    )
         self.selector.finish()
         diagnostics = getattr(self.selector, "diagnostics", lambda: {})()
         self.result = RunResult(

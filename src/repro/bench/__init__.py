@@ -26,7 +26,14 @@ from repro.bench.harness import (
     run_bench,
     write_bench_run,
 )
-from repro.bench.batch import format_batched_record, run_batched_bench
+from repro.bench.batch import (
+    BATCHED_FLEETS,
+    BatchedFleet,
+    FleetGroup,
+    format_batched_record,
+    run_batched_bench,
+    run_batched_benches,
+)
 from repro.bench.regress import (
     analyze_path,
     analyze_run,
@@ -36,8 +43,11 @@ from repro.bench.regress import (
 from repro.bench.service import format_service_record, run_service_bench
 
 __all__ = [
+    "BATCHED_FLEETS",
     "BENCH_VERSION",
+    "BatchedFleet",
     "BenchWorkload",
+    "FleetGroup",
     "DEFAULT_BASELINE_PATH",
     "QUICK_BASELINE_PATH",
     "default_baseline_path",
@@ -57,5 +67,6 @@ __all__ = [
     "format_service_record",
     "load_trajectory",
     "run_batched_bench",
+    "run_batched_benches",
     "run_service_bench",
 ]

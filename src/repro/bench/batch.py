@@ -1,108 +1,174 @@
-"""Batched-fleet bench workload: the ``batched`` key of BENCH_run.json.
+"""Batched-fleet bench workloads: the ``batched`` list of BENCH_run.json.
 
-One pinned trace-friendly fleet — ``micro:linked_chain`` under the NET
-selector, one lane per seed — measured twice: every cell through the
+Three pinned fleets, each measured twice — every cell through the
 serial fused pipeline, then all cells as a single
-:func:`repro.batch.run_fleet` sweep.  The record carries both walls and
-both aggregate events/sec plus their ratio (``speedup``), and the
+:func:`repro.batch.run_fleet` sweep.  Each record carries both walls
+and both aggregate events/sec plus their ratio (``speedup``), and the
 harness refuses to report a number unless every lane's
 :class:`~repro.metrics.summary.MetricReport` equals its serial twin —
 the bit-identity contract of ``docs/batching.md``, enforced on every
 bench run, not only in the test suite.
 
-The linked-chain fleet is the workload where batching earns its keep:
-region-to-region transitions dominate (the trace-linking fast path),
-so nearly every simulated step stays inside the vectorized rounds.
-Interp-heavy fleets spend their time in the per-lane scalar
-complement and gain little — ``docs/batching.md`` quantifies both.
+The fleets pin the three throughput regimes the kernel is built for:
+
+* ``chain-net-fleet`` — region-to-region transitions dominate (the
+  trace-linking fast path), so nearly every simulated step stays
+  inside the vectorized rounds.  The headline number.
+* ``gzip-net-fleet`` — a SPEC-shaped model: interp warmup into
+  trace-resident steady state, decisions split across constant,
+  Bernoulli and loop kinds.
+* ``mixed-fleet`` — interp, CFG-region and trace cells in one 128-lane
+  fleet; the shape that degraded to 0.4-0.7x before CFG vector rounds
+  and lane compaction, pinned so it cannot quietly regress again.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.errors import ReproError
 from repro.metrics.summary import MetricReport
 from repro.system.simulator import simulate
 
-#: The pinned fleet: (benchmark, selector, lanes, scale).  Lane ``i``
-#: runs seed ``i`` — a seed-stability-shaped sweep.  The quick variant
-#: trims per-lane work, not lane count: fleet-level speedup needs wide
-#: fleets, and CI checks the quick number against the quick baseline.
-BATCHED_BENCHMARK = "micro:linked_chain"
-BATCHED_SELECTOR = "net"
-BATCHED_LANES = 1024
-BATCHED_SCALE = 0.5
-BATCHED_SCALE_QUICK = 0.15
+
+@dataclass(frozen=True)
+class FleetGroup:
+    """One homogeneous slice of a pinned fleet.
+
+    ``lanes`` cells of (benchmark, selector) at ``scale``; lane ``i``
+    of the *fleet* runs seed ``i`` (a seed-stability-shaped sweep).
+    The quick variant substitutes ``quick_scale`` (and ``quick_lanes``
+    when set) — CI checks the quick numbers against the quick
+    baseline, so quick and full records are never cross-compared.
+    """
+
+    benchmark: str
+    selector: str
+    lanes: int
+    scale: float
+    quick_scale: float
+    quick_lanes: Optional[int] = None
+
+    def sized(self, quick: bool) -> Tuple[int, float]:
+        if quick:
+            lanes = self.quick_lanes if self.quick_lanes else self.lanes
+            return lanes, self.quick_scale
+        return self.lanes, self.scale
+
+
+@dataclass(frozen=True)
+class BatchedFleet:
+    """A named, pinned fleet composition."""
+
+    name: str
+    groups: Tuple[FleetGroup, ...]
+
+
+BATCHED_FLEETS: Tuple[BatchedFleet, ...] = (
+    BatchedFleet("chain-net-fleet", (
+        FleetGroup("micro:linked_chain", "net", 1024, 0.5, 0.15),
+    )),
+    BatchedFleet("gzip-net-fleet", (
+        FleetGroup("gzip", "net", 512, 0.5, 0.05, quick_lanes=128),
+    )),
+    BatchedFleet("mixed-fleet", (
+        FleetGroup("micro:linked_chain", "net", 96, 0.5, 0.15),
+        FleetGroup("gzip", "net", 8, 0.05, 0.02),
+        FleetGroup("gzip", "lei", 8, 0.05, 0.02),
+        FleetGroup("gzip", "combined-net", 8, 0.05, 0.02),
+        FleetGroup("gzip", "combined-lei", 8, 0.05, 0.02),
+    )),
+)
 
 
 def run_batched_bench(
+    fleet: Optional[BatchedFleet] = None,
     quick: bool = False,
     config: Optional[SystemConfig] = None,
-    lanes: int = BATCHED_LANES,
+    lanes: Optional[int] = None,
     scale: Optional[float] = None,
     backend: str = "auto",
 ) -> Dict[str, object]:
-    """Measure the pinned fleet serial-vs-batched; returns its record.
+    """Measure one pinned fleet serial-vs-batched; returns its record.
 
     The ``wall_seconds`` / ``events_per_second`` fields describe the
     *batched* pass (so baseline ratio math treats the record like any
     workload); the serial reference rides along as ``serial_*`` and
-    ``speedup`` is their throughput ratio.  Raises
+    ``speedup`` is their throughput ratio.  ``lanes``/``scale``
+    override every group — test hooks for shrinking a fleet.  Raises
     :class:`~repro.errors.ReproError` if any lane's report differs
     from its serial twin.
     """
     from repro.batch import BatchCell, build_fleet_program, get_backend, run_fleet
 
+    if fleet is None:
+        fleet = BATCHED_FLEETS[0]
     config = config if config is not None else SystemConfig()
-    if scale is None:
-        scale = BATCHED_SCALE_QUICK if quick else BATCHED_SCALE
-    cells = [
-        BatchCell(BATCHED_BENCHMARK, BATCHED_SELECTOR, scale=scale, seed=seed)
-        for seed in range(lanes)
-    ]
+    cells: List[BatchCell] = []
+    groups: List[Dict[str, object]] = []
+    for group in fleet.groups:
+        n, s = group.sized(quick)
+        if lanes is not None:
+            n = lanes
+        if scale is not None:
+            s = scale
+        base = len(cells)
+        cells.extend(
+            BatchCell(group.benchmark, group.selector, scale=s, seed=base + k)
+            for k in range(n)
+        )
+        groups.append({
+            "benchmark": group.benchmark,
+            "selector": group.selector,
+            "lanes": n,
+            "scale": s,
+        })
 
-    program = build_fleet_program(BATCHED_BENCHMARK, scale)
+    programs = {}
     serial_reports = {}
     serial_steps = 0
     started = time.perf_counter()
     for cell in cells:
-        result = simulate(program, cell.selector, config, seed=cell.seed)
+        key = (cell.benchmark, cell.scale)
+        if key not in programs:
+            programs[key] = build_fleet_program(cell.benchmark, cell.scale)
+        result = simulate(programs[key], cell.selector, config,
+                          seed=cell.seed)
         serial_steps += (result.stats.interp_steps + result.stats.cache_steps)
         serial_reports[cell] = MetricReport.from_result(result)
     serial_wall = time.perf_counter() - started
 
-    fleet = run_fleet(cells, config=config, backend=backend)
+    fleet_result = run_fleet(cells, config=config, backend=backend)
     mismatched = [
         cell for cell in cells
-        if fleet.reports[cell] != serial_reports[cell]
+        if fleet_result.reports[cell] != serial_reports[cell]
     ]
-    if mismatched or fleet.steps != serial_steps:
+    if mismatched or fleet_result.steps != serial_steps:
         first = mismatched[0] if mismatched else cells[0]
         raise ReproError(
-            f"batched bench fleet is not bit-identical to the serial "
-            f"pipeline ({len(mismatched)} of {lanes} lanes differ; "
-            f"first: {first.benchmark}/{first.selector} seed "
+            f"batched bench fleet {fleet.name!r} is not bit-identical to "
+            f"the serial pipeline ({len(mismatched)} of {len(cells)} lanes "
+            f"differ; first: {first.benchmark}/{first.selector} seed "
             f"{first.seed}) — the kernel is broken, refusing to "
             f"report a throughput number"
         )
 
-    batched_wall = fleet.wall_seconds
+    batched_wall = fleet_result.wall_seconds
     return {
-        "name": "chain-net-fleet",
-        "benchmark": BATCHED_BENCHMARK,
-        "selector": BATCHED_SELECTOR,
-        "lanes": lanes,
-        "scale": scale,
-        "backend": fleet.backend,
+        "name": fleet.name,
+        "groups": groups,
+        "lanes": len(cells),
+        "backend": fleet_result.backend,
         "requested_backend": get_backend(backend),
-        "rounds": fleet.rounds,
-        "steps": fleet.steps,
+        "rounds": fleet_result.rounds,
+        "steps": fleet_result.steps,
         "wall_seconds": round(float(batched_wall), 6),
         "events_per_second": (
-            round(fleet.steps / batched_wall, 1) if batched_wall > 0 else 0.0
+            round(fleet_result.steps / batched_wall, 1)
+            if batched_wall > 0 else 0.0
         ),
         "serial_wall_seconds": round(float(serial_wall), 6),
         "serial_events_per_second": (
@@ -115,10 +181,27 @@ def run_batched_bench(
     }
 
 
+def run_batched_benches(
+    quick: bool = False,
+    config: Optional[SystemConfig] = None,
+    backend: str = "auto",
+) -> List[Dict[str, object]]:
+    """Measure every pinned fleet; returns the ``batched`` record list."""
+    return [
+        run_batched_bench(fleet, quick=quick, config=config, backend=backend)
+        for fleet in BATCHED_FLEETS
+    ]
+
+
 def format_batched_record(record: Dict[str, object]) -> str:
     """One summary line for the bench table."""
+    groups = record.get("groups") or ()
+    if len(groups) == 1:
+        shape = f"{groups[0]['benchmark']}/{groups[0]['selector']}"
+    else:
+        shape = f"{len(groups)} cell groups"
     return (
-        f"batched fleet {record['benchmark']}/{record['selector']} "
+        f"batched fleet {record['name']} [{shape}] "
         f"({record['lanes']} lanes, {record['backend']}): "
         f"{record['events_per_second']:,.0f} events/s batched vs "
         f"{record['serial_events_per_second']:,.0f} serial "

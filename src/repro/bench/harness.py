@@ -158,10 +158,13 @@ def run_bench(
     ``service`` key (see :mod:`repro.bench.service`); the CLI turns it
     on by default, library callers opt in.
 
-    ``batched=True`` additionally measures the pinned batched fleet —
-    serial fused versus one vectorized sweep, with an in-harness
+    ``batched=True`` additionally measures the pinned batched fleets —
+    serial fused versus one vectorized sweep each, with an in-harness
     bit-identity assertion — under the ``batched`` key (see
-    :mod:`repro.bench.batch`); same CLI-on/library-off default.
+    :mod:`repro.bench.batch`); same CLI-on/library-off default.  The
+    key is *always* a list: empty when the fleets were skipped, so a
+    later ``--check`` against this run never trips over a
+    shape-shifting schema (dict, ``None``, list).
     """
     if workloads is None:
         workloads = QUICK_WORKLOADS if quick else STANDARD_WORKLOADS
@@ -175,11 +178,11 @@ def run_bench(
         from repro.bench.service import run_service_bench
 
         service_record = run_service_bench(quick=quick)
-    batched_record = None
+    batched_records: List[Dict[str, object]] = []
     if batched:
-        from repro.bench.batch import run_batched_bench
+        from repro.bench.batch import run_batched_benches
 
-        batched_record = run_batched_bench(quick=quick)
+        batched_records = run_batched_benches(quick=quick)
     total_wall = sum(float(r["wall_seconds"]) for r in records)
     total_steps = sum(int(r["steps"]) for r in records)
     return {
@@ -191,7 +194,7 @@ def run_bench(
         "quick": bool(quick),
         "workloads": records,
         "service": service_record,
-        "batched": batched_record,
+        "batched": batched_records,
         "totals": {
             "wall_seconds": round(total_wall, 6),
             "steps": total_steps,
@@ -249,11 +252,13 @@ def format_bench_table(run: Dict[str, object],
         from repro.bench.service import format_service_record
 
         lines.append(format_service_record(run["service"]))
-    if run.get("batched"):
-        from repro.bench.batch import format_batched_record
+    from repro.bench.baseline import batched_records
+    from repro.bench.batch import format_batched_record
 
-        batched_line = format_batched_record(run["batched"])
-        delta = (deltas or {}).get("batched")
+    batched_deltas = (deltas or {}).get("batched") or {}
+    for record in batched_records(run.get("batched")):
+        batched_line = format_batched_record(record)
+        delta = batched_deltas.get(record["name"])
         if delta is not None:
             ratio = delta["events_per_second_ratio"]
             batched_line += f" [{(ratio - 1) * 100:+.1f}% vs baseline]"

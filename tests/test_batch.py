@@ -21,6 +21,7 @@ from repro.batch import (
     run_fleet,
 )
 from repro.batch import backend as backend_mod
+from repro.batch import kernel as kernel_mod
 from repro.batch.backend import LaneRng
 from repro.behavior.rng import SplitMix64
 from repro.config import SystemConfig
@@ -33,6 +34,21 @@ from repro.system.simulator import simulate
 BACKENDS = available_backends()
 
 needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+
+@pytest.fixture(params=["vector", "cutover"])
+def lane_regime(request, monkeypatch):
+    """Run the identity suite under both kernel regimes.
+
+    ``SCALAR_CUTOVER`` sends small fleets down the per-lane scalar
+    fallback, so a test-sized fleet would never exercise the vector
+    rounds at all; the ``vector`` regime forces the cutover to zero so
+    the same fleets run the full vectorized path, and ``cutover``
+    keeps the shipped default (all-scalar at these sizes).
+    """
+    if request.param == "vector":
+        monkeypatch.setattr(kernel_mod, "SCALAR_CUTOVER", 0)
+    return request.param
 
 
 def serial_report(cell: BatchCell, config=None, max_steps=None) -> MetricReport:
@@ -122,6 +138,7 @@ class TestLaneRngEquivalence:
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.usefixtures("lane_regime")
 class TestFleetBitIdentity:
     def test_micro_motifs_all_selectors(self, backend):
         cells = [
@@ -214,6 +231,91 @@ class TestFleetResultAndEvents:
         assert finished[0].payload["steps"] > 0
 
 
+class TestRetireBeforeFold:
+    """Mid-run eviction folds pending vector counts *first*.
+
+    A bounded cache snapshots region stats at the eviction moment (the
+    ``cache_evicted`` event, regeneration accounting); counts still
+    banked in the kernel's arena columns at that point must be folded
+    into the region before it loses residency — folding later would
+    resurrect a retired region's totals, folding twice would double
+    count.  The spy holds the batched pipeline to the serial oracle at
+    every single eviction, not just at end of run.
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("policy", ["flush", "fifo"])
+    def test_eviction_moment_stats_match_serial(self, backend, policy,
+                                                monkeypatch):
+        from repro.cache.codecache import BoundedCodeCache
+
+        monkeypatch.setattr(kernel_mod, "SCALAR_CUTOVER", 0)
+        by_cache = {}
+        orig = BoundedCodeCache._retire_region
+
+        def spy(cache, victim, evict_policy):
+            orig(cache, victim, evict_policy)
+            by_cache.setdefault(id(cache), []).append((
+                victim.entry.full_label, evict_policy,
+                victim.entry_count, victim.exit_count,
+                victim.cycle_backs, victim.executed_instructions,
+            ))
+
+        monkeypatch.setattr(BoundedCodeCache, "_retire_region", spy)
+        config = SystemConfig(cache_capacity_bytes=500,
+                              cache_eviction_policy=policy)
+        cells = ([BatchCell("gzip", "net", scale=0.05, seed=seed)
+                  for seed in (3, 7)]
+                 + [BatchCell("bzip2", "net", scale=0.1, seed=3)])
+        serial_seqs = []
+        for cell in cells:
+            by_cache.clear()
+            program = build_fleet_program(cell.benchmark, cell.scale)
+            simulate(program, cell.selector, config, seed=cell.seed)
+            assert len(by_cache) <= 1
+            serial_seqs.extend(by_cache.values())
+        assert serial_seqs, "workloads too small to trigger eviction"
+        by_cache.clear()
+        run_fleet(cells, config=config, backend=backend)
+        assert sorted(by_cache.values()) == sorted(serial_seqs)
+
+
+class TestCompactionIdentity:
+    """Lane compaction re-sorts slots without disturbing any lane."""
+
+    def _fragmenting_cells(self):
+        # Two long lanes pinned to the extreme slots with short lanes
+        # between them: the shorts finish early, leaving the vector-mode
+        # survivors spanning the whole slot range (span >> 2 * count,
+        # the kernel's fragmentation trigger).
+        return [
+            BatchCell("micro:linked_chain", "net",
+                      scale=0.5 if seed in (0, 15) else 0.02, seed=seed)
+            for seed in range(16)
+        ]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_compaction_toggle_is_bit_identical(self, backend, monkeypatch):
+        monkeypatch.setattr(kernel_mod, "SCALAR_CUTOVER", 0)
+        monkeypatch.setattr(kernel_mod, "COMPACT_EVERY", 1)
+        compactions = []
+        orig = kernel_mod.FleetKernel._compact
+
+        def spy(kernel):
+            compactions.append(kernel.rounds)
+            orig(kernel)
+
+        monkeypatch.setattr(kernel_mod.FleetKernel, "_compact", spy)
+        cells = self._fragmenting_cells()
+        on = run_fleet(cells, backend=backend, compaction=True)
+        off = run_fleet(cells, backend=backend, compaction=False)
+        if backend == "numpy":
+            assert compactions, "fleet never fragmented; test is inert"
+        for cell in cells:
+            assert on.reports[cell] == off.reports[cell]
+            assert on.reports[cell] == serial_report(cell)
+
+
 class TestErrorContextParity:
     """A fleet abort carries the same diagnostic context as a serial one."""
 
@@ -228,6 +330,7 @@ class TestErrorContextParity:
         monkeypatch.setattr(ExecutionEngine, "__init__", patched)
 
     @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.usefixtures("lane_regime")
     def test_call_overflow_matches_serial(self, tiny_call_depth, backend):
         program = build_fleet_program("micro:recursion", 0.3)
         with pytest.raises(ExecutionError) as serial_exc:

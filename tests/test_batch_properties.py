@@ -11,10 +11,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.batch import BatchCell, run_fleet
+from repro.batch import BatchCell, available_backends, run_fleet
+from repro.batch import kernel as kernel_mod
 from repro.metrics.summary import MetricReport
 from repro.system.simulator import simulate
 from repro.batch.fleet import build_fleet_program
+
+BACKENDS = available_backends()
 
 #: A small, heterogeneous grid: three motifs with different region
 #: shapes (loop nest, self loop, trace chain) across two selectors.
@@ -53,6 +56,61 @@ def test_any_partition_matches_serial(oracle, groups, order):
         fleet = run_fleet(batch)
         merged.update(fleet.reports)
     assert merged == oracle
+
+
+#: Mixed-mode pool: trace-resident chains (`net` installs traces), CFG
+#: region cells (the combined selectors install multi-path regions),
+#: and interp-heavy cells (tiny scales finish before regions dominate).
+#: Any subset in any lane order must land every execution mode the
+#: kernel distinguishes next to every other one.
+MIXED_POOL = tuple(
+    BatchCell(f"micro:{motif}", selector, scale=scale, seed=seed)
+    for motif, selector, scale, seed in (
+        ("linked_chain", "net", 0.2, 1),
+        ("linked_chain", "net", 0.2, 2),
+        ("figure3", "combined-net", 0.2, 1),
+        ("figure4", "combined-lei", 0.2, 1),
+        ("self_loop", "combined-net", 0.2, 1),
+        ("alternating", "lei", 0.05, 1),
+        ("recursion", "net", 0.1, 1),
+        ("figure2", "net", 0.05, 1),
+    )
+)
+
+
+@pytest.fixture(scope="module")
+def mixed_oracle():
+    reports = {}
+    for cell in MIXED_POOL:
+        program = build_fleet_program(cell.benchmark, cell.scale)
+        reports[cell] = MetricReport.from_result(
+            simulate(program, cell.selector, seed=cell.seed)
+        )
+    return reports
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    order=st.permutations(range(len(MIXED_POOL))),
+    size=st.integers(min_value=2, max_value=len(MIXED_POOL)),
+    compaction=st.booleans(),
+    backend=st.sampled_from(BACKENDS),
+    cutover=st.sampled_from((0, kernel_mod.SCALAR_CUTOVER)),
+)
+def test_mixed_mode_interleavings_match_serial(mixed_oracle, order, size,
+                                               compaction, backend, cutover):
+    """Any interleaving of CFG, interp and trace lanes, with compaction
+    on or off and the vector path forced or cut over, is bit-identical
+    to the serial oracle on every available backend."""
+    cells = [MIXED_POOL[i] for i in order[:size]]
+    old = kernel_mod.SCALAR_CUTOVER
+    kernel_mod.SCALAR_CUTOVER = cutover
+    try:
+        fleet = run_fleet(cells, backend=backend, compaction=compaction)
+    finally:
+        kernel_mod.SCALAR_CUTOVER = old
+    for cell in cells:
+        assert fleet.reports[cell] == mixed_oracle[cell]
 
 
 @settings(max_examples=8, deadline=None)

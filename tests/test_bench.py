@@ -158,7 +158,7 @@ class TestBenchCli:
 
 
 class TestBatchedBench:
-    """The batched-fleet bench record and its baseline comparison."""
+    """The batched-fleet bench records and their baseline comparison."""
 
     @pytest.fixture(scope="class")
     def fleet_record(self):
@@ -168,9 +168,24 @@ class TestBatchedBench:
         # assertion are what's under test, not throughput.
         return run_batched_bench(lanes=8, scale=0.05)
 
+    def test_pinned_fleets(self):
+        from repro.bench import BATCHED_FLEETS
+
+        names = [fleet.name for fleet in BATCHED_FLEETS]
+        assert len(names) == len(set(names))
+        assert "chain-net-fleet" in names
+        assert "mixed-fleet" in names
+        mixed = next(f for f in BATCHED_FLEETS if f.name == "mixed-fleet")
+        # The pinned mixed fleet must keep all three cell shapes: trace
+        # (chain), interp-heavy SPEC, and CFG-region (combined-*).
+        selectors = {g.selector for g in mixed.groups}
+        assert {"net", "combined-net"} <= selectors
+        assert sum(g.lanes for g in mixed.groups) == 128
+
     def test_record_schema(self, fleet_record):
         assert fleet_record["name"] == "chain-net-fleet"
         assert fleet_record["lanes"] == 8
+        assert fleet_record["groups"][0]["benchmark"] == "micro:linked_chain"
         assert fleet_record["identical"] is True
         assert fleet_record["steps"] > 0
         assert fleet_record["events_per_second"] > 0
@@ -183,54 +198,93 @@ class TestBatchedBench:
 
         line = format_batched_record(fleet_record)
         assert "batched fleet" in line
-        assert fleet_record["benchmark"] in line
+        assert fleet_record["groups"][0]["benchmark"] in line
         assert "\n" not in line
 
     def test_baseline_without_batched_record_compares_none(self, tiny_run,
                                                            fleet_record):
         run = json.loads(json.dumps(tiny_run))
-        run["batched"] = fleet_record
+        run["batched"] = [fleet_record]
         deltas = compare_to_baseline(run, tiny_run)
         assert deltas["batched"] is None
         assert regression_failures(deltas) == []
 
     def test_matching_batched_records_compare(self, tiny_run, fleet_record):
         run = json.loads(json.dumps(tiny_run))
-        run["batched"] = fleet_record
+        run["batched"] = [fleet_record]
         deltas = compare_to_baseline(run, run)
-        assert deltas["batched"]["events_per_second_ratio"] == 1.0
+        ratios = deltas["batched"]["chain-net-fleet"]
+        assert ratios["events_per_second_ratio"] == 1.0
 
     def test_fleet_shape_mismatch_compares_none(self, tiny_run,
                                                 fleet_record):
         run = json.loads(json.dumps(tiny_run))
-        run["batched"] = fleet_record
+        run["batched"] = [fleet_record]
         other = json.loads(json.dumps(run))
-        other["batched"]["lanes"] = 1024
+        other["batched"][0]["groups"][0]["lanes"] = 1024
         deltas = compare_to_baseline(run, other)
         assert deltas["batched"] is None
 
+    def test_legacy_single_record_baseline_still_compares(self, tiny_run,
+                                                          fleet_record):
+        # Baselines pinned before the fleet list existed stored one
+        # dict without a groups key; the normalizer upgrades both
+        # sides, so the comparison still lands by name.
+        run = json.loads(json.dumps(tiny_run))
+        run["batched"] = [fleet_record]
+        legacy = json.loads(json.dumps(tiny_run))
+        old = {k: v for k, v in fleet_record.items() if k != "groups"}
+        group = fleet_record["groups"][0]
+        old.update(benchmark=group["benchmark"], selector=group["selector"],
+                   scale=group["scale"])
+        legacy["batched"] = old
+        deltas = compare_to_baseline(run, legacy)
+        ratios = deltas["batched"]["chain-net-fleet"]
+        assert ratios["events_per_second_ratio"] == 1.0
+
+    def test_skipped_batched_stays_schema_consistent(self, tiny_run):
+        # A --no-batched (or numpy-less) run records an empty list, and
+        # a later --check against it must not fail on the missing key —
+        # the regression gate simply has no fleet ratios to score.
+        run = json.loads(json.dumps(tiny_run))
+        run["batched"] = []
+        baseline = json.loads(json.dumps(tiny_run))
+        baseline["batched"] = []
+        deltas = compare_to_baseline(run, baseline)
+        assert deltas["batched"] is None
+        assert regression_failures(deltas) == []
+
     def test_batched_regression_is_flagged(self, tiny_run, fleet_record):
         run = json.loads(json.dumps(tiny_run))
-        run["batched"] = fleet_record
+        run["batched"] = [fleet_record]
         slower = json.loads(json.dumps(run))
-        slower["batched"]["events_per_second"] /= 3
+        slower["batched"][0]["events_per_second"] /= 3
         failures = regression_failures(compare_to_baseline(slower, run))
         assert any("batched fleet" in failure for failure in failures)
 
     def test_cli_records_batched_run(self, tmp_path, monkeypatch):
-        # Patch the fleet workload down to test size; the CLI default
-        # (batched on) must thread the record into the run file.
+        # Patch the fleet workloads down to test size; the CLI default
+        # (batched on) must thread the records into the run file.
         import repro.bench.batch as batch_mod
 
         real = batch_mod.run_batched_bench
         monkeypatch.setattr(
-            batch_mod, "run_batched_bench",
-            lambda quick=False: real(lanes=8, scale=0.05),
+            batch_mod, "run_batched_benches",
+            lambda quick=False, config=None, backend="auto":
+                [real(lanes=4, scale=0.05, quick=quick)],
         )
         out = tmp_path / "run.json"
         code = cli_main(["bench", "--quick", "--no-baseline",
                          "--out", str(out)])
         assert code == 0
         run = json.loads(out.read_text())
-        assert run["batched"]["name"] == "chain-net-fleet"
-        assert run["batched"]["identical"] is True
+        assert isinstance(run["batched"], list)
+        assert run["batched"][0]["name"] == "chain-net-fleet"
+        assert run["batched"][0]["identical"] is True
+
+    def test_no_batched_records_empty_list(self, tmp_path):
+        out = tmp_path / "run.json"
+        code = cli_main(["bench", "--quick", "--no-baseline",
+                         "--no-batched", "--out", str(out)])
+        assert code == 0
+        assert json.loads(out.read_text())["batched"] == []
