@@ -9,18 +9,25 @@ returning per-cell :class:`~repro.metrics.summary.MetricReport` and
 coordinates.  Lanes never interact — every lane has its own cache,
 selector, RNG stream and edge profile — so any partition of a cell
 list into fleets yields the same per-cell results (the hypothesis
-property in ``tests/test_batch_properties.py``).
+property in ``tests/test_batch_properties.py``), and so does any
+admission schedule: ``max_lanes`` bounds the number of *live* lanes,
+the kernel streams the remaining cells from a queue into slots as
+lanes settle, and per-cell results are independent of queue order,
+``max_lanes`` and refill timing.
 
 Programs are shared: cells with the same ``(benchmark, scale)`` walk
 one immutable :class:`~repro.program.program.Program` instance (blocks
 are read-only during simulation; all mutable per-run state lives in
-the lane).  Benchmark names accept the same ``micro:`` prefix as the
-bench harness, building a motif program instead of a SPEC model.
+the lane).  Streaming runs build programs lazily and release them once
+no live lane shares them, so memory tracks the active set.  Benchmark
+names accept the same ``micro:`` prefix as the bench harness, building
+a motif program instead of a SPEC model.
 
 Observability happens at batch granularity — ``fleet_started``, one
-``fleet_lane_finished`` per cell, ``fleet_finished`` — matching the
-job-engine convention that fleet-level events carry step 0 and order
-by their ``ts``/``seq`` stamps.
+``fleet_refill`` per queue admission, one ``fleet_lane_finished`` per
+cell, ``fleet_finished`` — matching the job-engine convention that
+fleet-level events carry step 0 and order by their ``ts``/``seq``
+stamps.
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ from typing import Dict, Iterable, Optional, Tuple
 from repro.batch.backend import get_backend
 from repro.batch.kernel import DEFAULT_QUOTA, FleetKernel
 from repro.config import SystemConfig
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReproError
 from repro.metrics.summary import MetricReport
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.system.results import RunResult
@@ -64,8 +71,17 @@ class FleetResult:
     #: Aggregate simulation steps across every lane.
     steps: int
     wall_seconds: float
+    #: Live-lane bound the kernel ran with (== ``lanes`` when the
+    #: whole fleet fit at once).
+    max_lanes: int = 0
+    #: Queue admissions into freed slots (0 for non-streaming runs).
+    refills: int = 0
+    #: Cells that settled as failed under ``on_error="continue"``.
+    errors: int = 0
     reports: Dict[BatchCell, MetricReport] = field(default_factory=dict)
     results: Dict[BatchCell, RunResult] = field(default_factory=dict)
+    #: Per-cell contained errors (``on_error="continue"`` only).
+    failures: Dict[BatchCell, ReproError] = field(default_factory=dict)
 
     @property
     def events_per_second(self) -> float:
@@ -91,6 +107,8 @@ def run_fleet(
     observer: Optional[Observer] = None,
     quota: int = DEFAULT_QUOTA,
     compaction: bool = True,
+    max_lanes: Optional[int] = None,
+    on_error: str = "raise",
 ) -> FleetResult:
     """Run every cell as one batched fleet; results match the serial
     pipeline bit for bit.
@@ -98,10 +116,17 @@ def run_fleet(
     ``backend`` is ``"auto"`` (numpy when installed, else the pure
     Python fallback), ``"numpy"`` or ``"python"`` — see
     :func:`repro.batch.backend.get_backend`.  ``max_steps`` bounds
-    every lane (default: the engine's standard budget); ``quota`` caps
-    interp/CFG steps per lane per kernel round and ``compaction``
-    toggles periodic lane re-sorting by mode (both are scheduling
-    knobs — they cannot change results, only wall time).
+    every lane (default: the engine's standard budget).  ``max_lanes``
+    caps the *live* lane population: with more cells than lanes the
+    kernel streams the remainder from a queue, re-seeding each slot
+    the moment its lane settles, so memory is bounded by ``max_lanes``
+    and the vector population stays wide while the queue lasts.
+    ``quota`` caps interp/CFG steps per lane per kernel round and
+    ``compaction`` toggles periodic lane re-sorting by mode.  All
+    three are scheduling knobs — they cannot change results, only wall
+    time.  ``on_error="continue"`` contains a failing cell (its
+    enriched error lands in ``FleetResult.failures``) instead of
+    aborting the fleet.
     """
     backend = get_backend(backend)
     config = config if config is not None else SystemConfig()
@@ -109,31 +134,32 @@ def run_fleet(
     cell_list: Tuple[BatchCell, ...] = tuple(cells)
     if not cell_list:
         raise ConfigError("run_fleet needs at least one cell")
+    if max_lanes is not None and max_lanes < 1:
+        raise ConfigError(f"max_lanes must be >= 1, got {max_lanes}")
+    if on_error not in ("raise", "continue"):
+        raise ConfigError(
+            f"on_error must be 'raise' or 'continue', got {on_error!r}")
     seen = set()
     for cell in cell_list:
         if cell in seen:
             raise ConfigError(f"duplicate fleet cell {cell!r}")
         seen.add(cell)
 
-    programs: Dict[Tuple[str, float], object] = {}
-    for cell in cell_list:
-        key = (cell.benchmark, cell.scale)
-        if key not in programs:
-            programs[key] = build_fleet_program(cell.benchmark, cell.scale)
-
-    obs.event("fleet_started", 0, lanes=len(cell_list), backend=backend)
-    started = time.perf_counter()
-    kernel = FleetKernel(cell_list, programs, config, backend,
-                         max_steps=max_steps, quota=quota,
-                         compaction=compaction)
-    rounds = kernel.run()
-    wall = time.perf_counter() - started
-
     fleet = FleetResult(backend=backend, lanes=len(cell_list),
-                        rounds=rounds, steps=0, wall_seconds=wall)
+                        rounds=0, steps=0, wall_seconds=0.0)
     total_steps = 0
-    for lane in kernel.lanes:
+
+    def settled(lane, error):
+        nonlocal total_steps
         cell = lane.cell
+        if error is not None:
+            fleet.failures[cell] = error
+            obs.event(
+                "fleet_lane_failed", 0,
+                benchmark=cell.benchmark, selector=cell.selector,
+                scale=cell.scale, seed=cell.seed, error=str(error),
+            )
+            return
         fleet.reports[cell] = lane.report
         fleet.results[cell] = lane.result
         steps = lane.engine.steps_executed
@@ -143,7 +169,39 @@ def run_fleet(
             benchmark=cell.benchmark, selector=cell.selector,
             scale=cell.scale, seed=cell.seed, steps=steps,
         )
+
+    def admitted(cell, slot, initial):
+        if initial:
+            return
+        # ``kernel`` is bound by the time any refill can happen:
+        # initial admissions (the only ones inside the constructor)
+        # returned above.
+        obs.event(
+            "fleet_refill", 0,
+            benchmark=cell.benchmark, selector=cell.selector,
+            scale=cell.scale, seed=cell.seed, slot=slot,
+            settled=kernel.settled, queued=len(kernel.queue),
+            active=kernel.active,
+        )
+
+    obs.event("fleet_started", 0, lanes=len(cell_list), backend=backend)
+    started = time.perf_counter()
+    kernel = FleetKernel(cell_list, build_fleet_program, config, backend,
+                         max_steps=max_steps, quota=quota,
+                         compaction=compaction, max_lanes=max_lanes,
+                         on_error=on_error, on_settle=settled,
+                         on_admit=admitted)
+    rounds = kernel.run()
+    wall = time.perf_counter() - started
+
+    fleet.rounds = rounds
     fleet.steps = total_steps
+    fleet.wall_seconds = wall
+    fleet.max_lanes = kernel.max_lanes
+    fleet.refills = kernel.refills
+    fleet.errors = kernel.errors
     obs.event("fleet_finished", 0, lanes=len(cell_list), backend=backend,
-              rounds=rounds, steps=total_steps, wall_seconds=wall)
+              rounds=rounds, steps=total_steps, wall_seconds=wall,
+              max_lanes=kernel.max_lanes, refills=kernel.refills,
+              errors=kernel.errors)
     return fleet

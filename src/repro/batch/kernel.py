@@ -46,7 +46,8 @@ lane equal to a serial ``simulate`` run for the same cell.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.batch.backend import (
     K_BERN,
@@ -57,6 +58,7 @@ from repro.batch.backend import (
     K_PERIODIC,
     K_RET,
     K_SCALAR,
+    M_DONE,
     M_SCALAR,
     M_VEC,
     O_ADV,
@@ -124,17 +126,37 @@ COMPACT_EVERY = 16
 
 
 class FleetKernel:
-    """Advance a fleet of lanes to completion over shared SoA state."""
+    """Advance a fleet of lanes to completion over shared SoA state.
+
+    The kernel is a *streaming scheduler*: it holds at most
+    ``max_lanes`` live lanes (SoA columns are sized to that), feeds
+    them from a cell queue, and re-seeds a slot in place the moment its
+    lane settles (:meth:`lane_done` → :meth:`_admit`) so the active set
+    stays above ``SCALAR_CUTOVER`` until the queue drains instead of
+    decaying into the scalar tail.  Settling is incremental — the
+    ``on_settle`` callback receives each finished lane's report, the
+    lane object is dropped, and its shared-state footprint (arena
+    spans, table indices, link-mirror entries, branch-model site slots,
+    its program when no other live lane shares it) is recycled — so
+    memory is bounded by ``max_lanes``, not by the total cell count.
+    Lanes never interact, so admission order, ``max_lanes`` and refill
+    timing are pure scheduling: per-cell results are bit-identical for
+    every queue schedule (the hypothesis property suite proves it).
+    """
 
     def __init__(
         self,
         cells,
-        programs: Dict[Tuple[str, float], object],
+        program_for: Callable[[str, float], object],
         config,
         backend: str,
         max_steps: Optional[int] = None,
         quota: int = DEFAULT_QUOTA,
         compaction: bool = True,
+        max_lanes: Optional[int] = None,
+        on_error: str = "raise",
+        on_settle: Optional[Callable] = None,
+        on_admit: Optional[Callable] = None,
     ) -> None:
         self.backend = backend
         self.vectorized = backend == "numpy"
@@ -145,14 +167,44 @@ class FleetKernel:
         self.compaction = compaction and self.vectorized
         self.compactions = 0
         self.rounds = 0
-        #: Per-program interp constant-decision span tables, shared by
-        #: every lane of the program (see :meth:`interp_spans`).
-        self._interp_spans: Dict[int, list] = {}
+        self.config = config
+        self._max_steps = max_steps
+        #: Program factory + refcounted cache: lanes of one
+        #: (benchmark, scale) key share one immutable ``Program``;
+        #: streaming runs release it once no live lane walks it.
+        self._program_for = program_for
+        self._programs: Dict[Tuple[str, float], list] = {}
+        #: Per-program interp constant-decision span tables, keyed by
+        #: the stable (benchmark, scale) coordinate — never by
+        #: ``id(program)``, which the allocator may recycle once a
+        #: streaming run releases a program (see :meth:`interp_spans`).
+        self._interp_spans: Dict[Tuple[str, float], tuple] = {}
         #: Lane whose Python-side code is (or was last) executing; the
         #: vector sweeps themselves cannot raise ``ReproError``, so an
         #: escaping error is always attributable to this lane.
         self._err_lane: Optional[Lane] = None
-        n = len(cells)
+        #: ``on_error="continue"`` contains a lane's ``ReproError``:
+        #: the cell settles as failed (the error reaches ``on_settle``)
+        #: and its slot refills; the default re-raises, aborting the
+        #: fleet like a serial run would abort its cell.
+        self.contain_errors = on_error == "continue"
+        self.on_settle = on_settle
+        self.on_admit = on_admit
+        self.errors = 0
+        self.refills = 0
+        self.settled = 0
+        self.active = 0
+
+        cells = tuple(cells)
+        total = len(cells)
+        self.total = total
+        n = total if max_lanes is None else max(1, min(int(max_lanes), total))
+        self.max_lanes = n
+        #: Streaming = more cells than slots: slots are re-seeded from
+        #: the queue as lanes settle, and idle shared state is
+        #: recycled aggressively.
+        self.streaming = n < total
+        self.queue = deque(cells[n:])
 
         np = numpy_module() if self.vectorized else None
         self._np = np
@@ -187,19 +239,77 @@ class FleetKernel:
             self.site: List[int] = []
             self.pat_arena = None
         self._site_len = 0
+        #: Site slots of settled lanes, reusable by admitted ones
+        #: (zeroed at release — 0 is every model's idle encoding).
+        self._site_free: List[int] = []
+        #: Periodic patterns interned by value: the arena cells are
+        #: write-once and read-only afterwards, so lanes of any cell
+        #: mix can share one copy per distinct pattern.
+        self._pat_cache: Dict[Tuple[bool, ...], int] = {}
 
-        for i, cell in enumerate(cells):
-            self.rng_states[i] = cell.seed & _MASK64
+        self.lanes: List[Optional[Lane]] = [None] * n
+        self.remaining = total
+        for i in range(n):
+            self._admit(i, cells[i], initial=True)
 
-        self.lanes: List[Lane] = []
-        for i, cell in enumerate(cells):
-            program = programs[(cell.benchmark, cell.scale)]
-            lane = Lane(self, i, cell, program, config, max_steps)
-            self.l_max[i] = lane.max_steps
-            if self.vectorized:
-                self.l_dlim[i] = lane.engine.max_call_depth
-            self.lanes.append(lane)
-        self.remaining = n
+    # -- slot lifecycle (admission / settling) -----------------------------
+    def _admit(self, idx: int, cell, initial: bool = False) -> None:
+        """Seed (or re-seed) slot ``idx`` with a fresh lane for ``cell``.
+
+        Resets every per-lane column the previous occupant may have
+        left behind — step counters, walk position, call depth, the
+        RNG state word — then builds the lane exactly as construction
+        does.  Stale SoA stack entries need no scrub: reads are gated
+        on ``l_depth``, which restarts at zero.  Runs inside the round
+        loop (from :meth:`lane_done`): the freed slot cannot appear in
+        any pending queue (a settling lane was that slot's only
+        claimant this round), and mode-index snapshots taken later in
+        the round pick the fresh lane up for its first scalar pass.
+        """
+        program = self._acquire_program(cell)
+        self.l_steps[idx] = 0
+        self.l_walk[idx] = 0
+        self.l_gpos[idx] = 0
+        self.l_mode[idx] = M_SCALAR
+        self.rng_states[idx] = cell.seed & _MASK64
+        if self.vectorized:
+            self.l_cinst[idx] = 0
+            self.l_trans[idx] = 0
+            self.l_depth[idx] = 0
+        lane = Lane(self, idx, cell, program, self.config, self._max_steps)
+        self.l_max[idx] = lane.max_steps
+        if self.vectorized:
+            self.l_dlim[idx] = lane.engine.max_call_depth
+        self.lanes[idx] = lane
+        self.active += 1
+        if not initial:
+            self.refills += 1
+        if self.on_admit is not None:
+            self.on_admit(cell, idx, initial)
+
+    def _acquire_program(self, cell):
+        key = (cell.benchmark, cell.scale)
+        entry = self._programs.get(key)
+        if entry is None:
+            entry = self._programs[key] = [
+                self._program_for(cell.benchmark, cell.scale), 0]
+        entry[1] += 1
+        return entry[0]
+
+    def _release_program(self, cell) -> None:
+        key = (cell.benchmark, cell.scale)
+        entry = self._programs.get(key)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] <= 0 and self.streaming:
+            # No live lane walks this program and more cells are
+            # queued: drop it so memory tracks the active set.  The
+            # interp-span memo goes with it — a later rebuild is a
+            # *different* instance, and spans hold block objects of
+            # the instance they were built from.
+            del self._programs[key]
+            self._interp_spans.pop(key, None)
 
     # -- arena management (numpy backend) ---------------------------------
     #: ``a_tnext``/``a_fnext`` are CFG-only: the absolute arena
@@ -210,7 +320,11 @@ class FleetKernel:
                   "a_tbl", "a_pi", "a_slot", "a_pat", "a_adv", "a_cyc",
                   "a_run", "a_ltk", "a_lfl", "a_xtk", "a_xfl", "a_tnext",
                   "a_fnext")
-    _ARENA_I8 = ("a_kind", "a_tcode", "a_fcode", "a_tcyc", "a_fcyc")
+    #: ``a_cfg`` flags CFG rows (1) vs trace rows (0) so the round can
+    #: split its pending queues by table shape at queue time — the
+    #: complement then dispatches each group once instead of
+    #: re-deriving the shape per lane.
+    _ARENA_I8 = ("a_kind", "a_tcode", "a_fcode", "a_tcyc", "a_fcyc", "a_cfg")
     #: Per-table pending counters (indexed by ``arena_tidx``): vector
     #: rounds bank region-counter updates here instead of touching
     #: ``Region`` objects per transition; :meth:`fold_table_pending`
@@ -243,10 +357,21 @@ class FleetKernel:
         #: ``link_taken``/``link_fall`` list, ``base`` its arena base
         #: (the site key is the path position).  Mode 2: a CFG record,
         #: ``base`` the record's absolute arena position (the site key
-        #: picks the column).  The containers are kept alive by their
-        #: table (itself kept by ``dispatch.trace_tables`` /
-        #: ``dispatch.cfg_tables``), so ids cannot be recycled.
+        #: picks the column).  A container is kept alive by its table
+        #: while the owning lane lives; when a streamed lane settles,
+        #: its entries are dropped (via ``_tbl_link_ids``) *before* the
+        #: tables become garbage, so a recycled container id can never
+        #: alias a dead mirror cell.
         self._link_cols: Dict[int, Tuple[int, int]] = {}
+        #: ``arena_tidx -> [container ids]`` — the ``_link_cols`` keys
+        #: each table registered, for exact removal at release.
+        self._tbl_link_ids: Dict[int, List[int]] = {}
+        #: Recycled arena spans by exact length, and recycled table
+        #: indices — settled lanes' tables return their storage here,
+        #: pre-zeroed, so a streaming run's arena footprint tracks the
+        #: *live* lane set instead of growing with every admission.
+        self._span_free: Dict[int, List[int]] = {}
+        self._tidx_free: List[int] = []
 
     @staticmethod
     def _grown(np, array, cap: int):
@@ -255,6 +380,12 @@ class FleetKernel:
         return fresh
 
     def _arena_reserve(self, n: int) -> int:
+        # Exact-fit reuse first: spans freed by settled lanes were
+        # zeroed at release, so a recycled span is indistinguishable
+        # from fresh storage.
+        spans = self._span_free.get(n)
+        if spans:
+            return spans.pop()
         np = self._np
         need = self._arena_len + n
         if need > self._arena_cap:
@@ -268,6 +399,23 @@ class FleetKernel:
         self._arena_len = need
         return base
 
+    def _alloc_tidx(self, table) -> int:
+        """Bind ``table`` to a table index (recycled when available)."""
+        free = self._tidx_free
+        if free:
+            tidx = free.pop()
+            self.tables[tidx] = table
+            return tidx
+        tidx = self._table_count
+        self._table_count += 1
+        if tidx >= self.a_tblcyc.shape[0]:
+            for name in self._TBL_I64:
+                setattr(self, name, self._grown(
+                    self._np, getattr(self, name),
+                    getattr(self, name).shape[0] * 2))
+        self.tables.append(table)
+        return tidx
+
     def ensure_stack(self, max_depth: int) -> None:
         """Allocate (or deepen) the SoA call stack for every lane."""
         np = self._np
@@ -280,7 +428,15 @@ class FleetKernel:
             self.stk = fresh
 
     def alloc_site(self) -> int:
-        """Reserve one zero-initialized branch-model state slot."""
+        """Reserve one zero-initialized branch-model state slot.
+
+        Settled lanes return their slots through ``_site_free`` (zeroed
+        at release), so a streaming run's site table is bounded by the
+        live lanes' demand, not the total cell count.
+        """
+        free = self._site_free
+        if free:
+            return free.pop()
         slot = self._site_len
         self._site_len += 1
         if self.vectorized:
@@ -292,9 +448,17 @@ class FleetKernel:
         return slot
 
     def alloc_pattern(self, pattern: Tuple[bool, ...]) -> int:
-        """Intern a periodic pattern into the flat pattern arena."""
+        """Intern a periodic pattern into the flat pattern arena.
+
+        Interned by value: the cells are written once and only ever
+        read afterwards, so every lane using the same pattern shares
+        one copy — the arena cannot grow with admissions.
+        """
         if not self.vectorized:
             return -1
+        cached = self._pat_cache.get(pattern)
+        if cached is not None:
+            return cached
         np = self._np
         n = len(pattern)
         base = getattr(self, "_pat_len", 0)
@@ -306,6 +470,7 @@ class FleetKernel:
             self.pat_arena = self._grown(np, self.pat_arena, cap)
         self.pat_arena[base:need] = pattern
         self._pat_len = need
+        self._pat_cache[pattern] = base
         return base
 
     def register_table(self, lane: Lane, table) -> None:
@@ -323,17 +488,10 @@ class FleetKernel:
             return
         n = table.path_len
         base = self._arena_reserve(n)
-        tidx = self._table_count
-        self._table_count += 1
-        if tidx >= self.a_tblcyc.shape[0]:
-            for name in self._TBL_I64:
-                setattr(self, name, self._grown(
-                    self._np, getattr(self, name),
-                    getattr(self, name).shape[0] * 2))
+        tidx = self._alloc_tidx(table)
         table.arena_base = base
         table.arena_tidx = tidx
         table.arena_entry = base
-        self.tables.append(table)
         # Mirror the table's patchable link slots as arena columns so
         # the vector rounds can chase region-to-region links without
         # Python: seed from current residency (compile just wired the
@@ -343,6 +501,8 @@ class FleetKernel:
         # lane off the vector path.
         self._link_cols[id(table.link_taken)] = (0, base)
         self._link_cols[id(table.link_fall)] = (1, base)
+        self._tbl_link_ids[tidx] = [id(table.link_taken),
+                                    id(table.link_fall)]
         a_ltk = self.a_ltk
         a_lfl = self.a_lfl
         for i in range(n):
@@ -446,17 +606,11 @@ class FleetKernel:
         block_list = table.block_list
         n = len(block_list)
         base = self._arena_reserve(n)
-        tidx = self._table_count
-        self._table_count += 1
-        if tidx >= self.a_tblcyc.shape[0]:
-            for name in self._TBL_I64:
-                setattr(self, name, self._grown(
-                    self._np, getattr(self, name),
-                    getattr(self, name).shape[0] * 2))
+        tidx = self._alloc_tidx(table)
         table.arena_base = base
         table.arena_tidx = tidx
         table.arena_entry = base + table.entry_pos
-        self.tables.append(table)
+        link_ids = self._tbl_link_ids[tidx] = []
 
         index_of = table.index_of
         blocks = table.blocks
@@ -479,6 +633,7 @@ class FleetKernel:
         a_fcyc = self.a_fcyc
         a_ltk = self.a_ltk
         a_lfl = self.a_lfl
+        a_cfg = self.a_cfg
         for i, block in enumerate(block_list):
             j = base + i
             rec = records[block]
@@ -487,6 +642,7 @@ class FleetKernel:
             a_tbl[j] = tidx
             a_tnext[j] = -1
             a_fnext[j] = -1
+            a_cfg[j] = 1
             lt = rec[REC_LINK_TAKEN]
             a_ltk[j] = lt.arena_entry if lt is not None else -1
             lf = rec[REC_LINK_FALL]
@@ -495,6 +651,7 @@ class FleetKernel:
                 a_kind[j] = K_SCALAR
                 continue
             self._link_cols[id(rec)] = (2, j)
+            link_ids.append(id(rec))
             term = block.terminator
             tt = term.taken_target
             if tt is not None and tt in blocks:
@@ -697,7 +854,102 @@ class FleetKernel:
             column[:] = 0
 
     def lane_done(self, lane: Lane) -> None:
+        """Settle a finished lane and refill its slot from the queue.
+
+        Called at the very end of :meth:`Lane._finish` — the lane's
+        report and result are built, every banked counter is folded,
+        and nothing touches its columns afterwards, so the slot can be
+        re-seeded immediately.  Mode-index snapshots taken later in
+        the same round pick the fresh lane up for its first scalar
+        pass, keeping the vector population wide.
+        """
         self.remaining -= 1
+        self.settled += 1
+        self.active -= 1
+        if self.on_settle is not None:
+            self.on_settle(lane, None)
+        self._release_lane(lane)
+        idx = lane.idx
+        self.lanes[idx] = None
+        if self.queue:
+            self._admit(idx, self.queue.popleft())
+
+    def _fail_lane(self, lane: Lane, exc: ReproError) -> None:
+        """Contain a lane error (``on_error="continue"``).
+
+        The cell settles as failed — the enriched error reaches
+        ``on_settle`` in place of a report — its shared state is
+        released (banked counts are discarded, matching the serial
+        pipeline, which aborts the cell before reporting), and the
+        slot refills so the rest of the fleet streams on.
+        """
+        exc.with_context(
+            benchmark=lane.program.name,
+            selector=lane.cell.selector,
+            step=lane.cache.now,
+        )
+        lane.mode = M_DONE
+        self.l_mode[lane.idx] = M_DONE
+        self.errors += 1
+        self.remaining -= 1
+        self.settled += 1
+        self.active -= 1
+        if self.on_settle is not None:
+            self.on_settle(lane, exc)
+        self._release_lane(lane)
+        idx = lane.idx
+        self.lanes[idx] = None
+        if self.queue:
+            self._admit(idx, self.queue.popleft())
+
+    def _release_lane(self, lane: Lane) -> None:
+        """Recycle a settled lane's shared-state footprint.
+
+        Branch-model site slots rejoin the free pool (zeroed — 0 is
+        every model's idle encoding), the lane's program reference
+        drops (streaming runs release idle programs entirely), and on
+        the numpy backend every table the lane compiled — resident or
+        long evicted — returns its arena span and table index to the
+        free lists.  Spans are zeroed here rather than at reuse so a
+        recycled span is indistinguishable from fresh storage, and the
+        link-mirror entries keyed by container id are removed while
+        the containers are still alive — after this the ids may be
+        recycled by the allocator without aliasing a mirror cell.
+        """
+        self._release_program(lane.cell)
+        sites = lane.sites
+        if sites:
+            site = self.site
+            for slot in sites:
+                site[slot] = 0
+            self._site_free.extend(sites)
+        if not self.vectorized:
+            return
+        for table in lane.dispatch.trace_tables:
+            self._release_table(table, table.path_len)
+        for table in lane.dispatch.cfg_tables:
+            self._release_table(table, len(table.block_list))
+
+    def _release_table(self, table, n: int) -> None:
+        base = table.arena_base
+        if base < 0:
+            return
+        tidx = table.arena_tidx
+        end = base + n
+        for name in self._ARENA_I64 + self._ARENA_I8:
+            getattr(self, name)[base:end] = 0
+        self.a_pf[base:end] = 0.0
+        for name in self._TBL_I64:
+            getattr(self, name)[tidx] = 0
+        for lid in self._tbl_link_ids.pop(tidx, ()):
+            self._link_cols.pop(lid, None)
+        self._cfg_run_edges.pop(tidx, None)
+        self.tables[tidx] = None
+        self._tidx_free.append(tidx)
+        self._span_free.setdefault(n, []).append(base)
+        table.arena_base = -1
+        table.arena_tidx = -1
+        table.arena_entry = -1
 
     # -- the run loop ------------------------------------------------------
     def run(self) -> int:
@@ -726,6 +978,7 @@ class FleetKernel:
     def _run_rounds(self) -> int:
         quota = self.quota
         lanes = self.lanes
+        contain = self.contain_errors
         rounds = 0
         if self.vectorized:
             np = self._np
@@ -744,25 +997,48 @@ class FleetKernel:
                 else:
                     # Lanes only ever change their own mode, so a
                     # snapshot of the slot indices stays valid across
-                    # the sweep.
+                    # the sweep (a settled slot's successor starts in
+                    # scalar mode and is picked up below).
                     for li in vec_idx.tolist():
                         lane = lanes[li]
                         self._err_lane = lane
-                        lane.run_trace_scalar(quota)
+                        try:
+                            lane.run_trace_scalar(quota)
+                        except ReproError as exc:
+                            if not contain:
+                                raise
+                            self._fail_lane(lane, exc)
+                # This snapshot runs *after* the vector round, so lanes
+                # admitted while it settled finishers take their first
+                # interp pass in the same round — the refill keeps the
+                # active set wide with no idle round in between.
                 for li in np.nonzero(self.l_mode == M_SCALAR)[0].tolist():
                     lane = lanes[li]
                     self._err_lane = lane
-                    lane.run_scalar(quota)
+                    try:
+                        lane.run_scalar(quota)
+                    except ReproError as exc:
+                        if not contain:
+                            raise
+                        self._fail_lane(lane, exc)
         else:
             while self.remaining:
                 rounds += 1
-                for lane in lanes:
-                    if lane.mode == M_SCALAR:
-                        self._err_lane = lane
-                        lane.run_scalar(quota)
-                    if lane.mode == M_VEC:
-                        self._err_lane = lane
-                        lane.run_trace_scalar(quota)
+                for li in range(len(lanes)):
+                    lane = lanes[li]
+                    if lane is None:
+                        continue
+                    try:
+                        if lane.mode == M_SCALAR:
+                            self._err_lane = lane
+                            lane.run_scalar(quota)
+                        if lane.mode == M_VEC:
+                            self._err_lane = lane
+                            lane.run_trace_scalar(quota)
+                    except ReproError as exc:
+                        if not contain:
+                            raise
+                        self._fail_lane(lane, exc)
         self.rounds = rounds
         return rounds
 
@@ -795,25 +1071,33 @@ class FleetKernel:
             self.stk[:] = self.stk[order]
         lanes = self.lanes
         # In-place permutation: the run loop holds a reference to this
-        # list across rounds.
+        # list across rounds.  Settled slots with a drained queue hold
+        # None — their mode is M_DONE, so they sort behind every live
+        # lane and nothing re-points them.
         lanes[:] = [lanes[int(j)] for j in order]
         for i, lane in enumerate(lanes):
+            if lane is None:
+                continue
             lane.idx = i
             lane.rng.index = i
         self.compactions += 1
 
-    def interp_spans(self, program) -> list:
+    def interp_spans(self, key: Tuple[str, float], program) -> list:
         """The program's interp span table, memoized across its lanes.
 
-        Keyed by ``id(program)`` — every lane of a (benchmark, scale)
-        cell shares one finalized ``Program`` object, which the lanes
-        keep alive for the kernel's lifetime.
+        Keyed by the cell's stable ``(benchmark, scale)`` coordinate —
+        streaming runs release programs once no live lane shares them,
+        so an ``id(program)`` key could be recycled by the allocator
+        and silently serve a dead program's span table.  The memo
+        stores the instance it was built from: spans hold that
+        instance's block objects, so a rebuilt program (same key, new
+        instance) must rebuild its spans too.
         """
-        spans = self._interp_spans.get(id(program))
-        if spans is None:
-            spans = _build_interp_spans(program)
-            self._interp_spans[id(program)] = spans
-        return spans
+        entry = self._interp_spans.get(key)
+        if entry is None or entry[0] is not program:
+            entry = (program, _build_interp_spans(program))
+            self._interp_spans[key] = entry
+        return entry[1]
 
     def _vector_round(self) -> None:
         """Up to ``VEC_ITERS`` lockstep sweeps over trace-walking lanes.
@@ -871,15 +1155,23 @@ class FleetKernel:
         a_fnext = self.a_fnext
         a_tcyc = self.a_tcyc
         a_fcyc = self.a_fcyc
+        a_cfg = self.a_cfg
         t_ec = self.t_ec
         t_xc = self.t_xc
         t_insts = self.t_insts
 
         act = np.nonzero(self.l_mode == M_VEC)[0]
+        # Pending queues, pre-grouped by the complement handler they
+        # need: deferred decisions and unlinked exits split trace vs
+        # CFG *at queue time* (one ``a_cfg`` gather per batch), so the
+        # complement below runs one homogeneous loop per kind with the
+        # per-lane shape dispatch already hoisted out.
         pend_clip: List[int] = []  # lane -> _partial_span
         pend_fin: List[int] = []  # lane -> _finish
-        pend_defer: List[tuple] = []  # (lane, gpos, steps)
-        pend_exit: List[tuple] = []  # (lane, gpos, taken, steps)
+        pend_defer_t: List[tuple] = []  # (lane, gpos, steps), trace rows
+        pend_defer_c: List[tuple] = []  # (lane, gpos, steps), CFG rows
+        pend_exit_t: List[tuple] = []  # (lane, gpos, taken, steps), trace
+        pend_exit_c: List[tuple] = []  # (lane, gpos, taken, steps), CFG
         pend_ret: List[tuple] = []  # (lane, gpos, target_id, steps)
 
         n0 = act.size
@@ -1078,9 +1370,22 @@ class FleetKernel:
             if ocnt[_O_DEFER]:
                 defer = outcome == _O_DEFER
                 dl = act[defer]
-                pend_defer.extend(zip(
-                    dl.tolist(), gp[defer].tolist(),
-                    l_steps[dl].tolist()))
+                gd = gp[defer]
+                is_cfg = a_cfg[gd] != 0
+                if is_cfg.any():
+                    cl = dl[is_cfg]
+                    pend_defer_c.extend(zip(
+                        cl.tolist(), gd[is_cfg].tolist(),
+                        l_steps[cl].tolist()))
+                    tr = ~is_cfg
+                    tl = dl[tr]
+                    if tl.size:
+                        pend_defer_t.extend(zip(
+                            tl.tolist(), gd[tr].tolist(),
+                            l_steps[tl].tolist()))
+                else:
+                    pend_defer_t.extend(zip(
+                        dl.tolist(), gd.tolist(), l_steps[dl].tolist()))
 
             # Fresh scan, not ``ocnt[O_EXIT]`` alone: the CFG pass just
             # rewrote external transfers to O_EXIT in place.
@@ -1119,32 +1424,100 @@ class FleetKernel:
                     exit_js = exit_js[~linked_m]
                 if exit_js.size:
                     el = act[exit_js]
-                    pend_exit.extend(zip(
-                        el.tolist(), gp[exit_js].tolist(),
-                        taken[exit_js].tolist(),
-                        l_steps[el].tolist()))
+                    ge2 = gp[exit_js]
+                    tke = taken[exit_js]
+                    stp = l_steps[el]
+                    is_cfg = a_cfg[ge2] != 0
+                    if is_cfg.any():
+                        pend_exit_c.extend(zip(
+                            el[is_cfg].tolist(), ge2[is_cfg].tolist(),
+                            tke[is_cfg].tolist(), stp[is_cfg].tolist()))
+                        tr = ~is_cfg
+                        if tr.any():
+                            pend_exit_t.extend(zip(
+                                el[tr].tolist(), ge2[tr].tolist(),
+                                tke[tr].tolist(), stp[tr].tolist()))
+                    else:
+                        pend_exit_t.extend(zip(
+                            el.tolist(), ge2.tolist(), tke.tolist(),
+                            stp.tolist()))
             act = act[cont]
 
         # Per-lane Python complement (divergent work), after every
         # vectorized write above has landed.  A lane appears at most
         # once across the queues: pending a lane removed it from the
-        # active set, so nothing below observes stale column state.
+        # active set, so nothing below observes stale column state —
+        # and a settling lane's slot can be re-seeded immediately (the
+        # fresh lane is in no queue).  Each queue is homogeneous, so
+        # the handler dispatch is hoisted out of the per-lane loop; a
+        # diverged lane costs one grouped pass per round, not a fully
+        # general scalar step.  Order across queues is fixed but
+        # inter-lane order is immaterial — lanes are independent.
         lanes = self.lanes
+        contain = self.contain_errors
         for li in pend_clip:
-            self._err_lane = lanes[li]
-            lanes[li]._partial_span()
+            lane = lanes[li]
+            self._err_lane = lane
+            try:
+                lane._partial_span()
+            except ReproError as exc:
+                if not contain:
+                    raise
+                self._fail_lane(lane, exc)
         for li in pend_fin:
-            self._err_lane = lanes[li]
-            lanes[li]._finish()
-        for li, gpos, steps in pend_defer:
-            self._err_lane = lanes[li]
-            lanes[li]._trace_decide_scalar(gpos, steps)
-        for li, gpos, tk, steps in pend_exit:
-            self._err_lane = lanes[li]
-            lanes[li]._trace_exit_vec(gpos, tk, steps)
+            lane = lanes[li]
+            self._err_lane = lane
+            try:
+                lane._finish()
+            except ReproError as exc:
+                if not contain:
+                    raise
+                self._fail_lane(lane, exc)
+        for li, gpos, steps in pend_defer_t:
+            lane = lanes[li]
+            self._err_lane = lane
+            try:
+                lane._trace_decide_scalar(gpos, steps)
+            except ReproError as exc:
+                if not contain:
+                    raise
+                self._fail_lane(lane, exc)
+        for li, gpos, steps in pend_defer_c:
+            lane = lanes[li]
+            self._err_lane = lane
+            try:
+                lane._cfg_decide_scalar(gpos, steps)
+            except ReproError as exc:
+                if not contain:
+                    raise
+                self._fail_lane(lane, exc)
+        for li, gpos, tk, steps in pend_exit_t:
+            lane = lanes[li]
+            self._err_lane = lane
+            try:
+                lane._trace_exit_vec(gpos, tk, steps)
+            except ReproError as exc:
+                if not contain:
+                    raise
+                self._fail_lane(lane, exc)
+        for li, gpos, tk, steps in pend_exit_c:
+            lane = lanes[li]
+            self._err_lane = lane
+            try:
+                lane._cfg_exit_vec(gpos, tk, steps)
+            except ReproError as exc:
+                if not contain:
+                    raise
+                self._fail_lane(lane, exc)
         for li, gpos, tid, steps in pend_ret:
-            self._err_lane = lanes[li]
-            lanes[li]._trace_ret_exit(gpos, tid, steps)
+            lane = lanes[li]
+            self._err_lane = lane
+            try:
+                lane._trace_ret_exit(gpos, tid, steps)
+            except ReproError as exc:
+                if not contain:
+                    raise
+                self._fail_lane(lane, exc)
 
 
 #: Interp-span chain cap: bounds construction cost and keeps a single

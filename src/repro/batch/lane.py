@@ -105,14 +105,14 @@ class Lane:
     """One cell's full execution context, advanced by the fleet kernel."""
 
     __slots__ = (
-        "kernel", "idx", "cell", "program", "config", "max_steps",
-        "cache", "selector", "engine", "stack", "ctx", "rng",
-        "deciders", "vec_desc", "dispatch", "tables_by_entry",
+        "kernel", "idx", "cell", "program", "program_key", "config",
+        "max_steps", "cache", "selector", "engine", "stack", "ctx", "rng",
+        "deciders", "vec_desc", "dispatch", "tables_by_entry", "sites",
         "stats", "edge_profile", "edge_get",
         "observe_interpreted", "on_cache_enter", "on_interpreted_taken",
         "on_cache_exit", "on_taken_raw", "on_enter_raw",
         "interp_idle", "ispan_hits",
-        "block", "region", "cur_table", "cur_base", "trace_pos",
+        "block", "region", "cur_table", "cur_base", "cur_end", "trace_pos",
         "cur_records", "cur_blocks", "cur_entry",
         "interp_steps", "interp_insts", "cache_insts",
         "mode", "result", "report",
@@ -124,7 +124,13 @@ class Lane:
         self.idx = idx
         self.cell = cell
         self.program = program
+        #: Stable program identity for kernel-side memos — streaming
+        #: runs release programs mid-run, so ``id(program)`` may be
+        #: recycled but this coordinate never lies.
+        self.program_key = (cell.benchmark, cell.scale)
         self.config = config
+        #: Kernel site slots this lane allocated — recycled at settle.
+        self.sites: List[int] = []
 
         # The same per-run build the serial Simulator performs, with the
         # null observer (fleet observability happens at batch
@@ -208,6 +214,7 @@ class Lane:
         self.region = None
         self.cur_table = None
         self.cur_base = 0
+        self.cur_end = 0
         self.trace_pos = 0
         self.cur_records: Dict[BasicBlock, list] = {}
         self.cur_blocks = frozenset()
@@ -263,6 +270,7 @@ class Lane:
             if model_type is LoopTrip and model.jitter == 0:
                 trips = model.trips
                 slot = kernel.alloc_site()
+                self.sites.append(slot)
                 self.vec_desc[block.block_id] = (K_LOOP, 0.0, trips, slot, -1)
 
                 # Slot value 0 encodes the reference's "between
@@ -290,6 +298,7 @@ class Lane:
                 lo = model.trips - model.jitter
                 hi = model.trips + model.jitter
                 slot = kernel.alloc_site()
+                self.sites.append(slot)
                 self.vec_desc[block.block_id] = (
                     K_LOOPJ, 0.0, lo, slot, hi - lo + 1
                 )
@@ -315,6 +324,7 @@ class Lane:
                 pattern = tuple(bool(x) for x in model.pattern)
                 n = len(pattern)
                 slot = kernel.alloc_site()
+                self.sites.append(slot)
                 pat_base = kernel.alloc_pattern(pattern)
                 self.vec_desc[block.block_id] = (
                     K_PERIODIC, 0.0, n, slot, pat_base
@@ -417,7 +427,7 @@ class Lane:
         on_taken_raw = self.on_taken_raw
         on_enter_raw = self.on_enter_raw
         dispatch = self.dispatch
-        interp_spans = kernel.interp_spans(self.program)
+        interp_spans = kernel.interp_spans(self.program_key, self.program)
         interp_idle = self.interp_idle
         ispan_hits = self.ispan_hits
 
@@ -585,12 +595,16 @@ class Lane:
         trace-walking lane re-derives ``cur_table``/``cur_base``/
         ``region`` from ``a_tbl[gpos]`` first.
         """
+        if self.cur_base <= gpos < self.cur_end:
+            return self.cur_table
         kernel = self.kernel
         table = kernel.tables[int(kernel.a_tbl[gpos])]
         if table is not self.cur_table:
             self.cur_table = table
-            self.cur_base = table.arena_base
             self.region = table.region
+        self.cur_base = table.arena_base
+        self.cur_end = self.cur_base + (
+            table.path_len if table.is_trace else len(table.block_list))
         return table
 
     def _trace_decide_scalar(self, gpos: int, steps: int) -> None:
@@ -602,9 +616,6 @@ class Lane:
         applies the outcome exactly as the fused loop's trace section.
         """
         table = self._sync_vec(gpos)
-        if not table.is_trace:
-            self._cfg_decide_scalar(table, gpos, steps)
-            return
         pos = gpos - self.cur_base
         kernel = self.kernel
         decide = table.deciders[pos]
@@ -626,7 +637,7 @@ class Lane:
             return
         self._trace_leave(table, pos, taken, target, steps)
 
-    def _cfg_decide_scalar(self, table, gpos: int, steps: int) -> None:
+    def _cfg_decide_scalar(self, gpos: int, steps: int) -> None:
         """One scalar-kind CFG decision (numpy backend).
 
         The CFG counterpart of :meth:`_trace_decide_scalar` — dynamic
@@ -637,6 +648,7 @@ class Lane:
         vector pass banks them by arena row instead; the profile is an
         order-insensitive sum either way).
         """
+        table = self._sync_vec(gpos)
         pos = gpos - self.cur_base
         block = table.block_list[pos]
         rec = table.records[block]
@@ -680,20 +692,11 @@ class Lane:
         recover the target — never re-evaluate the closure.  Only
         *unlinked* exits land here (the round takes linked ones
         vectorized), so a selector callback follows in ``_leave``.
-        CFG rows land here too (the round demotes their external
-        transfers to the shared exit outcome); their vector-walkable
-        kinds are never dynamic, so the direction determines the
-        target the same way.
+        CFG rows take the parallel :meth:`_cfg_exit_vec` path (the
+        kernel pre-splits the pend queue by row shape).
         """
         table = self._sync_vec(gpos)
         pos = gpos - self.cur_base
-        if not table.is_trace:
-            block = table.block_list[pos]
-            target = (block.terminator.taken_target if taken
-                      else block.fallthrough)
-            self._cfg_leave(table, block, table.records[block], taken,
-                            target, steps)
-            return
         decide = table.deciders[pos]
         if decide.__class__ is tuple:
             taken, target = decide
@@ -702,6 +705,22 @@ class Lane:
             target = (block.terminator.taken_target if taken
                       else block.fallthrough)
         self._trace_leave(table, pos, taken, target, steps)
+
+    def _cfg_exit_vec(self, gpos: int, taken: bool, steps: int) -> None:
+        """Apply a vector-evaluated CFG decision that leaves the region.
+
+        The round demotes a CFG row's external transfer to the shared
+        exit outcome; vector-walkable CFG kinds are never dynamic, so
+        the branch direction recovers the target without re-evaluating
+        the closure.
+        """
+        table = self._sync_vec(gpos)
+        pos = gpos - self.cur_base
+        block = table.block_list[pos]
+        target = (block.terminator.taken_target if taken
+                  else block.fallthrough)
+        self._cfg_leave(table, block, table.records[block], taken,
+                        target, steps)
 
     def _trace_ret_exit(self, gpos: int, target_id: int, steps: int) -> None:
         """Apply a vector-evaluated RETURN that leaves the region.
@@ -902,6 +921,9 @@ class Lane:
                 pos = 0 if linked.is_trace else linked.entry_pos
                 if vectorized:
                     self.cur_base = linked.arena_base
+                    self.cur_end = self.cur_base + (
+                        linked.path_len if linked.is_trace
+                        else len(linked.block_list))
                 table = linked
                 block = target
                 continue
@@ -1014,6 +1036,7 @@ class Lane:
         if target is None:
             self.region = None
             self.cur_table = None
+            self.cur_end = 0
             self.block = None
             self._set_mode(M_SCALAR)
             return
@@ -1030,6 +1053,7 @@ class Lane:
         exited_region = region
         self.region = None
         self.cur_table = None
+        self.cur_end = 0
         self.cache.now = steps
         step = Step(block, taken, target)
         self.on_cache_exit(step, exited_region)
@@ -1054,6 +1078,7 @@ class Lane:
         if table.is_trace:
             if kernel.vectorized:
                 self.cur_base = table.arena_base
+                self.cur_end = self.cur_base + table.path_len
                 kernel.l_gpos[i] = self.cur_base
             else:
                 self.trace_pos = 0
@@ -1062,6 +1087,7 @@ class Lane:
             # CFG regions walk vectorized too: enter at the entry
             # block's arena row and join the next vector round.
             self.cur_base = table.arena_base
+            self.cur_end = self.cur_base + len(table.block_list)
             kernel.l_gpos[i] = table.arena_entry
             self._set_mode(M_VEC)
         else:
@@ -1125,7 +1151,7 @@ class Lane:
         if self.ispan_hits:
             # Interp spans banked their walked edges by head block;
             # replay each span's edge list, weighted by its hit count.
-            spans = kernel.interp_spans(self.program)
+            spans = kernel.interp_spans(self.program_key, self.program)
             edge_profile = self.edge_profile
             edge_get = self.edge_get
             for head_id, hits in self.ispan_hits.items():

@@ -1,6 +1,6 @@
 """Batched-fleet bench workloads: the ``batched`` list of BENCH_run.json.
 
-Three pinned fleets, each measured twice — every cell through the
+Four pinned fleets, each measured twice — every cell through the
 serial fused pipeline, then all cells as a single
 :func:`repro.batch.run_fleet` sweep.  Each record carries both walls
 and both aggregate events/sec plus their ratio (``speedup``), and the
@@ -20,6 +20,11 @@ The fleets pin the three throughput regimes the kernel is built for:
 * ``mixed-fleet`` — interp, CFG-region and trace cells in one 128-lane
   fleet; the shape that degraded to 0.4-0.7x before CFG vector rounds
   and lane compaction, pinned so it cannot quietly regress again.
+* ``short-tail-fleet`` — 256 short, divergent lanes (a staircase of
+  eight program lengths) streamed through 128 slots; the
+  tail-dominated shape that decayed into the scalar cutover
+  (~0.6-0.9x serial) before the kernel refilled settled slots from a
+  cell queue.
 """
 
 from __future__ import annotations
@@ -61,10 +66,17 @@ class FleetGroup:
 
 @dataclass(frozen=True)
 class BatchedFleet:
-    """A named, pinned fleet composition."""
+    """A named, pinned fleet composition.
+
+    ``max_lanes`` pins a streaming admission schedule: the kernel holds
+    that many live lanes and feeds the rest from a cell queue as lanes
+    settle (``None`` = the whole fleet at once).  A scheduling knob
+    only — the bit-identity assertion runs regardless.
+    """
 
     name: str
     groups: Tuple[FleetGroup, ...]
+    max_lanes: Optional[int] = None
 
 
 BATCHED_FLEETS: Tuple[BatchedFleet, ...] = (
@@ -81,6 +93,19 @@ BATCHED_FLEETS: Tuple[BatchedFleet, ...] = (
         FleetGroup("gzip", "combined-net", 8, 0.05, 0.02),
         FleetGroup("gzip", "combined-lei", 8, 0.05, 0.02),
     )),
+    # 256 short lanes over a staircase of eight program lengths — lanes
+    # finish at very different times, the tail-dominated shape that
+    # used to decay into the scalar cutover at ~0.6-0.9x serial.  The
+    # pinned streaming schedule (128 live slots, the other half of the
+    # fleet queued) re-seeds slots as lanes settle, so memory stays
+    # bounded at half the fleet while the vector population stays wide
+    # until the queue drains.
+    BatchedFleet("short-tail-fleet", tuple(
+        FleetGroup("micro:linked_chain", "net", 32,
+                   round(0.03 + 0.02 * step, 2),
+                   round(0.02 + 0.01 * step, 2))
+        for step in range(8)
+    ), max_lanes=128),
 )
 
 
@@ -141,7 +166,8 @@ def run_batched_bench(
         serial_reports[cell] = MetricReport.from_result(result)
     serial_wall = time.perf_counter() - started
 
-    fleet_result = run_fleet(cells, config=config, backend=backend)
+    fleet_result = run_fleet(cells, config=config, backend=backend,
+                             max_lanes=fleet.max_lanes)
     mismatched = [
         cell for cell in cells
         if fleet_result.reports[cell] != serial_reports[cell]
@@ -161,6 +187,8 @@ def run_batched_bench(
         "name": fleet.name,
         "groups": groups,
         "lanes": len(cells),
+        "max_lanes": fleet_result.max_lanes,
+        "refills": fleet_result.refills,
         "backend": fleet_result.backend,
         "requested_backend": get_backend(backend),
         "rounds": fleet_result.rounds,

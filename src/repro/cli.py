@@ -321,12 +321,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.errors import ServeError, StoreError
     from repro.obs import JsonlSink, MetricsRegistry, Observer
     from repro.serve import GridServer, SimulationService, run_smoke
+    from repro.serve.service import DEFAULT_FLEET_MAX_LANES
     from repro.store import ResultStore
 
     # --store/--port default to None so smoke mode can tell "explicit"
     # from "unset": unset means a throwaway store and an ephemeral port.
     store_root = args.store if args.store is not None else ".repro-store"
     port = args.port if args.port is not None else 8765
+    # --max-lanes 0 = unbounded (one fleet regardless of batch size);
+    # unset = the service default.
+    if args.max_lanes is None:
+        fleet_max_lanes = DEFAULT_FLEET_MAX_LANES
+    elif args.max_lanes == 0:
+        fleet_max_lanes = None
+    else:
+        fleet_max_lanes = args.max_lanes
 
     if args.smoke:
         try:
@@ -364,6 +373,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             observer=observer,
             code_version=args.code_version,
             backend=args.backend,
+            fleet_max_lanes=fleet_max_lanes,
         )
         server = GridServer(service, host=args.host, port=port,
                             observer=observer)
@@ -403,6 +413,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     """
     from repro.batch import BatchCell, run_fleet
     from repro.errors import ConfigError
+    from repro.obs import CollectingSink, Observer
 
     benchmarks = (args.benchmarks.split(",") if args.benchmarks
                   else list(benchmark_names()))
@@ -414,9 +425,12 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         for selector in selectors
         for seed in range(args.seed, args.seed + args.seeds)
     ]
+    sink = CollectingSink(categories=("fleet",))
+    observer = Observer(sink=sink)
     try:
         fleet = run_fleet(cells, config=_config_from(args),
-                          backend=args.backend)
+                          backend=args.backend, max_lanes=args.max_lanes,
+                          observer=observer)
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -424,6 +438,16 @@ def cmd_fleet(args: argparse.Namespace) -> int:
           f"{fleet.steps:,} events in {fleet.wall_seconds:.2f}s "
           f"({fleet.events_per_second:,.0f} events/s, "
           f"{fleet.rounds} rounds)")
+    if fleet.max_lanes < fleet.lanes:
+        # Queue progress from the obs event stamps: the last admission
+        # says how the stream ended; settled counts finish afterwards.
+        refill_events = [e for e in sink.events if e.kind == "fleet_refill"]
+        last = refill_events[-1].payload if refill_events else {}
+        print(f"queue: {fleet.lanes} cells over {fleet.max_lanes} slots, "
+              f"{fleet.refills} refills (last admission: "
+              f"{last.get('settled', 0)} settled / "
+              f"{last.get('queued', 0)} queued / "
+              f"{last.get('active', 0)} active)")
     print(f"{'benchmark':<22s} {'selector':<14s} {'seed':>4s} "
           f"{'hit%':>7s} {'regions':>8s} {'transitions':>12s}")
     for cell in cells:
@@ -629,6 +653,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cold-dispatch backend: per-cell job engine, "
                             "or one vectorized fleet per batch (results "
                             "are bit-identical; see docs/batching.md)")
+    serve.add_argument("--max-lanes", type=int, default=None, metavar="N",
+                       help="batched backends: cap each fleet's live lane "
+                            "population and stream larger batches from a "
+                            "queue (default 256; 0 = unbounded)")
     serve.add_argument("--trace-events", metavar="PATH", default=None,
                        help="write a structured JSONL event log to PATH")
     serve.add_argument("--smoke", action="store_true",
@@ -670,6 +698,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("auto", "numpy", "python"),
                        help="array backend (default auto: numpy when "
                             "installed; see docs/batching.md)")
+    fleet.add_argument("--max-lanes", type=int, default=None, metavar="N",
+                       help="cap the live lane population; remaining "
+                            "cells stream from a queue into freed slots "
+                            "(default: all cells at once). Results are "
+                            "bit-identical either way.")
     fleet.add_argument("--cache-capacity", type=int, default=None,
                        metavar="BYTES",
                        help="bound every lane's code cache "

@@ -97,6 +97,7 @@ def run_grid(
     telemetry_out: Optional[str] = None,
     telemetry_ring: Optional[int] = None,
     backend: str = "serial",
+    fleet_max_lanes: Optional[int] = None,
 ) -> ExperimentGrid:
     """Simulate every cell and compute its metric report.
 
@@ -142,6 +143,10 @@ def run_grid(
     fresh ones persisted.  ``workers`` is ignored (a fleet is one
     process); per-worker ``telemetry`` and the reference pipeline
     (``fast=False``) need per-cell workers and are ConfigErrors.
+    ``fleet_max_lanes`` caps the fleet's live lane population —
+    remaining cells stream from a queue into freed slots, bounding
+    memory at the cap with bit-identical results (see
+    :func:`repro.batch.run_fleet`).
     """
     started = time.monotonic()
     if backend not in GRID_BACKENDS:
@@ -164,6 +169,11 @@ def run_grid(
     if batched and faults is not None:
         raise ConfigError(
             "fault injection drives the job engine: use backend='serial'"
+        )
+    if fleet_max_lanes is not None and not batched:
+        raise ConfigError(
+            "fleet_max_lanes is a batched-backend knob: use "
+            "backend='batched' (or a pinned substrate variant)"
         )
     config = config if config is not None else SystemConfig()
     bench_list = tuple(benchmarks) if benchmarks is not None else benchmark_names()
@@ -207,7 +217,8 @@ def run_grid(
                        for bench, selector in missing]
         fleet_backend = backend[len("batched-"):] if "-" in backend else "auto"
         result = run_fleet(fleet_cells, config=config,
-                           backend=fleet_backend, observer=obs)
+                           backend=fleet_backend, observer=obs,
+                           max_lanes=fleet_max_lanes)
         for fleet_cell, cell in zip(fleet_cells, missing):
             report = result.reports[fleet_cell]
             reports[cell] = report

@@ -156,6 +156,16 @@ EVENT_KINDS: Dict[str, EventKind] = {
         "fleet", "debug",
         "One fleet lane retired (halted or exhausted its step budget); "
         "payload carries the lane's cell and step count."),
+    "fleet_lane_failed": EventKind(
+        "fleet", "warn",
+        "One fleet lane's cell failed under on_error='continue'; the "
+        "slot was refilled and the fleet streamed on.  Payload carries "
+        "the cell and the contained error."),
+    "fleet_refill": EventKind(
+        "fleet", "debug",
+        "A streaming fleet admitted a queued cell into a freed lane "
+        "slot; payload carries the cell, the slot, and the queue "
+        "progress counters (settled / queued / active)."),
     "fleet_finished": EventKind(
         "fleet", "info",
         "A batched fleet run completed; payload carries rounds, "

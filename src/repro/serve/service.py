@@ -59,6 +59,13 @@ def _cell_worker(task: Tuple[str, str, float, int, object, bool]) -> MetricRepor
     )
 
 
+#: Default live-lane cap for batched cold dispatch: a coalesced batch
+#: larger than this streams through one bounded fleet (slots re-seeded
+#: from the queue as lanes settle) instead of allocating one giant
+#: fleet — memory tracks the cap, results are bit-identical.
+DEFAULT_FLEET_MAX_LANES = 256
+
+
 @dataclass
 class ServiceStats:
     """Resolution-path counters for one service instance."""
@@ -109,6 +116,7 @@ class SimulationService:
         fast: bool = True,
         mp_context=None,
         backend: str = "serial",
+        fleet_max_lanes: Optional[int] = DEFAULT_FLEET_MAX_LANES,
     ) -> None:
         if backend not in ("serial", "batched", "batched-numpy",
                            "batched-python"):
@@ -121,12 +129,22 @@ class SimulationService:
                 "fast=False pins the reference pipeline, which has no "
                 "batched equivalent: use backend='serial'"
             )
+        if fleet_max_lanes is not None and fleet_max_lanes < 1:
+            raise ServeError(
+                f"fleet_max_lanes must be >= 1 or None, "
+                f"got {fleet_max_lanes}"
+            )
         #: Cold-dispatch execution backend: the job engine, or one
         #: vectorized fleet per batch (see ``docs/batching.md``).  The
         #: batching window upstream means a concurrent burst of cold
         #: cells becomes one fleet — lanes advance in lockstep and
         #: every waiter resolves when its config group completes.
         self.backend = backend
+        #: Live-lane cap per cold-dispatch fleet (``None`` =
+        #: unbounded): batches beyond the cap stream through the
+        #: kernel's cell queue, bounding memory at the cap while the
+        #: vector population stays wide.
+        self.fleet_max_lanes = fleet_max_lanes
         self.store = store
         self.workers = max(1, workers)
         self.job_timeout = job_timeout
@@ -318,7 +336,8 @@ class SimulationService:
                 for pending in group
             ]
             fleet = run_fleet(cells, config=group[0].request.config,
-                              backend=fleet_backend, observer=self.obs)
+                              backend=fleet_backend, observer=self.obs,
+                              max_lanes=self.fleet_max_lanes)
             for pending, cell in zip(group, cells):
                 report = fleet.reports[cell]
                 self.store.put(pending.key, report)

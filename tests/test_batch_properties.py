@@ -45,15 +45,22 @@ def oracle():
     groups=st.lists(st.integers(min_value=0, max_value=2),
                     min_size=len(CELLS), max_size=len(CELLS)),
     order=st.permutations(range(len(CELLS))),
+    max_lanes=st.one_of(st.none(),
+                        st.integers(min_value=1, max_value=len(CELLS))),
 )
-def test_any_partition_matches_serial(oracle, groups, order):
-    """Shuffle the grid, split it into up to three fleets, run each."""
+def test_any_partition_matches_serial(oracle, groups, order, max_lanes):
+    """Shuffle the grid, split it into up to three fleets, run each.
+
+    ``max_lanes`` additionally varies the admission schedule: a fleet
+    may run full-width (``None``) or stream its cells through as few as
+    one live slot — the reports must not move either way.
+    """
     batches = {}
     for position, cell_index in enumerate(order):
         batches.setdefault(groups[position], []).append(CELLS[cell_index])
     merged = {}
     for batch in batches.values():
-        fleet = run_fleet(batch)
+        fleet = run_fleet(batch, max_lanes=max_lanes)
         merged.update(fleet.reports)
     assert merged == oracle
 
@@ -96,17 +103,21 @@ def mixed_oracle():
     compaction=st.booleans(),
     backend=st.sampled_from(BACKENDS),
     cutover=st.sampled_from((0, kernel_mod.SCALAR_CUTOVER)),
+    max_lanes=st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
 )
 def test_mixed_mode_interleavings_match_serial(mixed_oracle, order, size,
-                                               compaction, backend, cutover):
+                                               compaction, backend, cutover,
+                                               max_lanes):
     """Any interleaving of CFG, interp and trace lanes, with compaction
-    on or off and the vector path forced or cut over, is bit-identical
-    to the serial oracle on every available backend."""
+    on or off, the vector path forced or cut over, and any streaming
+    admission schedule, is bit-identical to the serial oracle on every
+    available backend."""
     cells = [MIXED_POOL[i] for i in order[:size]]
     old = kernel_mod.SCALAR_CUTOVER
     kernel_mod.SCALAR_CUTOVER = cutover
     try:
-        fleet = run_fleet(cells, backend=backend, compaction=compaction)
+        fleet = run_fleet(cells, backend=backend, compaction=compaction,
+                          max_lanes=max_lanes)
     finally:
         kernel_mod.SCALAR_CUTOVER = old
     for cell in cells:

@@ -181,6 +181,14 @@ class TestBatchedBench:
         selectors = {g.selector for g in mixed.groups}
         assert {"net", "combined-net"} <= selectors
         assert sum(g.lanes for g in mixed.groups) == 128
+        # The tail-dominated pin must actually stream: >= 256 short
+        # divergent lanes, more of them than live slots.
+        tail = next(f for f in BATCHED_FLEETS if f.name == "short-tail-fleet")
+        tail_lanes = sum(g.lanes for g in tail.groups)
+        assert tail_lanes >= 256
+        assert tail.max_lanes is not None and tail.max_lanes < tail_lanes
+        # Divergent finish times: distinct scales across the groups.
+        assert len({g.scale for g in tail.groups}) >= 4
 
     def test_record_schema(self, fleet_record):
         assert fleet_record["name"] == "chain-net-fleet"

@@ -88,6 +88,34 @@ class TestCollectReplay:
         assert "hit rate" in out
 
 
+class TestFleet:
+    def test_streaming_run_prints_queue_progress(self, capsys):
+        code = main(["fleet", "--benchmarks",
+                     "micro:linked_chain,micro:self_loop",
+                     "--selectors", "net", "--seeds", "3",
+                     "--scale", "0.05", "--max-lanes", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "queue: 6 cells over 2 slots, 4 refills" in out
+        assert "0 queued" in out  # the last admission drained the queue
+        assert out.count("micro:linked_chain") == 3
+
+    def test_full_width_run_prints_no_queue_line(self, capsys):
+        code = main(["fleet", "--benchmarks", "micro:linked_chain",
+                     "--selectors", "net", "--scale", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "queue:" not in out
+
+    def test_bad_max_lanes_is_a_one_line_error(self, capsys):
+        code = main(["fleet", "--benchmarks", "micro:linked_chain",
+                     "--selectors", "net", "--scale", "0.05",
+                     "--max-lanes", "0"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error: max_lanes must be >= 1")
+
+
 class TestErrorReporting:
     """Missing inputs fail with a one-line error, never a traceback."""
 

@@ -123,6 +123,30 @@ class TestBatchedResolution:
         assert tuned_result[0] == expected
 
 
+class TestStreamingService:
+    """The service's fleets stream through a bounded slot population."""
+
+    def test_burst_streams_bit_identically_through_two_slots(self, tmp_path):
+        requests = [_request(seed=seed) for seed in (1, 2, 3, 4, 5)]
+
+        async def scenario(service):
+            results = await asyncio.gather(
+                *(service.resolve(req) for req in requests)
+            )
+            return results, service.stats
+
+        results, stats = _run_service(tmp_path, scenario, fleet_max_lanes=2)
+        assert stats.batches == 1
+        for request, (report, source, _) in zip(requests, results):
+            assert source == "computed"
+            assert report == _direct_report(seed=request.seed)
+
+    def test_fleet_max_lanes_validated_at_construction(self, tmp_path):
+        with pytest.raises(ServeError, match="fleet_max_lanes"):
+            SimulationService(ResultStore(str(tmp_path / "s")),
+                              backend="batched", fleet_max_lanes=0)
+
+
 class TestBatchedValidation:
     def test_unknown_backend_rejected(self, tmp_path):
         with pytest.raises(ServeError, match="unknown service backend"):
